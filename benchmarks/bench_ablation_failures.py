@@ -1,0 +1,30 @@
+"""Benchmark ABL-FAIL: link-failure degradation (beyond-paper extension).
+
+Fails progressively more switch-to-switch links of the fat-tree and
+re-solves both algorithms on the survivor fabric with the same workload.
+The question: does Random-Schedule's advantage depend on full path
+diversity, or does it degrade gracefully?
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import failure_ablation
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_failure_sweep(benchmark, capsys):
+    def run():
+        return failure_ablation(
+            failure_counts=(0, 2, 4, 8), num_flows=50, fat_tree_k=4, seed=1
+        )
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(table.render())
+    assert len(table.rows) == 4
+    # Surviving link counts must strictly decrease along the sweep.
+    surviving = [int(row[1]) for row in table.rows]
+    assert surviving == sorted(surviving, reverse=True)

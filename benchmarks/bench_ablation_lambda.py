@@ -1,0 +1,30 @@
+"""Benchmark ABL-LAMBDA: interval-granularity sensitivity.
+
+Theorem 6's approximation ratio carries a lambda^alpha factor, where
+lambda = horizon / smallest interval.  This ablation skews the breakpoint
+distribution to inflate lambda by orders of magnitude and measures whether
+Random-Schedule's *empirical* quality degrades accordingly (it should not:
+the lambda factor is an artifact of the worst-case analysis).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import lambda_ablation
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_lambda_ablation(benchmark, capsys):
+    def run():
+        return lambda_ablation(
+            skews=(0.0, 1.0, 2.0, 4.0), num_flows=50, fat_tree_k=4, runs=2
+        )
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(table.render())
+    # lambda must actually grow along the sweep, else the ablation is moot.
+    lambdas = [float(row[1]) for row in table.rows]
+    assert lambdas[-1] > lambdas[0]

@@ -1,0 +1,31 @@
+"""Benchmark ABL-ONLINE: the price of scheduling without clairvoyance.
+
+Compares the online density scheduler (flows routed irrevocably at
+release) against offline Random-Schedule and SP+MCF across workload sizes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import online_ablation
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_online_vs_offline(benchmark, capsys):
+    def run():
+        return online_ablation(
+            flow_counts=(20, 40, 60, 80), fat_tree_k=4, runs=2
+        )
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(table.render())
+    for row in table.rows:
+        online, rs, sp = float(row[1]), float(row[2]), float(row[3])
+        assert online >= 1.0 - 1e-9
+        assert rs >= 1.0 - 1e-9
+        # Online cannot use future knowledge, but its marginal-cost routing
+        # should still clearly beat oblivious shortest paths here.
+        assert online < sp

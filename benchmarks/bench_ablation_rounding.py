@@ -1,0 +1,27 @@
+"""Benchmark ABL-ROUND: randomized-rounding variance.
+
+Solves one relaxation, then redraws the rounding many times; the spread
+between the min and max energy quantifies what the paper's "repeat the
+randomized rounding process" loop can buy, and the std shows how
+concentrated Theorem 6's expectation bound is in practice.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import rounding_ablation
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_rounding_variance(benchmark, capsys):
+    def run():
+        return rounding_ablation(num_flows=60, fat_tree_k=4, draws=30, seed=3)
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(table.render())
+    row = table.rows[0]
+    low, mean, high = float(row[1]), float(row[2]), float(row[3])
+    assert 1.0 - 1e-9 <= low <= mean <= high

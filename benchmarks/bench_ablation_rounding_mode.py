@@ -1,0 +1,30 @@
+"""Benchmark ABL-ROUND-MODE: random vs derandomized (argmax) rounding.
+
+Compares the paper's randomized rounding against the deterministic
+argmax-w_bar variant on shared relaxations.
+"""
+
+from __future__ import annotations
+
+from statistics import mean
+
+import pytest
+
+from repro.experiments import rounding_mode_ablation
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_rounding_modes(benchmark, capsys):
+    def run():
+        return rounding_mode_ablation(num_flows=60, fat_tree_k=4, runs=4)
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(table.render())
+    random_ratios = [float(row[1]) for row in table.rows]
+    det_ratios = [float(row[2]) for row in table.rows]
+    # Both modes must stay above the lower bound; neither should dominate
+    # by a large factor on average.
+    assert all(r >= 1.0 - 1e-9 for r in random_ratios + det_ratios)
+    assert 0.5 <= mean(det_ratios) / mean(random_ratios) <= 2.0

@@ -1,0 +1,31 @@
+"""Benchmark ABL-SIGMA: idle power (power-down term) ablation.
+
+Sweeps sigma from 0 (the paper's Figure-2 setting) upward and prints the
+normalized energies of RS and SP+MCF.  The interesting crossover: with a
+large idle term, Random-Schedule's constant-density transmission keeps
+more links powered over the whole horizon, eroding its speed-scaling
+advantage — consolidation (which SP routing does implicitly) starts to pay.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import sigma_ablation
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_sigma_ablation(benchmark, capsys):
+    def run():
+        return sigma_ablation(
+            sigmas=(0.0, 0.5, 1.0, 2.0, 4.0),
+            num_flows=60,
+            fat_tree_k=4,
+            runs=2,
+        )
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(table.render())
+    assert len(table.rows) == 5

@@ -1,0 +1,33 @@
+"""Benchmark APPROX: Random-Schedule's *true* approximation factor.
+
+Exact optima are enumerable on small parallel-path instances; this bench
+decomposes the Figure-2 normalization into genuine RS suboptimality
+(RS/OPT) and lower-bound slack (OPT/LB).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.approximation import approximation_study
+
+
+@pytest.mark.benchmark(group="approximation")
+def test_true_approximation_ratios(benchmark, capsys):
+    def run():
+        return approximation_study(
+            num_flows_list=(2, 3, 4), num_paths=3, instances=8
+        )
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(table.render())
+    for row in table.rows:
+        rs_over_opt = float(row[2])
+        opt_over_lb = float(row[4])
+        # RS can never beat the exact optimum, and OPT can never beat LB.
+        assert rs_over_opt >= 1.0 - 1e-9
+        assert opt_over_lb >= 1.0 - 1e-9
+        # Theorem 6 is a loose worst case; these instances stay far below it.
+        assert rs_over_opt <= 3.0

@@ -1,0 +1,37 @@
+"""Benchmark PERF-MCF: Most-Critical-First runtime scaling in n.
+
+Times the DCFS solver (the paper bounds it by O(n^2 |V|)) on the paper's
+fat-tree with shortest-path routing at increasing flow counts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import solve_dcfs
+from repro.flows import paper_workload
+from repro.power import PowerModel
+from repro.topology import fat_tree
+
+TOPOLOGY = fat_tree(8)
+POWER = PowerModel.quadratic()
+
+
+def _routed_instance(num_flows: int):
+    flows = paper_workload(TOPOLOGY, num_flows, seed=23)
+    paths = {
+        f.id: TOPOLOGY.shortest_path(f.src, f.dst) for f in flows
+    }
+    return flows, paths
+
+
+@pytest.mark.benchmark(group="dcfs-scaling")
+@pytest.mark.parametrize("num_flows", [50, 100, 200])
+def test_most_critical_first_scaling(benchmark, num_flows):
+    flows, paths = _routed_instance(num_flows)
+
+    def run():
+        return solve_dcfs(flows, TOPOLOGY, paths, POWER)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(result.rates) == num_flows

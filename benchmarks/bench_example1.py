@@ -1,0 +1,43 @@
+"""Benchmark EX1: the paper's worked Example 1 (Fig. 1).
+
+Times Most-Critical-First on the 3-node line instance and re-asserts the
+closed-form optimum every round, so the benchmark doubles as a regression
+gate on the algorithm's analytical correctness.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import solve_dcfs
+from repro.flows import Flow, FlowSet
+from repro.power import PowerModel
+from repro.topology import line
+
+PATHS = {1: ("n0", "n1", "n2"), 2: ("n0", "n1")}
+
+
+def _instance():
+    topo = line(3)
+    flows = FlowSet(
+        [
+            Flow(id=1, src="n0", dst="n2", size=6, release=2, deadline=4),
+            Flow(id=2, src="n0", dst="n1", size=8, release=1, deadline=3),
+        ]
+    )
+    return topo, flows, PowerModel.quadratic()
+
+
+@pytest.mark.benchmark(group="example1")
+def test_example1_most_critical_first(benchmark):
+    topo, flows, power = _instance()
+
+    def run():
+        return solve_dcfs(flows, topo, PATHS, power)
+
+    result = benchmark(run)
+    expected = (8 + 6 * math.sqrt(2)) / 3
+    assert result.rates[2] == pytest.approx(expected)
+    assert result.rates[1] == pytest.approx(expected / math.sqrt(2))

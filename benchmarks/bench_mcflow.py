@@ -1,0 +1,59 @@
+"""Benchmark PERF-FW: Frank-Wolfe F-MCF solver, cold vs warm start.
+
+The interval sweep inside Random-Schedule re-solves near-identical F-MCF
+instances hundreds of times; the warm-start path is what makes the full
+Figure 2 tractable, and this benchmark quantifies the gap.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.power import PowerModel
+from repro.routing import Commodity, FrankWolfeSolver, envelope_cost
+from repro.topology import fat_tree
+
+TOPOLOGY = fat_tree(8)
+
+
+def _commodities(n: int):
+    hosts = TOPOLOGY.hosts
+    return [
+        Commodity(i, hosts[i % 64], hosts[(i * 7 + 67) % 128], 0.5 + (i % 5) * 0.3)
+        for i in range(n)
+    ]
+
+
+def _solver():
+    return FrankWolfeSolver(
+        TOPOLOGY,
+        envelope_cost(PowerModel.quadratic()),
+        max_iterations=60,
+        gap_tolerance=1e-3,
+    )
+
+
+@pytest.mark.benchmark(group="frank-wolfe")
+@pytest.mark.parametrize("num_commodities", [20, 60, 120])
+def test_cold_solve(benchmark, num_commodities):
+    solver = _solver()
+    commodities = _commodities(num_commodities)
+    solution = benchmark.pedantic(
+        lambda: solver.solve(commodities), rounds=3, iterations=1
+    )
+    assert solution.relative_gap <= 1e-3 or solution.iterations == 60
+
+
+@pytest.mark.benchmark(group="frank-wolfe")
+def test_warm_resolve(benchmark):
+    solver = _solver()
+    commodities = _commodities(60)
+    base = solver.solve(commodities)
+    # Perturb one commodity (as an interval boundary does) and re-solve.
+    changed = list(commodities)
+    changed[0] = Commodity("new", TOPOLOGY.hosts[3], TOPOLOGY.hosts[90], 1.0)
+
+    solution = benchmark.pedantic(
+        lambda: solver.solve(changed, warm_start=base), rounds=5, iterations=1
+    )
+    assert solution.iterations <= 60

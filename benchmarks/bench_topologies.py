@@ -1,0 +1,25 @@
+"""Benchmark ABL-TOPO: Random-Schedule across DCN fabrics.
+
+Runs the Figure-2 protocol on five structurally different fabrics at equal
+host counts.  Fabrics with richer path diversity (fat-tree, VL2,
+leaf-spine) should show the largest SP+MCF-to-RS gap; the server-centric
+BCube is the stress case (host links are unavoidable bottlenecks).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import topology_ablation
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_topology_sweep(benchmark, capsys):
+    def run():
+        return topology_ablation(num_flows=50, runs=2)
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(table.render())
+    assert len(table.rows) == 5

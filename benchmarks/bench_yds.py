@@ -1,0 +1,33 @@
+"""Benchmark PERF-YDS: the YDS speed-scaling substrate.
+
+Times the critical-interval loop on single-machine instances of growing
+size (this is the inner engine of Most-Critical-First).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.scheduling import YdsJob, yds_schedule
+
+
+def _jobs(n: int):
+    rng = np.random.default_rng(5)
+    jobs = []
+    for i in range(n):
+        release = float(rng.uniform(0, 100))
+        length = float(rng.uniform(1, 20))
+        work = float(rng.uniform(1, 10))
+        jobs.append(YdsJob(i, release, release + length, work))
+    return jobs
+
+
+@pytest.mark.benchmark(group="yds")
+@pytest.mark.parametrize("num_jobs", [25, 50, 100])
+def test_yds_scaling(benchmark, num_jobs):
+    jobs = _jobs(num_jobs)
+    result = benchmark.pedantic(
+        lambda: yds_schedule(jobs), rounds=3, iterations=1
+    )
+    assert len(result.speeds) == num_jobs

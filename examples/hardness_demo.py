@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""The paper's NP-hardness constructions, verified end to end.
+
+Theorem 2 reduces 3-Partition to the DCFSR decision problem: a schedule
+with energy <= Phi_0 exists iff the integers admit a 3-partition.
+Theorem 3 turns Partition into an inapproximability gap of
+gamma(alpha) = 3/2 * (1 + ((2/3)^alpha - 1)/alpha).
+
+This demo builds both instances for YES and NO seeds, computes the exact
+optimal energies by exhaustive assignment enumeration, and shows the iff /
+gap arithmetic working out.
+
+Run:  python examples/hardness_demo.py
+"""
+
+from repro.hardness import (
+    PartitionInstance,
+    ThreePartitionInstance,
+    build_gap_instance,
+    build_reduction,
+    gap_lower_bound,
+    partition_exists,
+    three_partition_exists,
+    verify_gap,
+    verify_reduction,
+)
+
+
+def main() -> None:
+    print("=== Theorem 2: 3-Partition -> DCFSR decision ===\n")
+    cases = [
+        ("YES", ThreePartitionInstance(integers=(6, 6, 8, 7, 6, 7), target=20)),
+        ("NO", ThreePartitionInstance(
+            integers=(26, 26, 27, 40, 40, 41), target=100)),
+    ]
+    for label, instance in cases:
+        reduction = build_reduction(instance)
+        exists = three_partition_exists(instance)
+        below, optimal = verify_reduction(reduction)
+        print(
+            f"{label}: integers {instance.integers} (B = {instance.target})\n"
+            f"  3-partition exists:      {exists}\n"
+            f"  DCFSR optimal energy:    {optimal:.1f}\n"
+            f"  decision threshold Phi0: {reduction.energy_threshold:.1f}\n"
+            f"  optimal <= Phi0:         {below}   "
+            f"(matches the 3-partition answer: {below == exists})\n"
+        )
+
+    print("=== Theorem 3: Partition -> inapproximability gap ===\n")
+    print(f"gamma(2) = {gap_lower_bound(2.0):.6f} (= 13/12)")
+    print(f"gamma(4) = {gap_lower_bound(4.0):.6f}\n")
+    gap_cases = [
+        ("YES", PartitionInstance(integers=(3, 5, 4, 2, 6, 4))),
+        ("NO", PartitionInstance(integers=(1, 1, 1, 5, 5, 5))),
+    ]
+    for label, instance in gap_cases:
+        gap = build_gap_instance(instance)
+        exists = partition_exists(instance)
+        optimal, yes_side = verify_gap(gap)
+        print(
+            f"{label}: integers {instance.integers} "
+            f"(C = B/2 = {gap.power.capacity:g})\n"
+            f"  balanced split exists: {exists}\n"
+            f"  optimal energy:        {optimal:.1f}\n"
+            f"  two-link YES energy:   {gap.yes_energy:.1f}\n"
+            f"  three-link NO bound:   {gap.no_energy_bound:.1f}\n"
+            f"  lands on YES side:     {yes_side}   "
+            f"(matches: {yes_side == exists})\n"
+        )
+    print(
+        "Any algorithm separating the two sides would decide Partition, so\n"
+        "no polynomial approximation beats gamma(alpha) unless P = NP —\n"
+        "in particular DCFSR admits no FPTAS."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Partition-aggregate incast: the workload the paper's intro motivates.
+
+A search front-end fans a query out to workers; every response must arrive
+at the aggregator before the user-facing deadline.  This example sweeps the
+deadline slack and shows how the energy of a deadline-feasible schedule
+falls as the deadline loosens (speed scaling: halving the required rate
+quarters the quadratic dynamic power), and how Random-Schedule's multipath
+load spreading compares with shortest-path routing under fan-in pressure.
+
+Run:  python examples/incast_deadline.py
+"""
+
+from repro.analysis import Table, compute_metrics, render_link_sparklines
+from repro.core import solve_dcfsr, sp_mcf
+from repro.flows import incast
+from repro.power import PowerModel
+from repro.topology import leaf_spine
+
+
+def main() -> None:
+    topology = leaf_spine(4, 2, hosts_per_leaf=4)
+    power = PowerModel.quadratic()
+    aggregator = topology.hosts[0]
+    print(f"topology: {topology}; aggregator: {aggregator}\n")
+
+    table = Table(
+        title="incast: 12 workers x 4.0 units, release 0, varying deadline",
+        columns=(
+            "deadline", "RS energy", "SP+MCF energy", "RS peak rate",
+            "RS min slack",
+        ),
+    )
+    for deadline in (1.0, 2.0, 4.0, 8.0):
+        flows = incast(
+            topology,
+            aggregator,
+            num_workers=12,
+            response_size=4.0,
+            release=0.0,
+            deadline=deadline,
+            seed=3,
+        )
+        rs = solve_dcfsr(flows, topology, power, seed=3)
+        sp = sp_mcf(flows, topology, power)
+        assert rs.schedule.verify(flows, topology, power).ok
+        metrics = compute_metrics(rs.schedule, flows, power)
+        table.add_row(
+            deadline,
+            rs.energy.total,
+            sp.energy.total,
+            metrics.peak_link_rate,
+            metrics.min_deadline_slack,
+        )
+    print(table.render())
+    print(
+        "Looser deadlines let every flow run slower; with f = x^2 a 2x\n"
+        "deadline roughly halves the energy, and the fan-in links at the\n"
+        "aggregator dominate the peak rate in every schedule.\n"
+    )
+
+    # Visualize the tightest instance's five hottest links.
+    flows = incast(
+        topology, aggregator, num_workers=12, response_size=4.0,
+        release=0.0, deadline=1.0, seed=3,
+    )
+    rs = solve_dcfsr(flows, topology, power, seed=3)
+    print("five hottest links in the RS schedule (deadline = 1.0):")
+    print(render_link_sparklines(rs.schedule, horizon=(0.0, 1.0), top=5))
+
+
+if __name__ == "__main__":
+    main()

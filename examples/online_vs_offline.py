@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Online vs offline: what does clairvoyance buy?
+
+The paper's algorithms are offline — they see every flow before routing
+any.  This example pits three schedulers against each other on the same
+workloads:
+
+* Online+Density — sees each flow only at its release, routes it
+  irrevocably on the cheapest marginal-cost path, runs it at density
+  (the paper's stated future-work setting);
+* Random-Schedule — the paper's offline approximation (Algorithm 2);
+* SP+MCF — offline optimal scheduling on oblivious shortest paths.
+
+Run:  python examples/online_vs_offline.py
+"""
+
+from repro.analysis import Table, validate_result
+from repro.core import solve_dcfsr, solve_online_density, sp_mcf
+from repro.flows import paper_workload
+from repro.power import PowerModel
+from repro.topology import fat_tree
+
+
+def main() -> None:
+    topology = fat_tree(4)
+    power = PowerModel.quadratic()
+
+    table = Table(
+        title="normalized energy (LB = 1), online vs offline",
+        columns=("flows", "Online+Density", "RS (offline)", "SP+MCF"),
+    )
+    for n in (20, 40, 60, 80):
+        flows = paper_workload(topology, n, seed=100 + n)
+        rs = solve_dcfsr(flows, topology, power, seed=100 + n)
+        online = solve_online_density(flows, topology, power)
+        sp = sp_mcf(flows, topology, power)
+        for name, schedule in (
+            ("online", online.schedule),
+            ("RS", rs.schedule),
+            ("SP", sp.schedule),
+        ):
+            outcome = validate_result(schedule, flows, topology, power)
+            assert outcome.ok or outcome.report.deadline_feasible, (
+                name, outcome.summary(),
+            )
+        lb = rs.lower_bound
+        table.add_row(
+            n,
+            online.energy.total / lb,
+            rs.energy.total / lb,
+            sp.energy.total / lb,
+        )
+    print(table.render())
+    print(
+        "On uniform-window workloads the online greedy is nearly as good as\n"
+        "offline Random-Schedule: marginal-cost routing captures most of the\n"
+        "benefit, and RS additionally pays a randomized-rounding gap.  The\n"
+        "offline algorithm's worth is its provable ratio and its capacity\n"
+        "retry loop — and adversarial arrival orders would widen the gap."
+    )
+
+
+if __name__ == "__main__":
+    main()

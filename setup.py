@@ -1,0 +1,15 @@
+"""Setuptools shim.
+
+The offline environment ships setuptools without the ``wheel`` package, so
+PEP 660 editable installs (``pip install -e .``) cannot build the editable
+wheel.  This shim lets both of these work:
+
+* ``pip install -e .`` (pip falls back to the legacy develop path), and
+* ``python setup.py develop`` directly.
+
+All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,46 @@
+"""repro — energy-efficient deadline-constrained flow scheduling & routing.
+
+Reproduction of Wang et al., "Energy-Efficient Flow Scheduling and Routing
+with Hard Deadlines in Data Center Networks" (ICDCS 2014).
+
+Public API highlights
+---------------------
+* :class:`repro.power.PowerModel` — the sigma + mu*x^alpha link power model.
+* :mod:`repro.topology` — fat-tree, BCube, VL2, leaf-spine, jellyfish, etc.
+* :class:`repro.flows.Flow` / :class:`repro.flows.FlowSet` — deadline flows.
+* :func:`repro.core.solve_dcfs` — optimal Most-Critical-First scheduling
+  when routes are given (Algorithm 1).
+* :func:`repro.core.solve_dcfsr` — Random-Schedule joint scheduling and
+  routing (Algorithm 2), with the fractional lower bound.
+* :func:`repro.core.sp_mcf` — the SP+MCF baseline from the paper's Fig. 2.
+"""
+
+from repro.errors import (
+    CapacityError,
+    InfeasibleError,
+    ReproError,
+    SolverError,
+    TopologyError,
+    ValidationError,
+)
+from repro.flows import Flow, FlowSet, TimeGrid
+from repro.power import PowerModel
+from repro.scheduling import FlowSchedule, Schedule, Segment
+
+__all__ = [
+    "ReproError",
+    "ValidationError",
+    "TopologyError",
+    "InfeasibleError",
+    "CapacityError",
+    "SolverError",
+    "PowerModel",
+    "Flow",
+    "FlowSet",
+    "TimeGrid",
+    "Schedule",
+    "FlowSchedule",
+    "Segment",
+]
+
+__version__ = "1.0.0"

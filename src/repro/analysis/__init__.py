@@ -1,0 +1,28 @@
+"""Analysis utilities: reference convex solvers, metrics, reporting."""
+
+from repro.analysis.convex import (
+    FmcfReference,
+    P1Solution,
+    solve_fmcf_reference,
+    solve_p1_reference,
+)
+from repro.analysis.gantt import render_gantt, render_link_sparklines
+from repro.analysis.metrics import ScheduleMetrics, compute_metrics, jain_index
+from repro.analysis.reporting import Table, ascii_bar
+from repro.analysis.validation import ValidationOutcome, validate_result
+
+__all__ = [
+    "render_gantt",
+    "render_link_sparklines",
+    "ValidationOutcome",
+    "validate_result",
+    "P1Solution",
+    "solve_p1_reference",
+    "FmcfReference",
+    "solve_fmcf_reference",
+    "ScheduleMetrics",
+    "compute_metrics",
+    "jain_index",
+    "Table",
+    "ascii_bar",
+]

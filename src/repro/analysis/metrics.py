@@ -1,0 +1,101 @@
+"""Schedule analysis metrics beyond raw energy.
+
+These feed the example applications and the ablation benchmarks: energy
+decomposition, deadline slack statistics, link utilization distribution,
+and Jain's fairness index over flow rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.flows.flow import FlowSet
+from repro.power.model import PowerModel
+from repro.scheduling.schedule import Schedule
+
+__all__ = ["ScheduleMetrics", "compute_metrics", "jain_index"]
+
+
+def jain_index(values) -> float:
+    """Jain's fairness index ``(sum x)^2 / (n * sum x^2)`` in (0, 1]."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValidationError("jain_index requires at least one value")
+    if np.any(arr < 0):
+        raise ValidationError("jain_index requires nonnegative values")
+    denom = arr.size * float(np.sum(arr**2))
+    if denom == 0:
+        return 1.0
+    return float(np.sum(arr)) ** 2 / denom
+
+
+@dataclass(frozen=True)
+class ScheduleMetrics:
+    """Aggregate quality metrics of a schedule."""
+
+    total_energy: float
+    idle_energy: float
+    dynamic_energy: float
+    active_links: int
+    mean_link_utilization: float
+    peak_link_rate: float
+    mean_deadline_slack: float
+    min_deadline_slack: float
+    rate_fairness: float
+    mean_path_length: float
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "total_energy": self.total_energy,
+            "idle_energy": self.idle_energy,
+            "dynamic_energy": self.dynamic_energy,
+            "active_links": float(self.active_links),
+            "mean_link_utilization": self.mean_link_utilization,
+            "peak_link_rate": self.peak_link_rate,
+            "mean_deadline_slack": self.mean_deadline_slack,
+            "min_deadline_slack": self.min_deadline_slack,
+            "rate_fairness": self.rate_fairness,
+            "mean_path_length": self.mean_path_length,
+        }
+
+
+def compute_metrics(
+    schedule: Schedule,
+    flows: FlowSet,
+    power: PowerModel,
+    horizon: tuple[float, float] | None = None,
+) -> ScheduleMetrics:
+    """Compute :class:`ScheduleMetrics` for a schedule."""
+    if horizon is None:
+        horizon = flows.horizon
+    t0, t1 = horizon
+    breakdown = schedule.energy(power, horizon=horizon)
+    link_rates = schedule.link_rates()
+    utilizations = [
+        profile.support_length() / (t1 - t0) for profile in link_rates.values()
+    ]
+    peak = max((p.maximum() for p in link_rates.values()), default=0.0)
+
+    slacks = []
+    mean_rates = []
+    path_lengths = []
+    for fs in schedule:
+        slacks.append(fs.flow.deadline - fs.completion_time())
+        duration = sum(s.duration for s in fs.segments)
+        mean_rates.append(fs.transmitted / duration)
+        path_lengths.append(fs.num_links)
+
+    return ScheduleMetrics(
+        total_energy=breakdown.total,
+        idle_energy=breakdown.idle,
+        dynamic_energy=breakdown.dynamic,
+        active_links=breakdown.active_links,
+        mean_link_utilization=float(np.mean(utilizations)) if utilizations else 0.0,
+        peak_link_rate=peak,
+        mean_deadline_slack=float(np.mean(slacks)),
+        min_deadline_slack=float(np.min(slacks)),
+        rate_fairness=jain_index(mean_rates),
+        mean_path_length=float(np.mean(path_lengths)),
+    )

@@ -1,0 +1,82 @@
+"""ASCII table / CSV rendering for experiment results.
+
+No plotting stack is available offline, so every experiment renders its
+figure as (a) an aligned text table of the plotted series and (b) an
+optional CSV for downstream plotting.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ValidationError
+
+__all__ = ["Table", "ascii_bar"]
+
+
+@dataclass
+class Table:
+    """A simple column-aligned table with CSV export."""
+
+    title: str
+    columns: Sequence[str]
+
+    def __post_init__(self) -> None:
+        if not self.columns:
+            raise ValidationError("table needs at least one column")
+        self._rows: list[tuple[str, ...]] = []
+
+    def add_row(self, *cells: object) -> None:
+        if len(cells) != len(self.columns):
+            raise ValidationError(
+                f"expected {len(self.columns)} cells, got {len(cells)}"
+            )
+        self._rows.append(tuple(_fmt(c) for c in cells))
+
+    @property
+    def rows(self) -> list[tuple[str, ...]]:
+        return list(self._rows)
+
+    def render(self) -> str:
+        """Aligned text rendering, suitable for terminals and logs."""
+        headers = [str(c) for c in self.columns]
+        widths = [len(h) for h in headers]
+        for row in self._rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        out = io.StringIO()
+        out.write(f"== {self.title} ==\n")
+        out.write(
+            "  ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip() + "\n"
+        )
+        out.write("  ".join("-" * w for w in widths) + "\n")
+        for row in self._rows:
+            out.write(
+                "  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip() + "\n"
+            )
+        return out.getvalue()
+
+    def to_csv(self) -> str:
+        lines = [",".join(str(c) for c in self.columns)]
+        lines.extend(",".join(row) for row in self._rows)
+        return "\n".join(lines) + "\n"
+
+    def save_csv(self, path: str) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.to_csv())
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def ascii_bar(value: float, scale: float, width: int = 40) -> str:
+    """A proportional bar, e.g. for quick visual series comparison."""
+    if scale <= 0:
+        raise ValidationError("scale must be positive")
+    filled = max(0, min(width, round(width * value / scale)))
+    return "#" * filled + "." * (width - filled)

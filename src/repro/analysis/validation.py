@@ -1,0 +1,85 @@
+"""One-call result validation: structural checks + simulator cross-check.
+
+``validate_result`` is the convenience every example and downstream user
+wants after running an algorithm: does the schedule deliver every flow on
+time over valid paths, does it respect capacity, and does the independent
+fluid replay agree with the analytical energy?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+from repro.flows.flow import FlowSet
+from repro.power.model import PowerModel
+from repro.scheduling.schedule import FeasibilityReport, Schedule
+from repro.sim.fluid import simulate_fluid
+from repro.topology.base import Topology
+
+__all__ = ["ValidationOutcome", "validate_result"]
+
+
+@dataclass(frozen=True)
+class ValidationOutcome:
+    """Everything a schedule validation observed."""
+
+    report: FeasibilityReport
+    analytic_energy: float
+    simulated_energy: float
+    energy_agreement: float
+    simulated_deadlines_met: bool
+
+    @property
+    def ok(self) -> bool:
+        """Structurally feasible, deadlines replay clean, energies agree."""
+        return (
+            self.report.ok
+            and self.simulated_deadlines_met
+            and self.energy_agreement <= 1e-6
+        )
+
+    def summary(self) -> str:
+        if self.ok:
+            return (
+                f"valid (energy {self.analytic_energy:.6g}, "
+                f"simulator agrees to {self.energy_agreement:.2e})"
+            )
+        parts = []
+        if not self.report.ok:
+            parts.append(self.report.summary())
+        if not self.simulated_deadlines_met:
+            parts.append("simulator observed missed deadlines")
+        if self.energy_agreement > 1e-6:
+            parts.append(
+                f"energy mismatch {self.energy_agreement:.3e} "
+                f"(analytic {self.analytic_energy:.6g} vs "
+                f"simulated {self.simulated_energy:.6g})"
+            )
+        return "; ".join(parts)
+
+
+def validate_result(
+    schedule: Schedule,
+    flows: FlowSet,
+    topology: Topology,
+    power: PowerModel,
+    horizon: tuple[float, float] | None = None,
+) -> ValidationOutcome:
+    """Run the full validation stack against a schedule."""
+    if horizon is None:
+        horizon = flows.horizon
+    t0, t1 = horizon
+    if not t1 > t0:
+        raise ValidationError(f"bad horizon {horizon!r}")
+    report = schedule.verify(flows, topology, power)
+    analytic = schedule.energy(power, horizon=horizon).total
+    sim = simulate_fluid(schedule, flows, topology, power, horizon=horizon)
+    agreement = abs(analytic - sim.total_energy) / max(abs(analytic), 1e-30)
+    return ValidationOutcome(
+        report=report,
+        analytic_energy=analytic,
+        simulated_energy=sim.total_energy,
+        energy_agreement=agreement,
+        simulated_deadlines_met=sim.all_deadlines_met,
+    )

@@ -1,0 +1,50 @@
+"""Core algorithms: DCFS (Algorithm 1), DCFSR (Algorithm 2), baselines."""
+
+from repro.core.baselines import (
+    BaselineResult,
+    ecmp_mcf,
+    full_rate_sp,
+    greedy_marginal_routing,
+    sp_mcf,
+)
+from repro.core.dcfs import DcfsResult, solve_dcfs
+from repro.core.dcfsr import (
+    DcfsrResult,
+    round_schedule,
+    round_schedule_deterministic,
+    solve_dcfsr,
+)
+from repro.core.exact import (
+    ExactResult,
+    exact_parallel_assignment_energy,
+    solve_dcfsr_exact,
+)
+from repro.core.lower_bound import fractional_lower_bound
+from repro.core.online import solve_online_density
+from repro.core.relaxation import (
+    IntervalSolution,
+    RelaxationResult,
+    solve_relaxation,
+)
+
+__all__ = [
+    "DcfsResult",
+    "solve_dcfs",
+    "DcfsrResult",
+    "solve_dcfsr",
+    "round_schedule",
+    "round_schedule_deterministic",
+    "fractional_lower_bound",
+    "solve_online_density",
+    "BaselineResult",
+    "sp_mcf",
+    "ecmp_mcf",
+    "greedy_marginal_routing",
+    "full_rate_sp",
+    "ExactResult",
+    "solve_dcfsr_exact",
+    "exact_parallel_assignment_energy",
+    "IntervalSolution",
+    "RelaxationResult",
+    "solve_relaxation",
+]

@@ -1,0 +1,252 @@
+"""Most-Critical-First: the paper's optimal DCFS algorithm (Algorithm 1).
+
+DCFS fixes a routing path ``P_i`` per flow and asks for the minimum-energy
+rate assignment and schedule.  By Lemma 1 each flow uses a single rate; by
+Lemma 2 the smallest deadline-feasible rates are optimal; and the problem
+reduces to a YDS instance per link after giving each flow the *virtual
+weight* ``w'_i = w_i * |P_i|^(1/alpha)`` (Theorem 1): a flow crossing many
+links should run slightly faster is never beneficial — the Lagrange
+condition equalizes ``|P_i|^(1/alpha) * s_i`` across flows sharing a
+critical interval.
+
+The algorithm repeats:
+
+1. over every link ``e`` that still has unscheduled flows, find the
+   interval ``I = [a, b]`` maximizing the *intensity*
+   ``delta(I, e) = sum of virtual weights of flows on e with span in I``
+   divided by the available (not yet reserved) time of ``I`` on ``e``;
+2. pick the globally most critical ``(I*, e*)``, set every contained flow's
+   rate to ``s_i = delta / |P_i|^(1/alpha)``, lay the flows out with
+   preemptive EDF inside the available time of ``I*`` on ``e*``;
+3. reserve each flow's execution segments on **every** link of its path
+   (virtual-circuit occupancy) and drop the flows from all link queues.
+
+The produced schedule transmits each flow at its single rate during its EDF
+segments; per-link rates never stack because EDF serializes — with one
+caveat the paper glosses over: reservations made *for other links'*
+critical intervals can fragment (or even exhaust) a flow's span on its own
+link.  Step 3's EDF only respects the critical link's reservations (as
+written in the paper), so when strict availability accounting would make a
+link's remaining flows unschedulable, this implementation falls back to
+*overlap mode* for that link: intensity and EDF are computed on raw
+(unreserved) time, letting segments stack on shared links.  Deadlines are
+always met; the energy integral (``Schedule.energy``) charges the stacking
+honestly.  See DESIGN.md Section 5, note 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.errors import InfeasibleError, ValidationError
+from repro.flows.flow import Flow, FlowSet
+from repro.power.model import PowerModel
+from repro.scheduling.edf import EdfJob, edf_schedule
+from repro.scheduling.schedule import FlowSchedule, Schedule, Segment
+from repro.scheduling.timeline import BlockedTimeline
+from repro.scheduling.yds import YdsJob, critical_interval
+from repro.topology.base import Edge, Topology, path_edges
+
+__all__ = ["DcfsResult", "solve_dcfs"]
+
+
+@dataclass(frozen=True)
+class DcfsResult:
+    """Output of Most-Critical-First.
+
+    Attributes
+    ----------
+    schedule:
+        The full schedule (rates, segments, paths); feed it to
+        :meth:`repro.scheduling.Schedule.energy`.
+    rates:
+        The single transmission rate chosen per flow (Lemma 1).
+    rounds:
+        Number of critical-interval iterations the algorithm performed.
+    """
+
+    schedule: Schedule
+    rates: Mapping[int | str, float]
+    rounds: int
+
+    def dynamic_energy(self, power: PowerModel) -> float:
+        """Closed-form ``sum_i |P_i| * w_i * mu * s_i^(alpha-1)``.
+
+        This is the paper's objective value for the chosen rates.  It equals
+        the integrated link energy whenever no two flows' segments overlap
+        on a shared link.  Algorithm 1 (faithfully implemented) only makes
+        EDF avoid reserved time on the *critical* link of each round, so
+        flows scheduled in different rounds can occasionally overlap on a
+        non-critical shared link; superadditivity then makes the integrated
+        energy slightly exceed this closed form.  ``Schedule.energy`` is
+        the ground truth ``Phi_f``; tests pin ``integral >= closed form``
+        with equality on overlap-free instances (Example 1, single links,
+        disjoint paths).
+        """
+        total = 0.0
+        for fs in self.schedule:
+            s = self.rates[fs.flow.id]
+            total += fs.num_links * fs.flow.size * power.mu * s ** (power.alpha - 1.0)
+        return total
+
+
+def _virtual_weight(flow: Flow, num_links: int, alpha: float) -> float:
+    """``w'_i = w_i * |P_i|^(1/alpha)`` (Section III-C)."""
+    return flow.size * num_links ** (1.0 / alpha)
+
+
+def solve_dcfs(
+    flows: FlowSet,
+    topology: Topology,
+    paths: Mapping[int | str, Sequence[str]],
+    power: PowerModel,
+) -> DcfsResult:
+    """Run Most-Critical-First on a routed instance.
+
+    Parameters
+    ----------
+    flows:
+        The deadline-constrained flows.
+    topology:
+        The network; every path is validated against it.
+    paths:
+        Flow id -> node path from the flow's source to its destination.
+    power:
+        Link power model supplying ``alpha`` (the virtual-weight exponent).
+        Capacity is *not* enforced — the paper's minimum-energy schedule
+        relaxes it (Section III-A); use ``Schedule.verify`` to inspect
+        violations.
+
+    Raises
+    ------
+    InfeasibleError
+        When reserved time fragments a flow's span so badly that EDF cannot
+        meet a deadline (cannot happen on single-link instances; see
+        DESIGN.md Section 5 note on Algorithm 1's optimality scope).
+    """
+    flows.validate_against(topology)
+    alpha = power.alpha
+
+    flow_paths: dict[int | str, tuple[str, ...]] = {}
+    flow_edges: dict[int | str, tuple[Edge, ...]] = {}
+    virtual: dict[int | str, float] = {}
+    for flow in flows:
+        if flow.id not in paths:
+            raise ValidationError(f"no path supplied for flow {flow.id!r}")
+        path = tuple(paths[flow.id])
+        topology.validate_path(path, flow.src, flow.dst)
+        flow_paths[flow.id] = path
+        edges = path_edges(path)
+        flow_edges[flow.id] = edges
+        virtual[flow.id] = _virtual_weight(flow, len(edges), alpha)
+
+    # Per-link queues of unscheduled flows.
+    link_flows: dict[Edge, set[int | str]] = {}
+    for flow in flows:
+        for edge in flow_edges[flow.id]:
+            link_flows.setdefault(edge, set()).add(flow.id)
+
+    blocked: dict[Edge, BlockedTimeline] = {
+        edge: BlockedTimeline() for edge in link_flows
+    }
+    # Cached most-critical interval per link; None = needs recomputation.
+    # The boolean marks overlap mode (see the module docstring).
+    Candidate = tuple[float, float, float, list[YdsJob], bool]
+    cache: dict[Edge, Candidate | None] = {edge: None for edge in link_flows}
+
+    def link_candidate(edge: Edge) -> Candidate:
+        jobs = [
+            YdsJob(
+                id=fid,
+                release=flows[fid].release,
+                deadline=flows[fid].deadline,
+                work=virtual[fid],
+            )
+            for fid in sorted(link_flows[edge], key=str)
+        ]
+        try:
+            a, b, delta, contained = critical_interval(jobs, blocked[edge])
+            return (a, b, delta, contained, False)
+        except InfeasibleError:
+            # Cross-link reservations exhausted some span on this link;
+            # fall back to raw-time accounting (overlap mode).
+            a, b, delta, contained = critical_interval(jobs, None)
+            return (a, b, delta, contained, True)
+
+    rates: dict[int | str, float] = {}
+    segments: dict[int | str, list[tuple[float, float]]] = {}
+    remaining = {flow.id for flow in flows}
+    rounds = 0
+
+    while remaining:
+        rounds += 1
+        best_edge: Edge | None = None
+        best: Candidate | None = None
+        for edge in sorted(link_flows):
+            if not link_flows[edge]:
+                continue
+            if cache[edge] is None:
+                cache[edge] = link_candidate(edge)
+            candidate = cache[edge]
+            assert candidate is not None
+            if best is None or candidate[2] > best[2] + 1e-15:
+                best, best_edge = candidate, edge
+        if best is None or best_edge is None:
+            raise AssertionError(
+                "flows remain but no link has queued flows"
+            )  # pragma: no cover
+
+        a, b, delta, critical_jobs, overlap_mode = best
+        edf_jobs = []
+        for job in critical_jobs:
+            fid = job.id
+            rate = delta / len(flow_edges[fid]) ** (1.0 / alpha)
+            rates[fid] = rate
+            # Execution time w_i / s_i = w'_i / delta.
+            edf_jobs.append(
+                EdfJob(
+                    id=fid,
+                    release=flows[fid].release,
+                    deadline=flows[fid].deadline,
+                    duration=virtual[fid] / delta,
+                )
+            )
+        edf_blocked = () if overlap_mode else blocked[best_edge].segments()
+        try:
+            placed = edf_schedule(edf_jobs, blocked=edf_blocked)
+        except InfeasibleError:
+            # Fragmented availability can defeat EDF even when the total
+            # available time suffices; retry on raw time (overlap mode).
+            try:
+                placed = edf_schedule(edf_jobs, blocked=())
+            except InfeasibleError as exc:
+                raise InfeasibleError(
+                    f"Most-Critical-First: EDF failed inside critical "
+                    f"interval [{a:g}, {b:g}] on link {best_edge!r}: {exc}"
+                ) from exc
+
+        touched: set[Edge] = set()
+        for job in critical_jobs:
+            fid = job.id
+            segments[fid] = placed[fid]
+            remaining.discard(fid)
+            for edge in flow_edges[fid]:
+                link_flows[edge].discard(fid)
+                blocked[edge].add_many(placed[fid])
+                touched.add(edge)
+        for edge in touched:
+            cache[edge] = None
+
+    flow_schedules = []
+    for flow in flows:
+        fs_segments = tuple(
+            Segment(start=s, end=e, rate=rates[flow.id])
+            for s, e in segments[flow.id]
+        )
+        flow_schedules.append(
+            FlowSchedule(flow=flow, path=flow_paths[flow.id], segments=fs_segments)
+        )
+    return DcfsResult(
+        schedule=Schedule(flow_schedules), rates=rates, rounds=rounds
+    )

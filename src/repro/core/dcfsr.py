@@ -1,0 +1,243 @@
+"""Random-Schedule: the paper's DCFSR approximation (Algorithm 2).
+
+DCFSR chooses a route *and* a rate schedule per flow.  It is strongly
+NP-hard (Theorem 2), so the paper approximates:
+
+1. **Relax** to a multi-step fractional MCF (densities, multi-path,
+   free power toggling) and solve each elementary interval by convex
+   programming — :mod:`repro.core.relaxation`.
+2. **Extract candidate paths** per flow per interval with fractional
+   weights (the Frank–Wolfe solver returns them natively).
+3. **Round**: aggregate weights across intervals
+   (``w_bar_P = sum_k w_P(k) |I_k| / (d_i - r_i)``) and draw one path per
+   flow — :mod:`repro.routing.rounding`.
+4. **Schedule**: transmit each flow at its density ``D_i`` across its whole
+   span on the drawn path; per-link EDF forwards interval-by-interval
+   (Theorem 4 guarantees every deadline is met because each interval's
+   arrivals exactly fit at rate ``sum of active densities``).
+
+The rounding does not guarantee the link-capacity constraint; following the
+paper we re-draw until the realized schedule is capacity-feasible (or a
+retry budget is exhausted, in which case the best attempt is returned and
+flagged).  The relaxation objective is also a certified lower bound on the
+optimum, which is the normalization used throughout Figure 2.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.core.relaxation import (
+    RelaxationResult,
+    default_cost,
+    solve_relaxation,
+)
+from repro.errors import ValidationError
+from repro.flows.flow import FlowSet
+from repro.flows.intervals import TimeGrid
+from repro.power.model import PowerModel
+from repro.routing.mcflow import FrankWolfeSolver
+from repro.routing.rounding import aggregate_path_weights, sample_path
+from repro.scheduling.schedule import (
+    EnergyBreakdown,
+    FlowSchedule,
+    Schedule,
+    Segment,
+)
+from repro.topology.base import Topology
+
+__all__ = [
+    "DcfsrResult",
+    "solve_dcfsr",
+    "round_schedule",
+    "round_schedule_deterministic",
+]
+
+Path = tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class DcfsrResult:
+    """Outcome of Random-Schedule.
+
+    Attributes
+    ----------
+    schedule:
+        The rounded schedule (one path per flow, constant density rates).
+    energy:
+        ``Phi_f`` of the returned schedule.
+    lower_bound:
+        The relaxation objective — a lower bound on the DCFSR optimum; the
+        paper's Figure 2 normalizes by this value.
+    relaxation:
+        The underlying per-interval fractional solutions.
+    rounding_weights:
+        Per flow, the aggregated ``w_bar`` path distribution it was drawn
+        from (useful for ablations on rounding variance).
+    attempts:
+        Number of rounding draws performed (1 = first draw was feasible).
+    capacity_feasible:
+        Whether the returned schedule respects every link capacity.
+    """
+
+    schedule: Schedule
+    energy: EnergyBreakdown
+    lower_bound: float
+    relaxation: RelaxationResult
+    rounding_weights: Mapping[int | str, Mapping[Path, float]]
+    attempts: int
+    capacity_feasible: bool
+
+    @property
+    def approximation_ratio(self) -> float:
+        """``Phi_f(schedule) / lower_bound`` — an upper bound on the true
+        approximation ratio (the real optimum sits between the two)."""
+        return self.energy.total / self.lower_bound
+
+
+def round_schedule(
+    flows: FlowSet,
+    relaxation: RelaxationResult,
+    rng: np.random.Generator,
+) -> tuple[Schedule, dict[int | str, dict[Path, float]]]:
+    """One randomized-rounding draw: a single path and density-rate profile
+    per flow.  Returns the schedule and the ``w_bar`` distributions used."""
+    weights: dict[int | str, dict[Path, float]] = {}
+    flow_schedules = []
+    for flow in flows:
+        fractions = relaxation.fractions_for_flow(flow.id)
+        w_bar = aggregate_path_weights(flow, fractions)
+        weights[flow.id] = w_bar
+        path = sample_path(w_bar, rng)
+        flow_schedules.append(
+            FlowSchedule(
+                flow=flow,
+                path=path,
+                segments=(
+                    Segment(
+                        start=flow.release,
+                        end=flow.deadline,
+                        rate=flow.density,
+                    ),
+                ),
+            )
+        )
+    return Schedule(flow_schedules), weights
+
+
+def round_schedule_deterministic(
+    flows: FlowSet,
+    relaxation: RelaxationResult,
+) -> tuple[Schedule, dict[int | str, dict[Path, float]]]:
+    """Derandomized rounding: every flow takes its maximum-``w_bar`` path.
+
+    A cheap stand-in for the method of conditional expectations: instead of
+    sampling the ``w_bar`` distribution, commit to its mode.  Removes all
+    run-to-run variance at the cost of occasionally over-concentrating
+    correlated flows on a popular path; the rounding ablation quantifies
+    the trade-off against random draws.
+    """
+    weights: dict[int | str, dict[Path, float]] = {}
+    flow_schedules = []
+    for flow in flows:
+        fractions = relaxation.fractions_for_flow(flow.id)
+        w_bar = aggregate_path_weights(flow, fractions)
+        weights[flow.id] = w_bar
+        path = max(sorted(w_bar), key=lambda p: w_bar[p])
+        flow_schedules.append(
+            FlowSchedule(
+                flow=flow,
+                path=path,
+                segments=(
+                    Segment(
+                        start=flow.release,
+                        end=flow.deadline,
+                        rate=flow.density,
+                    ),
+                ),
+            )
+        )
+    return Schedule(flow_schedules), weights
+
+
+def solve_dcfsr(
+    flows: FlowSet,
+    topology: Topology,
+    power: PowerModel,
+    seed: int | np.random.Generator = 0,
+    max_attempts: int = 25,
+    fw_max_iterations: int = 60,
+    fw_gap_tolerance: float = 1e-3,
+    rounding: str = "random",
+) -> DcfsrResult:
+    """Run the full Random-Schedule pipeline.
+
+    Parameters
+    ----------
+    flows, topology, power:
+        The DCFSR instance.  With an infinite-capacity power model the
+        first rounding draw is always accepted.
+    seed:
+        Seed or generator for the rounding randomness.
+    max_attempts:
+        Rounding retries before giving up on capacity feasibility; the
+        best (lowest-energy) draw seen is returned either way, preferring
+        feasible draws.
+    fw_max_iterations, fw_gap_tolerance:
+        Frank–Wolfe stopping criteria for each interval's F-MCF solve.
+    rounding:
+        ``"random"`` (the paper's Algorithm 2) or ``"deterministic"``
+        (argmax-``w_bar`` derandomization; single attempt, no variance).
+    """
+    if max_attempts < 1:
+        raise ValidationError(f"max_attempts must be >= 1, got {max_attempts}")
+    if rounding not in ("random", "deterministic"):
+        raise ValidationError(f"unknown rounding mode {rounding!r}")
+    flows.validate_against(topology)
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+
+    grid = TimeGrid(flows)
+    solver = FrankWolfeSolver(
+        topology,
+        default_cost(power),
+        max_iterations=fw_max_iterations,
+        gap_tolerance=fw_gap_tolerance,
+    )
+    relaxation = solve_relaxation(flows, solver, grid)
+    lower_bound = relaxation.lower_bound
+
+    horizon = grid.horizon
+    best: tuple[bool, float, Schedule, dict] | None = None
+    attempts = 0
+    draw_budget = 1 if rounding == "deterministic" else max_attempts
+    for attempts in range(1, draw_budget + 1):
+        if rounding == "deterministic":
+            schedule, weights = round_schedule_deterministic(flows, relaxation)
+        else:
+            schedule, weights = round_schedule(flows, relaxation, rng)
+        feasible = (
+            not math.isfinite(power.capacity)
+            or schedule.max_link_rate() <= power.capacity * (1.0 + 1e-9)
+        )
+        energy = schedule.energy(power, horizon=horizon).total
+        key = (feasible, -energy)
+        if best is None or key > (best[0], -best[1]):
+            best = (feasible, energy, schedule, weights)
+        if feasible:
+            break
+
+    assert best is not None
+    feasible, _energy, schedule, weights = best
+    return DcfsrResult(
+        schedule=schedule,
+        energy=schedule.energy(power, horizon=horizon),
+        lower_bound=lower_bound,
+        relaxation=relaxation,
+        rounding_weights=weights,
+        attempts=attempts,
+        capacity_feasible=feasible,
+    )

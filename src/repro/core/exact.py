@@ -1,0 +1,189 @@
+"""Exact DCFSR by exhaustive path-assignment enumeration (tiny instances).
+
+DCFSR = (choose a path per flow) + (DCFS on the chosen paths).  Since
+Most-Critical-First solves the inner DCFS optimally under the paper's
+virtual-circuit model, enumerating path assignments and taking the best
+energy yields the exact optimum for that model.  Exponential, of course —
+this exists to
+
+* empirically verify the Theorem 2 / Theorem 3 reduction arithmetic, and
+* measure Random-Schedule's true approximation ratio on small instances.
+
+For the reductions' *unit-time parallel-link* instances we also provide
+:func:`exact_parallel_assignment_energy`, which computes the optimal
+assignment energy directly (each group of flows sharing a relay path runs
+at the group's total-size rate), matching the closed forms in the proofs.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import networkx as nx
+
+from repro.core.dcfs import solve_dcfs
+from repro.errors import InfeasibleError, ValidationError
+from repro.flows.flow import FlowSet
+from repro.power.model import PowerModel
+from repro.scheduling.schedule import EnergyBreakdown, Schedule
+from repro.topology.base import Topology
+
+__all__ = ["ExactResult", "solve_dcfsr_exact", "exact_parallel_assignment_energy"]
+
+Path = tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class ExactResult:
+    """The optimal assignment found by exhaustive search."""
+
+    schedule: Schedule
+    energy: EnergyBreakdown
+    paths: Mapping[int | str, Path]
+    assignments_tried: int
+
+
+def _candidate_paths(
+    topology: Topology, src: str, dst: str, max_paths: int, max_hops: int | None
+) -> list[Path]:
+    """Up to ``max_paths`` shortest simple paths (hop metric)."""
+    generator = nx.shortest_simple_paths(topology.graph, src, dst)
+    paths: list[Path] = []
+    for path in generator:
+        if max_hops is not None and len(path) - 1 > max_hops:
+            break
+        paths.append(tuple(path))
+        if len(paths) >= max_paths:
+            break
+    if not paths:
+        raise ValidationError(f"no path between {src!r} and {dst!r}")
+    return paths
+
+
+def solve_dcfsr_exact(
+    flows: FlowSet,
+    topology: Topology,
+    power: PowerModel,
+    max_paths_per_flow: int = 6,
+    max_hops: int | None = None,
+    max_assignments: int = 200_000,
+) -> ExactResult:
+    """Enumerate path assignments, run Most-Critical-First on each, return
+    the minimum-``Phi_f`` solution.
+
+    Raises
+    ------
+    ValidationError
+        When the assignment space exceeds ``max_assignments`` (refuse
+        rather than silently sample).
+    InfeasibleError
+        When *every* assignment is scheduling-infeasible.
+    """
+    flows.validate_against(topology)
+    candidates = {
+        flow.id: _candidate_paths(
+            topology, flow.src, flow.dst, max_paths_per_flow, max_hops
+        )
+        for flow in flows
+    }
+    space = math.prod(len(c) for c in candidates.values())
+    if space > max_assignments:
+        raise ValidationError(
+            f"assignment space {space} exceeds max_assignments "
+            f"{max_assignments}; shrink the instance or raise the cap"
+        )
+
+    t0 = min(f.release for f in flows)
+    t1 = max(f.deadline for f in flows)
+    ids = list(flows.ids)
+    best: ExactResult | None = None
+    tried = 0
+    for combo in itertools.product(*(candidates[i] for i in ids)):
+        tried += 1
+        paths = dict(zip(ids, combo))
+        try:
+            result = solve_dcfs(flows, topology, paths, power)
+        except InfeasibleError:
+            continue
+        energy = result.schedule.energy(power, horizon=(t0, t1))
+        if best is None or energy.total < best.energy.total - 1e-12:
+            best = ExactResult(
+                schedule=result.schedule,
+                energy=energy,
+                paths=paths,
+                assignments_tried=tried,
+            )
+    if best is None:
+        raise InfeasibleError("every path assignment was scheduling-infeasible")
+    return ExactResult(
+        schedule=best.schedule,
+        energy=best.energy,
+        paths=best.paths,
+        assignments_tried=tried,
+    )
+
+
+def exact_parallel_assignment_energy(
+    sizes: Sequence[float],
+    num_paths: int,
+    power: PowerModel,
+    links_per_path: int = 2,
+    horizon: float = 1.0,
+) -> tuple[float, tuple[tuple[int, ...], ...]]:
+    """Optimal energy for the reductions' parallel-path instances.
+
+    All flows share release 0 and deadline ``horizon``; assigning a group
+    ``G`` of flows to one relay path makes each of its ``links_per_path``
+    links run at rate ``sum(G) / horizon`` for the whole horizon, costing
+    ``links_per_path * horizon * f(sum(G)/horizon)``.  The function
+    enumerates set partitions of the flows into at most ``num_paths``
+    groups and returns the cheapest total energy and the grouping.
+
+    Only sensible for <= ~12 flows (Bell-number growth).
+    """
+    n = len(sizes)
+    if n == 0:
+        raise ValidationError("need at least one flow size")
+    if n > 12:
+        raise ValidationError(f"too many flows for partition enumeration: {n}")
+    if num_paths < 1:
+        raise ValidationError("need at least one path")
+
+    best_energy = math.inf
+    best_grouping: tuple[tuple[int, ...], ...] = ()
+
+    # Enumerate set partitions via restricted growth strings.
+    def partitions(assignment: list[int], idx: int, num_groups: int):
+        nonlocal best_energy, best_grouping
+        if idx == n:
+            groups: dict[int, list[int]] = {}
+            for item, g in enumerate(assignment):
+                groups.setdefault(g, []).append(item)
+            energy = 0.0
+            feasible = True
+            for members in groups.values():
+                rate = sum(sizes[m] for m in members) / horizon
+                if rate > power.capacity * (1.0 + 1e-12):
+                    feasible = False
+                    break
+                energy += links_per_path * horizon * power.power(rate)
+            if feasible and energy < best_energy - 1e-15:
+                best_energy = energy
+                best_grouping = tuple(
+                    tuple(sorted(m)) for m in groups.values()
+                )
+            return
+        for g in range(min(num_groups + 1, num_paths)):
+            assignment.append(g)
+            partitions(assignment, idx + 1, max(num_groups, g + 1))
+            assignment.pop()
+
+    partitions([], 0, 0)
+    if not math.isfinite(best_energy):
+        raise InfeasibleError(
+            "no capacity-feasible grouping exists for the parallel instance"
+        )
+    return best_energy, best_grouping

@@ -1,0 +1,44 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class.  Subclasses communicate *which* stage of the pipeline
+failed: input validation, infeasibility of a scheduling instance, capacity
+violations discovered during verification, or numerical solver trouble.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ValidationError(ReproError):
+    """An input object (flow, topology, parameter) is malformed."""
+
+
+class TopologyError(ReproError):
+    """A topology is structurally invalid or a node/edge lookup failed."""
+
+
+class InfeasibleError(ReproError):
+    """No schedule can meet every deadline for the given instance.
+
+    Raised by the schedulers when the workload is over-constrained, for
+    example when a flow's span has zero available time on a link that must
+    carry it.
+    """
+
+
+class CapacityError(ReproError):
+    """A produced schedule drives some link beyond its maximum rate ``C``.
+
+    The paper's minimum-energy schedule legitimately relaxes the capacity
+    constraint (Section III-A); this error is raised only by *strict*
+    verification entry points.  Non-strict entry points report violations in
+    a :class:`repro.scheduling.schedule.FeasibilityReport` instead.
+    """
+
+
+class SolverError(ReproError):
+    """A numerical solver failed to converge or returned garbage."""

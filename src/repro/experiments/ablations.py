@@ -1,0 +1,323 @@
+"""Ablation experiments beyond the paper's Figure 2 (DESIGN.md ABL-*).
+
+Each function regenerates one ablation series; the corresponding
+``benchmarks/bench_ablation_*.py`` harness prints its table.
+
+* :func:`sigma_ablation` — how the idle-power (power-down) term shifts the
+  RS vs SP+MCF comparison.  With sigma > 0, consolidating flows onto fewer
+  links pays twice: fewer active links *and* better amortized idle energy.
+* :func:`lambda_ablation` — sensitivity to the interval-granularity factor
+  ``lambda`` (Theorem 6's leading term): same workload shape, increasingly
+  skewed interval lengths.
+* :func:`rounding_ablation` — rounding variance: distribution of RS energy
+  over repeated independent rounding draws from one relaxation.
+* :func:`topology_ablation` — RS vs SP+MCF across structurally different
+  DCN fabrics at matched scale.
+"""
+
+from __future__ import annotations
+
+from statistics import mean, stdev
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.reporting import Table
+from repro.core.baselines import greedy_marginal_routing, sp_mcf
+from repro.core.dcfsr import round_schedule, solve_dcfsr
+from repro.core.relaxation import default_cost, solve_relaxation
+from repro.experiments.harness import run_comparison
+from repro.flows.flow import Flow, FlowSet
+from repro.flows.intervals import TimeGrid
+from repro.flows.workloads import paper_workload
+from repro.power.model import PowerModel
+from repro.routing.mcflow import FrankWolfeSolver
+from repro.topology.base import Topology
+from repro.topology.bcube import bcube
+from repro.topology.fattree import fat_tree
+from repro.topology.leafspine import leaf_spine
+from repro.topology.random_graphs import jellyfish
+from repro.topology.vl2 import vl2
+
+__all__ = [
+    "sigma_ablation",
+    "lambda_ablation",
+    "rounding_ablation",
+    "rounding_mode_ablation",
+    "topology_ablation",
+    "failure_ablation",
+    "online_ablation",
+]
+
+
+def sigma_ablation(
+    sigmas: Sequence[float] = (0.0, 0.5, 1.0, 2.0, 4.0),
+    num_flows: int = 60,
+    fat_tree_k: int = 4,
+    runs: int = 3,
+    base_seed: int = 0,
+) -> Table:
+    """RS vs SP+MCF normalized energy as idle power sigma grows."""
+    topology = fat_tree(fat_tree_k)
+    table = Table(
+        title="ABL-SIGMA: idle power vs normalized energy (LB = 1)",
+        columns=("sigma", "RS mean", "SP+MCF mean", "RS/SP ratio"),
+    )
+    for sigma in sigmas:
+        power = PowerModel(sigma=sigma, mu=1.0, alpha=2.0)
+        point = run_comparison(
+            topology,
+            power,
+            workload_factory=lambda seed: paper_workload(
+                topology, num_flows, seed=seed
+            ),
+            label=f"sigma={sigma:g}",
+            runs=runs,
+            base_seed=base_seed,
+        )
+        rs, sp = point.mean_ratio("RS"), point.mean_ratio("SP+MCF")
+        table.add_row(sigma, rs, sp, rs / sp)
+    return table
+
+
+def _skewed_workload(
+    topology: Topology, num_flows: int, skew: float, seed: int
+) -> FlowSet:
+    """Workload whose interval lengths get progressively more skewed.
+
+    ``skew = 0`` reproduces the uniform paper workload; larger skews
+    concentrate breakpoints by raising uniform draws to a power, shrinking
+    the smallest interval and inflating ``lambda``.
+    """
+    rng = np.random.default_rng(seed)
+    hosts = topology.hosts
+    flows = []
+    for i in range(num_flows):
+        while True:
+            u = rng.uniform(0.0, 1.0, size=2) ** (1.0 + skew)
+            a, b = sorted((1.0 + 99.0 * u).tolist())
+            if b - a >= 1.0:
+                break
+        src, dst = (hosts[int(i)] for i in rng.choice(len(hosts), 2, replace=False))
+        size = max(float(rng.normal(10.0, 3.0)), 1e-3)
+        flows.append(Flow(id=i, src=src, dst=dst, size=size, release=a, deadline=b))
+    return FlowSet(flows)
+
+
+def lambda_ablation(
+    skews: Sequence[float] = (0.0, 1.0, 2.0, 4.0),
+    num_flows: int = 50,
+    fat_tree_k: int = 4,
+    runs: int = 3,
+    base_seed: int = 0,
+) -> Table:
+    """Does a larger lambda (Theorem 6 factor) hurt RS in practice?"""
+    topology = fat_tree(fat_tree_k)
+    power = PowerModel.quadratic()
+    table = Table(
+        title="ABL-LAMBDA: interval skew vs RS quality",
+        columns=("skew", "mean lambda", "RS mean", "SP+MCF mean"),
+    )
+    for skew in skews:
+        lambdas, rs_ratios, sp_ratios = [], [], []
+        for run in range(runs):
+            seed = base_seed + 1000 * run
+            flows = _skewed_workload(topology, num_flows, skew, seed)
+            lambdas.append(TimeGrid(flows).lam)
+            rs = solve_dcfsr(flows, topology, power, seed=seed)
+            rs_ratios.append(rs.energy.total / rs.lower_bound)
+            sp = sp_mcf(flows, topology, power)
+            sp_ratios.append(sp.energy.total / rs.lower_bound)
+        table.add_row(skew, mean(lambdas), mean(rs_ratios), mean(sp_ratios))
+    return table
+
+
+def rounding_ablation(
+    num_flows: int = 60,
+    fat_tree_k: int = 4,
+    draws: int = 30,
+    seed: int = 0,
+) -> Table:
+    """Variance of Random-Schedule's energy across rounding draws.
+
+    Solves the relaxation once, then redraws the rounding ``draws`` times.
+    The spread quantifies how much the "repeat until feasible/lucky" loop
+    can buy.
+    """
+    topology = fat_tree(fat_tree_k)
+    power = PowerModel.quadratic()
+    flows = paper_workload(topology, num_flows, seed=seed)
+    grid = TimeGrid(flows)
+    solver = FrankWolfeSolver(topology, default_cost(power))
+    relaxation = solve_relaxation(flows, solver, grid)
+    lb = relaxation.lower_bound
+    rng = np.random.default_rng(seed)
+    ratios = []
+    for _ in range(draws):
+        schedule, _w = round_schedule(flows, relaxation, rng)
+        ratios.append(schedule.energy(power, horizon=grid.horizon).total / lb)
+    table = Table(
+        title=f"ABL-ROUND: {draws} rounding draws from one relaxation (LB = 1)",
+        columns=("draws", "min", "mean", "max", "std"),
+    )
+    table.add_row(draws, min(ratios), mean(ratios), max(ratios), stdev(ratios))
+    return table
+
+
+def online_ablation(
+    flow_counts: Sequence[int] = (20, 40, 60, 80),
+    fat_tree_k: int = 4,
+    runs: int = 3,
+    base_seed: int = 0,
+) -> Table:
+    """The price of being online: Online+Density vs RS vs SP+MCF.
+
+    The online scheduler sees flows only at release time and commits
+    irrevocably; offline Random-Schedule sees everything.  The gap between
+    the two columns is the empirical cost of no clairvoyance.
+    """
+    from repro.core.online import solve_online_density
+
+    topology = fat_tree(fat_tree_k)
+    power = PowerModel.quadratic()
+    table = Table(
+        title="ABL-ONLINE: normalized energy, online vs offline (LB = 1)",
+        columns=("flows", "Online+Density", "RS (offline)", "SP+MCF"),
+    )
+    for n in flow_counts:
+        point = run_comparison(
+            topology,
+            power,
+            workload_factory=lambda seed, n=n: paper_workload(
+                topology, n, seed=seed
+            ),
+            label=str(n),
+            runs=runs,
+            base_seed=base_seed,
+            algorithms={
+                "Online": lambda f, t, p: solve_online_density(
+                    f, t, p
+                ).energy.total
+            },
+        )
+        table.add_row(
+            n,
+            point.mean_ratio("Online"),
+            point.mean_ratio("RS"),
+            point.mean_ratio("SP+MCF"),
+        )
+    return table
+
+
+def rounding_mode_ablation(
+    num_flows: int = 60,
+    fat_tree_k: int = 4,
+    runs: int = 5,
+    base_seed: int = 0,
+) -> Table:
+    """Random rounding (Algorithm 2) vs argmax-``w_bar`` derandomization.
+
+    Both modes share the same relaxation per run; the table reports the
+    normalized energies side by side.
+    """
+    topology = fat_tree(fat_tree_k)
+    power = PowerModel.quadratic()
+    table = Table(
+        title="ABL-ROUND-MODE: random vs deterministic rounding (LB = 1)",
+        columns=("run", "random", "deterministic"),
+    )
+    for run in range(runs):
+        seed = base_seed + 1000 * run
+        flows = paper_workload(topology, num_flows, seed=seed)
+        random_result = solve_dcfsr(flows, topology, power, seed=seed)
+        det_result = solve_dcfsr(
+            flows, topology, power, seed=seed, rounding="deterministic"
+        )
+        lb = random_result.lower_bound
+        table.add_row(
+            run,
+            random_result.energy.total / lb,
+            det_result.energy.total / lb,
+        )
+    return table
+
+
+def failure_ablation(
+    failure_counts: Sequence[int] = (0, 2, 4, 8),
+    num_flows: int = 50,
+    fat_tree_k: int = 4,
+    seed: int = 0,
+) -> Table:
+    """Normalized energy on progressively degraded fabrics.
+
+    Fails switch-to-switch links (hosts stay connected), re-solves both
+    algorithms on the survivor topology with the *same* workload, and
+    normalizes by the degraded fabric's own lower bound.  Shows whether
+    the RS advantage survives the loss of path diversity.
+    """
+    from repro.sim.failures import fail_links
+
+    base = fat_tree(fat_tree_k)
+    power = PowerModel.quadratic()
+    flows = paper_workload(base, num_flows, seed=seed)
+    table = Table(
+        title="ABL-FAIL: link failures vs normalized energy (per-fabric LB = 1)",
+        columns=("failed links", "surviving links", "RS", "SP+MCF"),
+    )
+    for count in failure_counts:
+        topology, _failed = fail_links(base, count, seed=seed + count)
+        rs = solve_dcfsr(flows, topology, power, seed=seed)
+        sp = sp_mcf(flows, topology, power)
+        lb = rs.lower_bound
+        table.add_row(
+            count,
+            topology.num_edges,
+            rs.energy.total / lb,
+            sp.energy.total / lb,
+        )
+    return table
+
+
+def topology_ablation(
+    num_flows: int = 50,
+    runs: int = 3,
+    base_seed: int = 0,
+) -> Table:
+    """RS vs SP+MCF vs Greedy+MCF across DCN fabrics of comparable size."""
+    fabrics: list[Topology] = [
+        fat_tree(4),
+        bcube(4, 1),
+        vl2(4, 4, hosts_per_tor=4),
+        leaf_spine(4, 4, hosts_per_leaf=4),
+        jellyfish(8, 3, hosts_per_switch=2, seed=1),
+    ]
+    power = PowerModel.quadratic()
+    table = Table(
+        title="ABL-TOPO: normalized energy by fabric (LB = 1)",
+        columns=("fabric", "hosts", "links", "RS", "SP+MCF", "Greedy+MCF"),
+    )
+    for topology in fabrics:
+        point = run_comparison(
+            topology,
+            power,
+            workload_factory=lambda seed, t=topology: paper_workload(
+                t, num_flows, seed=seed
+            ),
+            label=topology.name,
+            runs=runs,
+            base_seed=base_seed,
+            algorithms={
+                "Greedy+MCF": lambda f, t, p: greedy_marginal_routing(
+                    f, t, p
+                ).energy.total
+            },
+        )
+        table.add_row(
+            topology.name,
+            len(topology.hosts),
+            topology.num_edges,
+            point.mean_ratio("RS"),
+            point.mean_ratio("SP+MCF"),
+            point.mean_ratio("Greedy+MCF"),
+        )
+    return table

@@ -1,0 +1,142 @@
+"""Figure 2 reproduction: approximation performance of Random-Schedule.
+
+Paper protocol (Section V-C):
+
+* topology: a DCN with 80 switches and 128 servers — a k = 8 fat-tree;
+* horizon [1, 100]; releases/deadlines uniform in the horizon;
+* flow sizes drawn from N(10, 3);
+* number of flows swept over {40, 80, 120, 160, 200};
+* power functions f(x) = x^2 and f(x) = x^4;
+* three series, all normalized by the fractional lower bound (LB = 1):
+  Random-Schedule (RS) and Shortest-Path + Most-Critical-First (SP+MCF);
+* 10 independent runs per point.
+
+Expected shape (the paper plots, but does not tabulate, the values): RS
+stays within a small factor of LB and *flattens/decreases* as flows are
+added (more flows -> denser relaxation -> rounding concentrates), while
+SP+MCF keeps *growing* because shortest paths pile flows onto the same few
+links and the superadditive power function punishes the stacking.
+
+Run as a module for the full-scale experiment::
+
+    python -m repro.experiments.figure2 --alpha 2 --runs 10
+
+The pytest-benchmark harness (`benchmarks/bench_figure2.py`) runs a
+reduced-runs version of the same code.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analysis.reporting import Table
+from repro.experiments.harness import ComparisonPoint, run_comparison
+from repro.flows.workloads import paper_workload
+from repro.power.model import PowerModel
+from repro.topology.fattree import fat_tree
+
+__all__ = ["Figure2Result", "run_figure2", "figure2_table"]
+
+#: The paper's sweep over the number of flows.
+PAPER_FLOW_COUNTS: tuple[int, ...] = (40, 80, 120, 160, 200)
+
+
+@dataclass(frozen=True)
+class Figure2Result:
+    """One Figure 2 panel (one alpha): a series of comparison points."""
+
+    alpha: float
+    points: tuple[ComparisonPoint, ...]
+
+    def series(self, name: str) -> list[float]:
+        """The plotted series (mean normalized energy) for one algorithm."""
+        return [p.mean_ratio(name) for p in self.points]
+
+
+def run_figure2(
+    alpha: float = 2.0,
+    flow_counts: Sequence[int] = PAPER_FLOW_COUNTS,
+    runs: int = 10,
+    fat_tree_k: int = 8,
+    horizon: tuple[float, float] = (1.0, 100.0),
+    base_seed: int = 0,
+    fw_max_iterations: int = 40,
+    fw_gap_tolerance: float = 3e-3,
+) -> Figure2Result:
+    """Regenerate one panel of Figure 2.
+
+    Defaults reproduce the paper's full-scale setting; smaller
+    ``fat_tree_k``/``runs`` give fast smoke versions for CI.
+    """
+    topology = fat_tree(fat_tree_k)
+    power = PowerModel(sigma=0.0, mu=1.0, alpha=alpha)
+    points = []
+    for n in flow_counts:
+        point = run_comparison(
+            topology,
+            power,
+            workload_factory=lambda seed, n=n: paper_workload(
+                topology, n, horizon=horizon, seed=seed
+            ),
+            label=str(n),
+            runs=runs,
+            base_seed=base_seed,
+            fw_max_iterations=fw_max_iterations,
+            fw_gap_tolerance=fw_gap_tolerance,
+        )
+        points.append(point)
+    return Figure2Result(alpha=alpha, points=tuple(points))
+
+
+def figure2_table(result: Figure2Result) -> Table:
+    """Render a Figure 2 panel as the table of its plotted series."""
+    table = Table(
+        title=(
+            f"Figure 2 (f(x) = x^{result.alpha:g}): normalized energy vs "
+            f"number of flows (LB = 1)"
+        ),
+        columns=("flows", "LB", "RS mean", "RS std", "SP+MCF mean", "SP+MCF std"),
+    )
+    for point in result.points:
+        table.add_row(
+            point.label,
+            1.0,
+            point.mean_ratio("RS"),
+            point.std_ratio("RS"),
+            point.mean_ratio("SP+MCF"),
+            point.std_ratio("SP+MCF"),
+        )
+    return table
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--alpha", type=float, default=2.0, choices=None)
+    parser.add_argument("--runs", type=int, default=10)
+    parser.add_argument("--fat-tree-k", type=int, default=8)
+    parser.add_argument(
+        "--flows", type=int, nargs="+", default=list(PAPER_FLOW_COUNTS)
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--csv", type=str, default=None, help="write CSV here")
+    args = parser.parse_args(argv)
+
+    result = run_figure2(
+        alpha=args.alpha,
+        flow_counts=tuple(args.flows),
+        runs=args.runs,
+        fat_tree_k=args.fat_tree_k,
+        base_seed=args.seed,
+    )
+    table = figure2_table(result)
+    print(table.render())
+    if args.csv:
+        table.save_csv(args.csv)
+        print(f"wrote {args.csv}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

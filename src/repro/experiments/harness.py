@@ -1,0 +1,99 @@
+"""Experiment harness: run algorithm suites over seeded workloads.
+
+Every experiment in this library boils down to: draw a workload, run some
+algorithms, normalize energies by the fractional lower bound, aggregate
+over repetitions.  :func:`run_comparison` packages that protocol (the
+paper's Figure 2 protocol) once, so the figure and the ablations stay
+consistent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import mean, stdev
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.core.baselines import sp_mcf
+from repro.core.dcfsr import solve_dcfsr
+from repro.errors import ValidationError
+from repro.flows.flow import FlowSet
+from repro.power.model import PowerModel
+from repro.topology.base import Topology
+
+__all__ = ["ComparisonPoint", "run_comparison"]
+
+
+@dataclass(frozen=True)
+class ComparisonPoint:
+    """Aggregated normalized energies at one sweep point.
+
+    ``ratios`` maps an algorithm name to per-run ``Phi_f / LB`` values;
+    ``mean_ratio``/``std_ratio`` aggregate them.
+    """
+
+    label: str
+    runs: int
+    ratios: Mapping[str, tuple[float, ...]]
+
+    def mean_ratio(self, name: str) -> float:
+        return mean(self.ratios[name])
+
+    def std_ratio(self, name: str) -> float:
+        values = self.ratios[name]
+        return stdev(values) if len(values) > 1 else 0.0
+
+
+def run_comparison(
+    topology: Topology,
+    power: PowerModel,
+    workload_factory: Callable[[int], FlowSet],
+    label: str,
+    runs: int = 10,
+    base_seed: int = 0,
+    algorithms: Mapping[str, Callable] | None = None,
+    fw_max_iterations: int = 40,
+    fw_gap_tolerance: float = 3e-3,
+) -> ComparisonPoint:
+    """Run the Figure-2 protocol at one sweep point.
+
+    Parameters
+    ----------
+    workload_factory:
+        ``seed -> FlowSet``; invoked once per run with distinct seeds.
+    algorithms:
+        Extra algorithms beyond the default {RS, SP+MCF}: name ->
+        ``fn(flows, topology, power) -> total energy``.  RS is always run
+        (it supplies the lower bound).
+    """
+    if runs < 1:
+        raise ValidationError(f"runs must be >= 1, got {runs}")
+    ratio_lists: dict[str, list[float]] = {"RS": [], "SP+MCF": []}
+    extra = dict(algorithms or {})
+    for name in extra:
+        ratio_lists[name] = []
+
+    for run in range(runs):
+        seed = base_seed + 1000 * run
+        flows = workload_factory(seed)
+        rs = solve_dcfsr(
+            flows,
+            topology,
+            power,
+            seed=np.random.default_rng(seed),
+            fw_max_iterations=fw_max_iterations,
+            fw_gap_tolerance=fw_gap_tolerance,
+        )
+        lb = rs.lower_bound
+        ratio_lists["RS"].append(rs.energy.total / lb)
+        sp = sp_mcf(flows, topology, power)
+        ratio_lists["SP+MCF"].append(sp.energy.total / lb)
+        for name, fn in extra.items():
+            ratio_lists[name].append(fn(flows, topology, power) / lb)
+
+    return ComparisonPoint(
+        label=label,
+        runs=runs,
+        ratios={k: tuple(v) for k, v in ratio_lists.items()},
+    )

@@ -1,0 +1,65 @@
+"""CLI runner for the ablation suite.
+
+Usage::
+
+    python -m repro.experiments.runner --which sigma
+    python -m repro.experiments.runner --which all --csv-dir results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+from typing import Callable, Sequence
+
+from repro.analysis.reporting import Table
+from repro.experiments.ablations import (
+    failure_ablation,
+    online_ablation,
+    lambda_ablation,
+    rounding_ablation,
+    rounding_mode_ablation,
+    sigma_ablation,
+    topology_ablation,
+)
+
+__all__ = ["main", "ABLATIONS"]
+
+ABLATIONS: dict[str, Callable[[], Table]] = {
+    "sigma": sigma_ablation,
+    "lambda": lambda_ablation,
+    "rounding": rounding_ablation,
+    "rounding-mode": rounding_mode_ablation,
+    "topology": topology_ablation,
+    "failures": failure_ablation,
+    "online": online_ablation,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--which",
+        choices=sorted(ABLATIONS) + ["all"],
+        default="all",
+        help="which ablation to run",
+    )
+    parser.add_argument(
+        "--csv-dir", type=str, default=None, help="also write CSVs here"
+    )
+    args = parser.parse_args(argv)
+
+    names = sorted(ABLATIONS) if args.which == "all" else [args.which]
+    for name in names:
+        table = ABLATIONS[name]()
+        print(table.render())
+        if args.csv_dir:
+            os.makedirs(args.csv_dir, exist_ok=True)
+            path = os.path.join(args.csv_dir, f"ablation_{name}.csv")
+            table.save_csv(path)
+            print(f"wrote {path}\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,25 @@
+"""Deadline-constrained flows, interval grids, and workload generators."""
+
+from repro.flows.flow import Flow, FlowSet
+from repro.flows.intervals import Interval, TimeGrid
+from repro.flows.workloads import (
+    datamining_sizes,
+    incast,
+    paper_workload,
+    poisson_arrivals,
+    shuffle,
+    websearch_sizes,
+)
+
+__all__ = [
+    "Flow",
+    "FlowSet",
+    "Interval",
+    "TimeGrid",
+    "paper_workload",
+    "incast",
+    "shuffle",
+    "poisson_arrivals",
+    "websearch_sizes",
+    "datamining_sizes",
+]

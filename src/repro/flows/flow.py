@@ -1,0 +1,178 @@
+"""Deadline-constrained flows (paper Section II-B).
+
+A flow ``j_i`` is a 5-tuple ``(w_i, r_i, d_i, p_i, q_i)``: ``w_i`` units of
+data must move from source ``p_i`` to destination ``q_i`` entirely inside
+the span ``S_i = [r_i, d_i]``.  Preemption is allowed; the *density*
+``D_i = w_i / (d_i - r_i)`` is the smallest constant rate that finishes the
+flow exactly at its deadline.
+
+:class:`FlowSet` is an immutable collection with the aggregate quantities
+the algorithms keep asking for (horizon, breakpoints, densities).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import ValidationError
+from repro.topology.base import Topology
+
+__all__ = ["Flow", "FlowSet"]
+
+
+@dataclass(frozen=True)
+class Flow:
+    """One deadline-constrained flow.
+
+    Parameters
+    ----------
+    id:
+        Unique identifier within a :class:`FlowSet` (int or str).
+    src, dst:
+        Endpoint node names; must be distinct.
+    size:
+        Amount of data ``w_i`` to transfer, strictly positive.
+    release:
+        Earliest time ``r_i`` the data is available.
+    deadline:
+        Hard completion time ``d_i``; must exceed ``release``.
+    """
+
+    id: int | str
+    src: str
+    dst: str
+    size: float
+    release: float
+    deadline: float
+
+    def __post_init__(self) -> None:
+        if self.src == self.dst:
+            raise ValidationError(f"flow {self.id!r}: src == dst == {self.src!r}")
+        if not self.size > 0:
+            raise ValidationError(f"flow {self.id!r}: size must be > 0, got {self.size}")
+        if not self.deadline > self.release:
+            raise ValidationError(
+                f"flow {self.id!r}: deadline {self.deadline} must exceed "
+                f"release {self.release}"
+            )
+
+    @property
+    def span(self) -> tuple[float, float]:
+        """``S_i = [r_i, d_i]``."""
+        return (self.release, self.deadline)
+
+    @property
+    def span_length(self) -> float:
+        """``d_i - r_i``."""
+        return self.deadline - self.release
+
+    @property
+    def density(self) -> float:
+        """``D_i = w_i / (d_i - r_i)`` (paper Section II-B)."""
+        return self.size / self.span_length
+
+    def is_active_at(self, t: float) -> bool:
+        """True when ``t`` lies in the closed span ``[r_i, d_i]``."""
+        return self.release <= t <= self.deadline
+
+    def covers_interval(self, start: float, end: float) -> bool:
+        """True when ``[start, end] \\subseteq S_i`` (flow active throughout)."""
+        return self.release <= start and end <= self.deadline
+
+
+class FlowSet:
+    """An immutable, id-indexed collection of flows.
+
+    Raises :class:`ValidationError` on duplicate ids.  Iteration order is
+    the construction order (deterministic).
+    """
+
+    def __init__(self, flows: Iterable[Flow]) -> None:
+        self._flows: tuple[Flow, ...] = tuple(flows)
+        if not self._flows:
+            raise ValidationError("FlowSet must contain at least one flow")
+        self._by_id: dict[int | str, Flow] = {}
+        for flow in self._flows:
+            if flow.id in self._by_id:
+                raise ValidationError(f"duplicate flow id {flow.id!r}")
+            self._by_id[flow.id] = flow
+
+    def __iter__(self) -> Iterator[Flow]:
+        return iter(self._flows)
+
+    def __len__(self) -> int:
+        return len(self._flows)
+
+    def __getitem__(self, flow_id: int | str) -> Flow:
+        try:
+            return self._by_id[flow_id]
+        except KeyError:
+            raise ValidationError(f"unknown flow id {flow_id!r}")
+
+    def __contains__(self, flow_id: int | str) -> bool:
+        return flow_id in self._by_id
+
+    @property
+    def ids(self) -> tuple[int | str, ...]:
+        return tuple(f.id for f in self._flows)
+
+    @property
+    def horizon(self) -> tuple[float, float]:
+        """``[T0, T1] = [min r_i, max d_i]``.
+
+        (The paper writes ``T1 = min d_i``, an evident typo — the horizon
+        must cover every deadline.)
+        """
+        return (
+            min(f.release for f in self._flows),
+            max(f.deadline for f in self._flows),
+        )
+
+    @property
+    def horizon_length(self) -> float:
+        t0, t1 = self.horizon
+        return t1 - t0
+
+    @property
+    def total_size(self) -> float:
+        return sum(f.size for f in self._flows)
+
+    @property
+    def max_density(self) -> float:
+        """``D = max_i D_i`` — appears in the approximation ratio."""
+        return max(f.density for f in self._flows)
+
+    def breakpoints(self) -> tuple[float, ...]:
+        """Sorted distinct release times and deadlines (the set ``T``)."""
+        return tuple(
+            sorted({f.release for f in self._flows} | {f.deadline for f in self._flows})
+        )
+
+    def active_at(self, t: float) -> tuple[Flow, ...]:
+        """Flows whose span contains ``t``."""
+        return tuple(f for f in self._flows if f.is_active_at(t))
+
+    def active_in(self, start: float, end: float) -> tuple[Flow, ...]:
+        """Flows active throughout ``[start, end]``."""
+        return tuple(f for f in self._flows if f.covers_interval(start, end))
+
+    def validate_against(self, topology: Topology) -> None:
+        """Ensure every flow's endpoints exist in ``topology``."""
+        for flow in self._flows:
+            if flow.src not in topology:
+                raise ValidationError(
+                    f"flow {flow.id!r}: unknown source {flow.src!r}"
+                )
+            if flow.dst not in topology:
+                raise ValidationError(
+                    f"flow {flow.id!r}: unknown destination {flow.dst!r}"
+                )
+
+    def subset(self, ids: Sequence[int | str]) -> "FlowSet":
+        """A new :class:`FlowSet` restricted to ``ids`` (order preserved)."""
+        return FlowSet(self[i] for i in ids)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        t0, t1 = self.horizon
+        return f"FlowSet(n={len(self)}, horizon=[{t0:g}, {t1:g}])"

@@ -1,0 +1,267 @@
+"""Workload generators.
+
+The paper's evaluation draws release times and deadlines uniformly from the
+horizon and flow sizes from ``N(10, 3)`` (Section V-C); that generator is
+:func:`paper_workload`.  The introduction motivates the deadline model with
+partition-aggregate search traffic, so we also provide the standard DCN
+workload shapes — incast (partition-aggregate), all-to-all shuffle, and
+heavy-tailed "web search" / "data mining" size mixes — used by the example
+applications and the ablation benchmarks.
+
+All generators take an explicit ``numpy`` random generator (or a seed) and
+are fully deterministic given it.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.flows.flow import Flow, FlowSet
+from repro.topology.base import Topology
+
+__all__ = [
+    "paper_workload",
+    "incast",
+    "shuffle",
+    "poisson_arrivals",
+    "websearch_sizes",
+    "datamining_sizes",
+]
+
+
+def _rng(seed: int | np.random.Generator) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def _pick_endpoints(
+    hosts: Sequence[str], rng: np.random.Generator
+) -> tuple[str, str]:
+    """Two distinct hosts, uniformly at random."""
+    i, j = rng.choice(len(hosts), size=2, replace=False)
+    return hosts[int(i)], hosts[int(j)]
+
+
+def _truncated_normal(
+    rng: np.random.Generator, mean: float, std: float, minimum: float
+) -> float:
+    """Draw ``N(mean, std)`` resampling until the value exceeds ``minimum``."""
+    for _ in range(1000):
+        value = float(rng.normal(mean, std))
+        if value > minimum:
+            return value
+    raise ValidationError(
+        f"could not draw a positive size from N({mean}, {std}) in 1000 tries"
+    )
+
+
+def paper_workload(
+    topology: Topology,
+    num_flows: int,
+    horizon: tuple[float, float] = (1.0, 100.0),
+    size_mean: float = 10.0,
+    size_std: float = 3.0,
+    min_span: float = 1.0,
+    seed: int | np.random.Generator = 0,
+) -> FlowSet:
+    """The ICDCS'14 evaluation workload (Section V-C).
+
+    Releases and deadlines are drawn uniformly from ``horizon`` (redrawn
+    until ``deadline - release >= min_span`` so densities stay finite and
+    the grid's ``lambda`` stays bounded); sizes are ``N(size_mean,
+    size_std)`` truncated to be positive; endpoints are distinct uniform
+    random hosts.
+    """
+    if num_flows < 1:
+        raise ValidationError(f"num_flows must be >= 1, got {num_flows}")
+    t0, t1 = horizon
+    if not t1 > t0:
+        raise ValidationError(f"empty horizon {horizon!r}")
+    if not 0 < min_span <= (t1 - t0):
+        raise ValidationError(
+            f"min_span must lie in (0, {t1 - t0}], got {min_span}"
+        )
+    rng = _rng(seed)
+    hosts = topology.hosts
+    if len(hosts) < 2:
+        raise ValidationError("topology must have at least 2 hosts")
+
+    flows = []
+    for i in range(num_flows):
+        while True:
+            a, b = sorted(rng.uniform(t0, t1, size=2).tolist())
+            if b - a >= min_span:
+                break
+        src, dst = _pick_endpoints(hosts, rng)
+        size = _truncated_normal(rng, size_mean, size_std, minimum=1e-3)
+        flows.append(
+            Flow(id=i, src=src, dst=dst, size=size, release=a, deadline=b)
+        )
+    return FlowSet(flows)
+
+
+def incast(
+    topology: Topology,
+    aggregator: str,
+    num_workers: int,
+    response_size: float,
+    release: float = 0.0,
+    deadline: float = 1.0,
+    seed: int | np.random.Generator = 0,
+    jitter: float = 0.0,
+) -> FlowSet:
+    """Partition-aggregate incast: ``num_workers`` responses to one aggregator.
+
+    Workers are sampled without replacement from the non-aggregator hosts.
+    ``jitter`` optionally staggers release times uniformly in
+    ``[release, release + jitter]`` while the common deadline stays fixed —
+    the classic soft-real-time search pattern from the paper's introduction.
+    """
+    rng = _rng(seed)
+    candidates = [h for h in topology.hosts if h != aggregator]
+    if aggregator not in topology:
+        raise ValidationError(f"unknown aggregator {aggregator!r}")
+    if num_workers < 1 or num_workers > len(candidates):
+        raise ValidationError(
+            f"num_workers must be in [1, {len(candidates)}], got {num_workers}"
+        )
+    if jitter < 0 or release + jitter >= deadline:
+        raise ValidationError("jitter must satisfy 0 <= jitter < deadline - release")
+    workers = rng.choice(len(candidates), size=num_workers, replace=False)
+    flows = []
+    for i, w in enumerate(sorted(int(x) for x in workers)):
+        start = release + (float(rng.uniform(0.0, jitter)) if jitter > 0 else 0.0)
+        flows.append(
+            Flow(
+                id=f"incast-{i}",
+                src=candidates[w],
+                dst=aggregator,
+                size=response_size,
+                release=start,
+                deadline=deadline,
+            )
+        )
+    return FlowSet(flows)
+
+
+def shuffle(
+    topology: Topology,
+    participants: Sequence[str],
+    volume: float,
+    release: float = 0.0,
+    deadline: float = 1.0,
+) -> FlowSet:
+    """All-to-all shuffle among ``participants`` (MapReduce-style).
+
+    Every ordered pair exchanges ``volume`` units within the common window.
+    """
+    participants = list(participants)
+    if len(participants) < 2:
+        raise ValidationError("shuffle needs >= 2 participants")
+    for p in participants:
+        if p not in topology:
+            raise ValidationError(f"unknown participant {p!r}")
+    if len(set(participants)) != len(participants):
+        raise ValidationError("participants must be distinct")
+    flows = []
+    for i, src in enumerate(participants):
+        for j, dst in enumerate(participants):
+            if src == dst:
+                continue
+            flows.append(
+                Flow(
+                    id=f"shuffle-{i}-{j}",
+                    src=src,
+                    dst=dst,
+                    size=volume,
+                    release=release,
+                    deadline=deadline,
+                )
+            )
+    return FlowSet(flows)
+
+
+def poisson_arrivals(
+    topology: Topology,
+    rate: float,
+    duration: float,
+    size_sampler,
+    slack_factor: float = 2.0,
+    reference_rate: float = 1.0,
+    seed: int | np.random.Generator = 0,
+    min_flows: int = 1,
+) -> FlowSet:
+    """Poisson flow arrivals with proportional deadlines.
+
+    Arrivals form a Poisson process of intensity ``rate`` over
+    ``[0, duration]``; each flow's size comes from ``size_sampler(rng)`` and
+    its deadline is ``release + slack_factor * size / reference_rate`` (a
+    deadline proportional to the ideal transfer time, as in D3/D2TCP
+    workloads).
+    """
+    if rate <= 0 or duration <= 0:
+        raise ValidationError("rate and duration must be positive")
+    if slack_factor <= 0 or reference_rate <= 0:
+        raise ValidationError("slack_factor and reference_rate must be positive")
+    rng = _rng(seed)
+    hosts = topology.hosts
+    if len(hosts) < 2:
+        raise ValidationError("topology must have at least 2 hosts")
+
+    flows = []
+    t = 0.0
+    i = 0
+    while True:
+        t += float(rng.exponential(1.0 / rate))
+        if t > duration and len(flows) >= min_flows:
+            break
+        if t > duration:
+            # Degenerate draw (rate too small): restart the clock so we
+            # always return at least ``min_flows`` flows.
+            t = float(rng.uniform(0.0, duration))
+        src, dst = _pick_endpoints(hosts, rng)
+        size = float(size_sampler(rng))
+        if size <= 0:
+            raise ValidationError("size_sampler must return positive sizes")
+        flows.append(
+            Flow(
+                id=i,
+                src=src,
+                dst=dst,
+                size=size,
+                release=t,
+                deadline=t + slack_factor * size / reference_rate,
+            )
+        )
+        i += 1
+    return FlowSet(flows)
+
+
+def websearch_sizes(rng: np.random.Generator) -> float:
+    """Flow sizes mimicking the web-search (DCTCP) distribution.
+
+    A compact 3-mode mixture: mice queries (~70% of flows, small), medium
+    aggregation traffic, and elephant background transfers.  Values are in
+    the same abstract units as the paper's ``N(10, 3)`` sizes.
+    """
+    u = float(rng.uniform())
+    if u < 0.70:
+        return float(rng.uniform(1.0, 5.0))
+    if u < 0.95:
+        return float(rng.uniform(5.0, 30.0))
+    return float(rng.uniform(30.0, 150.0))
+
+
+def datamining_sizes(rng: np.random.Generator) -> float:
+    """Heavier-tailed "data mining" (VL2-style) size distribution."""
+    u = float(rng.uniform())
+    if u < 0.80:
+        return float(rng.uniform(0.5, 3.0))
+    if u < 0.96:
+        return float(rng.uniform(3.0, 40.0))
+    return float(math.exp(rng.uniform(math.log(40.0), math.log(400.0))))

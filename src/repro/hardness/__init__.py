@@ -1,0 +1,31 @@
+"""NP-hardness constructions from the paper (Theorems 2 and 3)."""
+
+from repro.hardness.partition_gap import (
+    GapInstance,
+    PartitionInstance,
+    build_gap_instance,
+    gap_lower_bound,
+    partition_exists,
+    verify_gap,
+)
+from repro.hardness.three_partition import (
+    DcfsrReduction,
+    ThreePartitionInstance,
+    build_reduction,
+    three_partition_exists,
+    verify_reduction,
+)
+
+__all__ = [
+    "ThreePartitionInstance",
+    "DcfsrReduction",
+    "build_reduction",
+    "three_partition_exists",
+    "verify_reduction",
+    "PartitionInstance",
+    "GapInstance",
+    "build_gap_instance",
+    "gap_lower_bound",
+    "partition_exists",
+    "verify_gap",
+]

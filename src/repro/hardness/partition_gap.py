@@ -1,0 +1,164 @@
+"""The Theorem 3 gap instance: Partition -> DCFSR inapproximability.
+
+Given a Partition instance (integers summing to ``B``), the paper builds a
+DCFSR instance on parallel links with capacity ``C = B/2`` and
+``sigma >= mu C^alpha (alpha - 1)`` (i.e. ``R_opt >= C``) such that
+
+* if a balanced split exists, two links at rate ``C`` suffice:
+  ``Phi_opt = 2 sigma + 2 mu C^alpha``;
+* otherwise at least three links are needed and
+  ``Phi_opt >= 3 sigma + 3 mu (2C/3)^alpha``.
+
+The ratio of the two sides is at least
+
+    gamma(alpha) = 3/2 * (1 + ((2/3)^alpha - 1) / alpha)
+
+so no polynomial algorithm can approximate DCFSR better than
+``gamma(alpha)`` unless P=NP — in particular no FPTAS exists.  (Our relay
+realization of parallel links scales both sides by 2, leaving the ratio
+intact.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.exact import exact_parallel_assignment_energy
+from repro.errors import ValidationError
+from repro.flows.flow import Flow, FlowSet
+from repro.power.model import PowerModel
+from repro.topology.base import Topology
+from repro.topology.simple import LINKS_PER_PARALLEL_PATH, parallel_paths
+
+__all__ = [
+    "PartitionInstance",
+    "GapInstance",
+    "build_gap_instance",
+    "partition_exists",
+    "gap_lower_bound",
+    "verify_gap",
+]
+
+
+@dataclass(frozen=True)
+class PartitionInstance:
+    """A Partition instance: can the integers be split into equal halves?"""
+
+    integers: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.integers) < 2:
+            raise ValidationError("need at least two integers")
+        if any(a <= 0 for a in self.integers):
+            raise ValidationError("integers must be positive")
+        if sum(self.integers) % 2 != 0:
+            raise ValidationError(
+                "total must be even for the balanced-split question"
+            )
+
+    @property
+    def total(self) -> int:
+        return sum(self.integers)
+
+
+@dataclass(frozen=True)
+class GapInstance:
+    """The DCFSR instance realizing the Theorem 3 gap."""
+
+    topology: Topology
+    flows: FlowSet
+    power: PowerModel
+    #: Energy if a balanced split exists (2 links at full rate), scaled by
+    #: the relay factor.
+    yes_energy: float
+    #: Energy lower bound if no balanced split exists (3+ links), scaled.
+    no_energy_bound: float
+    instance: PartitionInstance
+
+
+def gap_lower_bound(alpha: float) -> float:
+    """``gamma(alpha) = 3/2 * (1 + ((2/3)^alpha - 1)/alpha)`` (Theorem 3)."""
+    if alpha <= 1:
+        raise ValidationError(f"alpha must be > 1, got {alpha}")
+    return 1.5 * (1.0 + ((2.0 / 3.0) ** alpha - 1.0) / alpha)
+
+
+def build_gap_instance(
+    instance: PartitionInstance,
+    alpha: float = 2.0,
+    mu: float = 1.0,
+    num_paths: int = 4,
+) -> GapInstance:
+    """Construct the Theorem 3 instance (``m > 2`` parallel paths)."""
+    if num_paths <= 2:
+        raise ValidationError("the construction needs more than 2 paths")
+    if max(instance.integers) > instance.total / 2:
+        raise ValidationError(
+            "an integer exceeds B/2 = C; the DCFSR instance would be "
+            "infeasible (and the Partition instance trivially NO)"
+        )
+    cap = instance.total / 2.0  # C = B/2
+    sigma = mu * cap**alpha * (alpha - 1.0)  # makes R_opt = C exactly
+    power = PowerModel(sigma=sigma, mu=mu, alpha=alpha, capacity=cap)
+    topology = parallel_paths(num_paths)
+    flows = FlowSet(
+        Flow(
+            id=f"a{i}",
+            src="src",
+            dst="dst",
+            size=float(a),
+            release=0.0,
+            deadline=1.0,
+        )
+        for i, a in enumerate(instance.integers)
+    )
+    scale = LINKS_PER_PARALLEL_PATH
+    yes_energy = scale * 2.0 * (sigma + mu * cap**alpha)
+    no_energy_bound = scale * 3.0 * (sigma + mu * (2.0 * cap / 3.0) ** alpha)
+    return GapInstance(
+        topology=topology,
+        flows=flows,
+        power=power,
+        yes_energy=yes_energy,
+        no_energy_bound=no_energy_bound,
+        instance=instance,
+    )
+
+
+def partition_exists(instance: PartitionInstance) -> bool:
+    """Decide Partition exactly by subset-sum meet-in-the-middle (small n)."""
+    target = instance.total // 2
+    items = instance.integers
+    if len(items) > 24:
+        raise ValidationError("decision solver limited to <= 24 integers")
+    half = len(items) // 2
+    left, right = items[:half], items[half:]
+
+    def sums(part: Sequence[int]) -> set[int]:
+        acc = {0}
+        for a in part:
+            acc |= {s + a for s in acc}
+        return acc
+
+    right_sums = sums(right)
+    return any(target - s in right_sums for s in sums(left))
+
+
+def verify_gap(gap: GapInstance) -> tuple[float, bool]:
+    """Exact optimal energy of the gap instance, and whether it lands on
+    the YES side (``<= yes_energy + eps``).
+
+    Theorem 3 promises the boolean equals :func:`partition_exists`, and
+    that in the NO case the optimum is at least ``no_energy_bound``.
+    """
+    sizes = [f.size for f in gap.flows]
+    optimal, _grouping = exact_parallel_assignment_energy(
+        sizes,
+        num_paths=len(gap.topology.switches),
+        power=gap.power,
+        links_per_path=LINKS_PER_PARALLEL_PATH,
+        horizon=1.0,
+    )
+    eps = 1e-9 * max(1.0, gap.yes_energy)
+    return optimal, optimal <= gap.yes_energy + eps

@@ -1,0 +1,160 @@
+"""The Theorem 2 reduction: 3-Partition -> DCFSR decision problem.
+
+Given a 3-Partition instance (``3m`` integers ``a_1..a_3m`` summing to
+``m*B`` with ``B/4 < a_i < B/2``), the paper builds a DCFSR instance on a
+network of ``k >> m`` parallel links between ``src`` and ``dst``: one flow
+of size ``a_i`` per integer, all released at 0 with deadline 1, power model
+chosen so that the optimal per-link operating rate is exactly ``B``
+(``sigma = mu (alpha - 1) B^alpha``, Lemma 3).  Then a schedule with energy
+``<= Phi_0 = m * alpha * mu * B^alpha`` exists iff the integers can be
+partitioned into ``m`` triples of sum ``B``.
+
+Our :func:`repro.topology.parallel_paths` realizes each parallel link as a
+2-link relay path (simple-graph constraint), so every energy in the
+construction scales by ``LINKS_PER_PARALLEL_PATH = 2``; the iff is
+untouched.  :func:`verify_reduction` checks both directions empirically
+with the exact solver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from repro.core.exact import exact_parallel_assignment_energy
+from repro.errors import ValidationError
+from repro.flows.flow import Flow, FlowSet
+from repro.power.model import PowerModel
+from repro.topology.base import Topology
+from repro.topology.simple import LINKS_PER_PARALLEL_PATH, parallel_paths
+
+__all__ = [
+    "ThreePartitionInstance",
+    "DcfsrReduction",
+    "build_reduction",
+    "three_partition_exists",
+    "verify_reduction",
+]
+
+
+@dataclass(frozen=True)
+class ThreePartitionInstance:
+    """A 3-Partition instance: ``3m`` integers summing to ``m * target``."""
+
+    integers: tuple[int, ...]
+    target: int
+
+    def __post_init__(self) -> None:
+        if len(self.integers) % 3 != 0 or not self.integers:
+            raise ValidationError("need a positive multiple of 3 integers")
+        m = len(self.integers) // 3
+        if sum(self.integers) != m * self.target:
+            raise ValidationError(
+                f"integers sum to {sum(self.integers)}, expected {m * self.target}"
+            )
+        for a in self.integers:
+            if not self.target / 4 < a < self.target / 2:
+                raise ValidationError(
+                    f"integer {a} outside the open interval "
+                    f"(B/4, B/2) = ({self.target / 4}, {self.target / 2})"
+                )
+
+    @property
+    def m(self) -> int:
+        return len(self.integers) // 3
+
+
+@dataclass(frozen=True)
+class DcfsrReduction:
+    """The DCFSR instance constructed from a 3-Partition instance."""
+
+    topology: Topology
+    flows: FlowSet
+    power: PowerModel
+    #: The decision threshold Phi_0 (already scaled by the relay factor).
+    energy_threshold: float
+    instance: ThreePartitionInstance
+
+
+def build_reduction(
+    instance: ThreePartitionInstance,
+    alpha: float = 2.0,
+    mu: float = 1.0,
+    extra_paths: int = 2,
+) -> DcfsrReduction:
+    """Construct the Theorem 2 DCFSR instance.
+
+    ``extra_paths`` adds spare parallel paths beyond ``m`` (the paper takes
+    ``k >> m``; any ``k >= m`` preserves the reduction).
+    """
+    m, big_b = instance.m, instance.target
+    power = PowerModel(
+        sigma=mu * (alpha - 1.0) * float(big_b) ** alpha,
+        mu=mu,
+        alpha=alpha,
+        capacity=float(big_b) * 2.0,  # B < C as the proof assumes
+    )
+    assert abs(power.r_opt - big_b) < 1e-9 * big_b
+    topology = parallel_paths(m + extra_paths)
+    flows = FlowSet(
+        Flow(
+            id=f"a{i}",
+            src="src",
+            dst="dst",
+            size=float(a),
+            release=0.0,
+            deadline=1.0,
+        )
+        for i, a in enumerate(instance.integers)
+    )
+    threshold = (
+        LINKS_PER_PARALLEL_PATH * m * alpha * mu * float(big_b) ** alpha
+    )
+    return DcfsrReduction(
+        topology=topology,
+        flows=flows,
+        power=power,
+        energy_threshold=threshold,
+        instance=instance,
+    )
+
+
+def three_partition_exists(instance: ThreePartitionInstance) -> bool:
+    """Decide 3-Partition by branch-and-bound over triples (small m only)."""
+    if instance.m > 5:
+        raise ValidationError(
+            f"decision solver limited to m <= 5, got m = {instance.m}"
+        )
+
+    def solve(remaining: frozenset[int]) -> bool:
+        if not remaining:
+            return True
+        pivot = min(remaining)
+        rest = remaining - {pivot}
+        for pair in combinations(sorted(rest), 2):
+            picked = (pivot,) + pair
+            if sum(instance.integers[i] for i in picked) == instance.target:
+                if solve(remaining - set(picked)):
+                    return True
+        return False
+
+    return solve(frozenset(range(len(instance.integers))))
+
+
+def verify_reduction(reduction: DcfsrReduction) -> tuple[bool, float]:
+    """Empirically check the iff of Theorem 2 on a built instance.
+
+    Computes the exact optimal energy of the DCFSR instance (via the
+    parallel-assignment enumerator) and returns
+    ``(optimal_energy <= threshold + eps, optimal_energy)``.  Theorem 2
+    promises the boolean equals :func:`three_partition_exists`.
+    """
+    sizes = [f.size for f in reduction.flows]
+    optimal, _grouping = exact_parallel_assignment_energy(
+        sizes,
+        num_paths=len(reduction.topology.switches),
+        power=reduction.power,
+        links_per_path=LINKS_PER_PARALLEL_PATH,
+        horizon=1.0,
+    )
+    eps = 1e-9 * max(1.0, reduction.energy_threshold)
+    return optimal <= reduction.energy_threshold + eps, optimal

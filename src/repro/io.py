@@ -1,0 +1,188 @@
+"""JSON persistence for workloads, topologies, and schedules.
+
+A reproduction library lives or dies by replayability: this module
+round-trips every experiment artifact through plain JSON so workloads can
+be archived, schedules diffed across algorithm versions, and failures
+reported with a self-contained repro file.
+
+Formats are versioned; loaders refuse unknown versions rather than
+guessing.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.errors import ValidationError
+from repro.flows.flow import Flow, FlowSet
+from repro.scheduling.schedule import FlowSchedule, Schedule, Segment
+from repro.topology.base import Topology, build_topology
+
+__all__ = [
+    "flows_to_json",
+    "flows_from_json",
+    "topology_to_json",
+    "topology_from_json",
+    "schedule_to_json",
+    "schedule_from_json",
+    "save_json",
+    "load_json",
+]
+
+_FLOWS_VERSION = 1
+_TOPOLOGY_VERSION = 1
+_SCHEDULE_VERSION = 1
+
+
+def _check_version(payload: dict, kind: str, expected: int) -> None:
+    if not isinstance(payload, dict):
+        raise ValidationError(f"{kind}: expected a JSON object")
+    if payload.get("kind") != kind:
+        raise ValidationError(
+            f"expected kind {kind!r}, got {payload.get('kind')!r}"
+        )
+    if payload.get("version") != expected:
+        raise ValidationError(
+            f"{kind}: unsupported version {payload.get('version')!r} "
+            f"(expected {expected})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Flows.
+# ----------------------------------------------------------------------
+def flows_to_json(flows: FlowSet) -> dict[str, Any]:
+    """Serialize a :class:`FlowSet` to a JSON-safe dict."""
+    return {
+        "kind": "flows",
+        "version": _FLOWS_VERSION,
+        "flows": [
+            {
+                "id": f.id,
+                "src": f.src,
+                "dst": f.dst,
+                "size": f.size,
+                "release": f.release,
+                "deadline": f.deadline,
+            }
+            for f in flows
+        ],
+    }
+
+
+def flows_from_json(payload: dict[str, Any]) -> FlowSet:
+    """Rebuild a :class:`FlowSet`; validation re-runs on construction."""
+    _check_version(payload, "flows", _FLOWS_VERSION)
+    return FlowSet(
+        Flow(
+            id=entry["id"],
+            src=entry["src"],
+            dst=entry["dst"],
+            size=entry["size"],
+            release=entry["release"],
+            deadline=entry["deadline"],
+        )
+        for entry in payload["flows"]
+    )
+
+
+# ----------------------------------------------------------------------
+# Topologies.
+# ----------------------------------------------------------------------
+def topology_to_json(topology: Topology) -> dict[str, Any]:
+    """Serialize a topology as its link list plus host roles."""
+    return {
+        "kind": "topology",
+        "version": _TOPOLOGY_VERSION,
+        "name": topology.name,
+        "hosts": list(topology.hosts),
+        "links": [list(edge) for edge in topology.edges],
+    }
+
+
+def topology_from_json(payload: dict[str, Any]) -> Topology:
+    """Rebuild a topology (structure-identical, roles preserved)."""
+    _check_version(payload, "topology", _TOPOLOGY_VERSION)
+    return build_topology(
+        links=[(u, v) for u, v in payload["links"]],
+        hosts=payload["hosts"],
+        name=payload["name"],
+    )
+
+
+# ----------------------------------------------------------------------
+# Schedules.
+# ----------------------------------------------------------------------
+def schedule_to_json(schedule: Schedule) -> dict[str, Any]:
+    """Serialize a schedule with its flows, paths, and rate segments."""
+    entries = []
+    for fs in schedule:
+        entries.append(
+            {
+                "flow": {
+                    "id": fs.flow.id,
+                    "src": fs.flow.src,
+                    "dst": fs.flow.dst,
+                    "size": fs.flow.size,
+                    "release": fs.flow.release,
+                    "deadline": fs.flow.deadline,
+                },
+                "path": list(fs.path),
+                "segments": [
+                    {"start": s.start, "end": s.end, "rate": s.rate}
+                    for s in fs.segments
+                ],
+            }
+        )
+    return {
+        "kind": "schedule",
+        "version": _SCHEDULE_VERSION,
+        "flows": entries,
+    }
+
+
+def schedule_from_json(payload: dict[str, Any]) -> Schedule:
+    """Rebuild a schedule; all structural validation re-runs."""
+    _check_version(payload, "schedule", _SCHEDULE_VERSION)
+    flow_schedules = []
+    for entry in payload["flows"]:
+        f = entry["flow"]
+        flow = Flow(
+            id=f["id"],
+            src=f["src"],
+            dst=f["dst"],
+            size=f["size"],
+            release=f["release"],
+            deadline=f["deadline"],
+        )
+        flow_schedules.append(
+            FlowSchedule(
+                flow=flow,
+                path=tuple(entry["path"]),
+                segments=tuple(
+                    Segment(start=s["start"], end=s["end"], rate=s["rate"])
+                    for s in entry["segments"]
+                ),
+            )
+        )
+    return Schedule(flow_schedules)
+
+
+# ----------------------------------------------------------------------
+# File helpers.
+# ----------------------------------------------------------------------
+def save_json(payload: dict[str, Any], path: str) -> None:
+    """Write any of the serialized payloads to disk (pretty-printed)."""
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_json(path: str) -> dict[str, Any]:
+    """Read a payload back; dispatch on its ``kind`` with the loaders."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict) or "kind" not in payload:
+        raise ValidationError(f"{path}: not a repro JSON artifact")
+    return payload

@@ -1,0 +1,5 @@
+"""Link power models (speed scaling + power-down)."""
+
+from repro.power.model import PowerModel
+
+__all__ = ["PowerModel"]

@@ -1,0 +1,195 @@
+"""Link power model combining speed scaling and power-down (paper Eq. (1)).
+
+The paper models every link (the pair of ports at its ends) with the power
+function
+
+.. math::
+
+    f(x) = \\begin{cases} 0 & x = 0 \\\\
+                          \\sigma + \\mu x^\\alpha & 0 < x \\le C \\end{cases}
+
+where ``sigma`` is the idle (chassis/state-keeping) power, ``mu`` scales the
+dynamic term, ``alpha > 1`` makes the dynamic term superadditive, and ``C``
+is the maximum transmission rate.  This module provides:
+
+* :class:`PowerModel` — the function itself plus the derived quantities the
+  algorithms need (derivative, power-per-bit, optimal operating rate
+  ``R_opt`` of Lemma 3, convex envelope used by the fractional relaxation).
+* convenience constructors matching the paper's evaluation settings
+  (``f(x) = x^2`` and ``f(x) = x^4``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+
+__all__ = ["PowerModel"]
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Power function ``f(x) = sigma + mu * x**alpha`` for ``0 < x <= capacity``.
+
+    Parameters
+    ----------
+    sigma:
+        Idle power drawn whenever the link is powered on, even at rate 0+.
+        A link may avoid ``sigma`` only by being powered down for the whole
+        horizon (the paper's no-toggling assumption).
+    mu:
+        Dynamic power coefficient, must be positive.
+    alpha:
+        Dynamic power exponent, must be strictly greater than 1 so that the
+        function is superadditive and the scheduling problem is convex.
+    capacity:
+        Maximum transmission rate ``C`` of the link.  ``math.inf`` is
+        allowed and models the paper's relaxed minimum-energy schedule.
+    """
+
+    sigma: float = 0.0
+    mu: float = 1.0
+    alpha: float = 2.0
+    capacity: float = math.inf
+
+    def __post_init__(self) -> None:
+        if self.sigma < 0:
+            raise ValidationError(f"sigma must be >= 0, got {self.sigma}")
+        if self.mu <= 0:
+            raise ValidationError(f"mu must be > 0, got {self.mu}")
+        if self.alpha <= 1:
+            raise ValidationError(
+                f"alpha must be > 1 for superadditivity, got {self.alpha}"
+            )
+        if self.capacity <= 0:
+            raise ValidationError(f"capacity must be > 0, got {self.capacity}")
+
+    # ------------------------------------------------------------------
+    # Constructors mirroring the paper's evaluation settings.
+    # ------------------------------------------------------------------
+    @classmethod
+    def quadratic(cls, capacity: float = math.inf, sigma: float = 0.0) -> "PowerModel":
+        """The paper's ``f(x) = x^2`` evaluation setting."""
+        return cls(sigma=sigma, mu=1.0, alpha=2.0, capacity=capacity)
+
+    @classmethod
+    def quartic(cls, capacity: float = math.inf, sigma: float = 0.0) -> "PowerModel":
+        """The paper's ``f(x) = x^4`` evaluation setting."""
+        return cls(sigma=sigma, mu=1.0, alpha=4.0, capacity=capacity)
+
+    @classmethod
+    def with_optimal_rate(
+        cls, r_opt: float, mu: float = 1.0, alpha: float = 2.0,
+        capacity: float = math.inf,
+    ) -> "PowerModel":
+        """Build a model whose Lemma-3 optimal rate equals ``r_opt``.
+
+        Inverts ``R_opt = (sigma / (mu (alpha - 1)))**(1/alpha)`` for sigma,
+        which is how the Theorem-2 reduction pins ``R_opt = B``.
+        """
+        if r_opt <= 0:
+            raise ValidationError(f"r_opt must be > 0, got {r_opt}")
+        sigma = mu * (alpha - 1.0) * r_opt**alpha
+        return cls(sigma=sigma, mu=mu, alpha=alpha, capacity=capacity)
+
+    # ------------------------------------------------------------------
+    # The power function and its calculus.
+    # ------------------------------------------------------------------
+    def power(self, rate: float) -> float:
+        """Instantaneous power ``f(rate)``; 0 when the link is powered down."""
+        if rate <= 0.0:
+            return 0.0
+        return self.sigma + self.mu * rate**self.alpha
+
+    def dynamic_power(self, rate: float) -> float:
+        """The speed-scaling term ``mu * rate**alpha`` alone (``g`` in the paper)."""
+        if rate <= 0.0:
+            return 0.0
+        return self.mu * rate**self.alpha
+
+    def dynamic_derivative(self, rate: float) -> float:
+        """``d/dx (mu x^alpha) = mu alpha x^(alpha-1)``; 0 at rate 0."""
+        if rate <= 0.0:
+            return 0.0
+        return self.mu * self.alpha * rate ** (self.alpha - 1.0)
+
+    def energy(self, rate: float, duration: float) -> float:
+        """Energy of running at a constant ``rate`` for ``duration`` time."""
+        if duration < 0:
+            raise ValidationError(f"duration must be >= 0, got {duration}")
+        return self.power(rate) * duration
+
+    def power_rate(self, rate: float) -> float:
+        """Power per unit of traffic ``f(x)/x`` (Definition 3). Requires ``x > 0``."""
+        if rate <= 0.0:
+            raise ValidationError("power_rate requires a strictly positive rate")
+        return self.power(rate) / rate
+
+    # ------------------------------------------------------------------
+    # Lemma 3 and the convex envelope.
+    # ------------------------------------------------------------------
+    @property
+    def r_opt(self) -> float:
+        """Lemma 3: the rate minimizing power-per-bit, ignoring capacity.
+
+        ``R_opt = (sigma / (mu (alpha - 1)))**(1/alpha)``.  With ``sigma = 0``
+        this degenerates to 0 (slower is always cheaper per bit).
+        """
+        if self.sigma == 0.0:
+            return 0.0
+        return (self.sigma / (self.mu * (self.alpha - 1.0))) ** (1.0 / self.alpha)
+
+    @property
+    def best_operating_rate(self) -> float:
+        """``min(R_opt, capacity)`` — the achievable power-per-bit optimum."""
+        return min(self.r_opt, self.capacity) if self.sigma > 0 else 0.0
+
+    def envelope(self, rate: float) -> float:
+        """Convex envelope of ``f`` on ``[0, capacity]``.
+
+        ``f`` jumps from 0 to ``sigma`` at 0+, so it is not convex.  Its
+        envelope is linear (slope ``f(x*)/x*``) up to ``x* = min(R_opt, C)``
+        and equals ``f`` beyond.  The envelope is the standard relaxation
+        cost for power-down models (Andrews et al. [16]) and is what the
+        fractional lower bound integrates.  With ``sigma = 0`` the envelope
+        is exactly ``f`` for ``x > 0``.
+        """
+        if rate <= 0.0:
+            return 0.0
+        if self.sigma == 0.0:
+            return self.mu * rate**self.alpha
+        x_star = self.best_operating_rate
+        if rate >= x_star:
+            return self.power(rate)
+        return rate * self.power(x_star) / x_star
+
+    def envelope_derivative(self, rate: float) -> float:
+        """Derivative (subgradient at the kink) of :meth:`envelope`."""
+        if self.sigma == 0.0:
+            return self.dynamic_derivative(rate)
+        x_star = self.best_operating_rate
+        if rate < x_star:
+            return self.power(x_star) / x_star
+        return self.dynamic_derivative(rate)
+
+    # ------------------------------------------------------------------
+    # Misc helpers.
+    # ------------------------------------------------------------------
+    def check_rate(self, rate: float, tol: float = 1e-9) -> bool:
+        """True when ``0 <= rate <= capacity`` up to tolerance ``tol``."""
+        return -tol <= rate <= self.capacity * (1.0 + tol) + tol
+
+    def with_capacity(self, capacity: float) -> "PowerModel":
+        """A copy of this model with a different maximum rate."""
+        return PowerModel(
+            sigma=self.sigma, mu=self.mu, alpha=self.alpha, capacity=capacity
+        )
+
+    def describe(self) -> str:
+        """Human-readable one-liner, e.g. ``f(x) = 2 + 1*x^2, C = 10``."""
+        cap = "inf" if math.isinf(self.capacity) else f"{self.capacity:g}"
+        return (
+            f"f(x) = {self.sigma:g} + {self.mu:g}*x^{self.alpha:g}, C = {cap}"
+        )

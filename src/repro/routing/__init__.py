@@ -1,0 +1,21 @@
+"""Routing: fractional MCF, path decomposition, randomized rounding."""
+
+from repro.routing.costs import EdgeCost, envelope_cost
+from repro.routing.decomposition import decompose_flow
+from repro.routing.mcflow import Commodity, FrankWolfeSolver, MCFSolution
+from repro.routing.paths import ecmp_paths, ecmp_route, k_shortest_paths
+from repro.routing.rounding import aggregate_path_weights, sample_path
+
+__all__ = [
+    "EdgeCost",
+    "envelope_cost",
+    "Commodity",
+    "FrankWolfeSolver",
+    "MCFSolution",
+    "decompose_flow",
+    "aggregate_path_weights",
+    "sample_path",
+    "k_shortest_paths",
+    "ecmp_paths",
+    "ecmp_route",
+]

@@ -1,0 +1,91 @@
+"""Path enumeration utilities: k-shortest paths and ECMP path sets.
+
+Random-Schedule derives its candidate paths from the fractional relaxation,
+but baselines and ablations need classical path machinery:
+
+* :func:`k_shortest_paths` — the first ``k`` simple paths by hop count
+  (Yen's algorithm via :func:`networkx.shortest_simple_paths`);
+* :func:`ecmp_paths` — all minimum-hop paths, the set ECMP hashes over;
+* :func:`ecmp_route` — a deterministic per-flow ECMP choice (seeded hash),
+  the routing layer of the ECMP+MCF baseline.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from repro.errors import TopologyError, ValidationError
+from repro.flows.flow import FlowSet
+from repro.topology.base import Topology
+
+__all__ = ["k_shortest_paths", "ecmp_paths", "ecmp_route"]
+
+Path = tuple[str, ...]
+
+
+def k_shortest_paths(
+    topology: Topology,
+    src: str,
+    dst: str,
+    k: int,
+    max_hops: int | None = None,
+) -> list[Path]:
+    """First ``k`` simple ``src -> dst`` paths in hop-count order.
+
+    Stops early when ``max_hops`` is exceeded (the generator yields paths
+    in nondecreasing length, so the cut is exact).
+    """
+    if k < 1:
+        raise ValidationError(f"k must be >= 1, got {k}")
+    if not topology.has_node(src) or not topology.has_node(dst):
+        raise TopologyError(f"unknown endpoint in ({src!r}, {dst!r})")
+    if src == dst:
+        raise TopologyError("endpoints must differ")
+    paths: list[Path] = []
+    try:
+        for path in nx.shortest_simple_paths(topology.graph, src, dst):
+            if max_hops is not None and len(path) - 1 > max_hops:
+                break
+            paths.append(tuple(path))
+            if len(paths) >= k:
+                break
+    except nx.NetworkXNoPath:
+        raise TopologyError(f"no path between {src!r} and {dst!r}")
+    if not paths:
+        raise TopologyError(
+            f"no path between {src!r} and {dst!r} within {max_hops} hops"
+        )
+    return paths
+
+
+def ecmp_paths(topology: Topology, src: str, dst: str) -> list[Path]:
+    """All minimum-hop ``src -> dst`` paths, sorted deterministically."""
+    shortest = len(topology.shortest_path(src, dst)) - 1
+    return sorted(
+        tuple(p)
+        for p in nx.all_shortest_paths(topology.graph, src, dst)
+        if len(p) - 1 == shortest
+    )
+
+
+def ecmp_route(
+    flows: FlowSet, topology: Topology, seed: int = 0
+) -> dict[int | str, Path]:
+    """Pick one equal-cost shortest path per flow, seeded-uniformly.
+
+    Models per-flow ECMP hashing: the same seed always maps the same flow
+    to the same path, and distinct flows spread across the ECMP group.
+    """
+    flows.validate_against(topology)
+    rng = np.random.default_rng(seed)
+    group_cache: dict[tuple[str, str], list[Path]] = {}
+    routes: dict[int | str, Path] = {}
+    for flow in flows:
+        key = (flow.src, flow.dst)
+        group = group_cache.get(key)
+        if group is None:
+            group = ecmp_paths(topology, flow.src, flow.dst)
+            group_cache[key] = group
+        routes[flow.id] = group[int(rng.integers(len(group)))]
+    return routes

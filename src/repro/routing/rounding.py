@@ -1,0 +1,91 @@
+"""Randomized path rounding (Algorithm 2, steps 6–10).
+
+After solving the per-interval F-MCF relaxations, each flow ``j_i`` owns a
+set of candidate paths per interval with fractional weights ``w_P(k)``
+(summing to 1 within each interval the flow is active in).  The rounding
+weight of a path aggregates across intervals, weighted by interval length:
+
+    w_bar(P) = sum_k w_P(k) * |I_k| / (d_i - r_i)
+
+Because each interval's weights sum to 1 and the intervals tile the flow's
+span exactly, the ``w_bar`` values form a probability distribution; the
+flow's single route is drawn from it.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.flows.flow import Flow
+from repro.flows.intervals import Interval
+
+__all__ = ["aggregate_path_weights", "sample_path"]
+
+Path = tuple[str, ...]
+
+
+def aggregate_path_weights(
+    flow: Flow,
+    interval_fractions: Sequence[tuple[Interval, Mapping[Path, float]]],
+) -> dict[Path, float]:
+    """Compute ``w_bar`` for one flow from its per-interval path fractions.
+
+    Parameters
+    ----------
+    flow:
+        The flow being rounded.
+    interval_fractions:
+        ``(interval, {path: fraction})`` for every grid interval inside the
+        flow's span; each fraction map should sum to ~1.
+
+    Returns
+    -------
+    dict mapping each candidate path to its rounding probability.  The
+    probabilities are renormalized at the end to absorb solver tolerance.
+    """
+    if not interval_fractions:
+        raise ValidationError(f"flow {flow.id!r}: no interval solutions supplied")
+    span = flow.span_length
+    weights: dict[Path, float] = {}
+    covered = 0.0
+    for interval, fractions in interval_fractions:
+        if not flow.covers_interval(interval.start, interval.end):
+            raise ValidationError(
+                f"flow {flow.id!r}: interval {interval!r} outside span"
+            )
+        covered += interval.length
+        share = interval.length / span
+        for path, fraction in fractions.items():
+            if fraction < -1e-9:
+                raise ValidationError(
+                    f"flow {flow.id!r}: negative path fraction {fraction}"
+                )
+            weights[path] = weights.get(path, 0.0) + fraction * share
+    if abs(covered - span) > 1e-6 * max(span, 1.0):
+        raise ValidationError(
+            f"flow {flow.id!r}: intervals cover {covered:g} of span {span:g}"
+        )
+    total = sum(weights.values())
+    if total <= 0:
+        raise ValidationError(f"flow {flow.id!r}: all path weights are zero")
+    return {path: w / total for path, w in weights.items()}
+
+
+def sample_path(
+    weights: Mapping[Path, float], rng: np.random.Generator
+) -> Path:
+    """Draw one path according to its ``w_bar`` probability.
+
+    Paths are ordered deterministically before sampling so a fixed seed
+    yields identical choices across runs and platforms.
+    """
+    if not weights:
+        raise ValidationError("cannot sample from an empty path set")
+    paths = sorted(weights)
+    probs = np.array([weights[p] for p in paths], dtype=float)
+    probs = probs / probs.sum()
+    choice = int(rng.choice(len(paths), p=probs))
+    return paths[choice]

@@ -1,0 +1,33 @@
+"""Scheduling substrate: timelines, schedules, YDS, EDF."""
+
+from repro.scheduling.edf import EdfJob, edf_schedule
+from repro.scheduling.schedule import (
+    EnergyBreakdown,
+    FeasibilityReport,
+    FlowSchedule,
+    Schedule,
+    Segment,
+)
+from repro.scheduling.timeline import (
+    PiecewiseConstant,
+    merge_segments,
+    overlap_length,
+)
+from repro.scheduling.yds import YdsJob, YdsResult, critical_interval, yds_schedule
+
+__all__ = [
+    "EdfJob",
+    "edf_schedule",
+    "Segment",
+    "FlowSchedule",
+    "Schedule",
+    "EnergyBreakdown",
+    "FeasibilityReport",
+    "PiecewiseConstant",
+    "merge_segments",
+    "overlap_length",
+    "YdsJob",
+    "YdsResult",
+    "yds_schedule",
+    "critical_interval",
+]

@@ -1,0 +1,166 @@
+"""YDS optimal speed scaling on a single processor (Yao-Demers-Shenker, FOCS'95).
+
+Given jobs ``(release, deadline, work)`` on one speed-scalable processor
+with power ``mu * s^alpha`` (``alpha > 1``), YDS computes the schedule
+minimizing total energy: repeatedly find the *critical interval* — the
+interval ``[a, b]`` maximizing intensity ``sum of contained work / available
+time`` — run its jobs at exactly that intensity under EDF, freeze that time,
+and recurse on the rest.
+
+The paper's Most-Critical-First (Algorithm 1) is a multi-link variant of
+this procedure; this module is the single-processor substrate, used
+directly for single-link DCFS instances and as a cross-check in tests.
+
+Implementation note: instead of the textbook "collapse time and shrink
+spans" bookkeeping we keep a *blocked-time* mask in original time; interval
+intensity divides by the non-blocked measure.  Both formulations are
+equivalent (the blocked measure equals the collapsed length), and the mask
+formulation shares its EDF core with Most-Critical-First.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.errors import InfeasibleError, ValidationError
+from repro.scheduling.edf import EdfJob, edf_schedule
+from repro.scheduling.timeline import BlockedTimeline
+
+__all__ = ["YdsJob", "YdsResult", "yds_schedule", "critical_interval"]
+
+_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class YdsJob:
+    """A job with ``work`` units to process inside ``[release, deadline]``."""
+
+    id: int | str
+    release: float
+    deadline: float
+    work: float
+
+    def __post_init__(self) -> None:
+        if not self.deadline > self.release:
+            raise ValidationError(
+                f"job {self.id!r}: deadline must exceed release"
+            )
+        if not self.work > 0:
+            raise ValidationError(f"job {self.id!r}: work must be > 0")
+
+
+@dataclass(frozen=True)
+class YdsResult:
+    """Speeds and execution segments chosen by YDS.
+
+    ``speeds[id]`` is the constant speed the job runs at; ``segments[id]``
+    are its disjoint execution intervals (the job's work equals speed times
+    total segment length).
+    """
+
+    speeds: Mapping[int | str, float]
+    segments: Mapping[int | str, tuple[tuple[float, float], ...]]
+
+    def energy(self, alpha: float, mu: float = 1.0) -> float:
+        """Total energy ``sum_i mu * s_i^alpha * (execution time of i)``.
+
+        Equals ``sum_i mu * w_i * s_i^(alpha-1)`` because execution time is
+        ``w_i / s_i``.
+        """
+        total = 0.0
+        for jid, speed in self.speeds.items():
+            time = sum(e - s for s, e in self.segments[jid])
+            total += mu * speed**alpha * time
+        return total
+
+    def completion_time(self, job_id: int | str) -> float:
+        return self.segments[job_id][-1][1]
+
+
+def critical_interval(
+    jobs: list[YdsJob], blocked: BlockedTimeline | None = None
+) -> tuple[float, float, float, list[YdsJob]]:
+    """Find the interval maximizing intensity over the given jobs.
+
+    Returns ``(a, b, intensity, contained_jobs)``; ties broken toward the
+    earliest, then shortest, interval for determinism.
+
+    Intensity of ``[a, b]`` is ``sum(work of jobs with span inside [a,b])``
+    divided by the *available* (non-blocked) measure of ``[a, b]``.
+    """
+    if not jobs:
+        raise ValidationError("critical_interval requires at least one job")
+    releases = sorted({j.release for j in jobs})
+    deadlines = sorted({j.deadline for j in jobs})
+    best: tuple[float, float, float, list[YdsJob]] | None = None
+    for a in releases:
+        # Jobs released at/after ``a``, grouped by deadline prefix sums.
+        eligible = sorted(
+            (j for j in jobs if j.release >= a - _EPS),
+            key=lambda j: j.deadline,
+        )
+        if not eligible:
+            continue
+        work_prefix = [0.0]
+        for j in eligible:
+            work_prefix.append(work_prefix[-1] + j.work)
+        for b in deadlines:
+            if b <= a:
+                continue
+            # Count eligible jobs with deadline <= b.
+            count = bisect_left([j.deadline for j in eligible], b + _EPS)
+            if count == 0:
+                continue
+            total_work = work_prefix[count]
+            available = b - a
+            if blocked is not None:
+                available -= blocked.overlap(a, b)
+            if available <= 1e-12:
+                raise InfeasibleError(
+                    f"no available time in [{a:g}, {b:g}] but jobs remain"
+                )
+            intensity = total_work / available
+            key = (intensity, -a, -(b - a))
+            if best is None or key > (best[2], -best[0], -(best[1] - best[0])):
+                best = (a, b, intensity, eligible[:count])
+    assert best is not None
+    return best
+
+
+def yds_schedule(jobs: Iterable[YdsJob]) -> YdsResult:
+    """Run the full YDS procedure; always succeeds (speeds are unbounded)."""
+    remaining = list(jobs)
+    ids = [j.id for j in remaining]
+    if len(set(ids)) != len(ids):
+        raise ValidationError("YDS job ids must be unique")
+    if not remaining:
+        raise ValidationError("yds_schedule requires at least one job")
+
+    blocked = BlockedTimeline()
+    speeds: dict[int | str, float] = {}
+    segments: dict[int | str, tuple[tuple[float, float], ...]] = {}
+
+    while remaining:
+        a, b, intensity, critical_jobs = critical_interval(remaining, blocked)
+        edf_jobs = [
+            EdfJob(
+                id=j.id,
+                release=j.release,
+                deadline=j.deadline,
+                duration=j.work / intensity,
+            )
+            for j in critical_jobs
+        ]
+        placed = edf_schedule(edf_jobs, blocked=blocked.segments())
+        new_blocks: list[tuple[float, float]] = []
+        for j in critical_jobs:
+            speeds[j.id] = intensity
+            segments[j.id] = tuple(placed[j.id])
+            new_blocks.extend(placed[j.id])
+        blocked.add_many(new_blocks)
+        critical_ids = {j.id for j in critical_jobs}
+        remaining = [j for j in remaining if j.id not in critical_ids]
+
+    return YdsResult(speeds=speeds, segments=segments)

@@ -1,0 +1,14 @@
+"""Simulators: fluid replay and store-and-forward packet validation."""
+
+from repro.sim.failures import fail_links
+from repro.sim.fluid import LinkStats, SimulationReport, simulate_fluid
+from repro.sim.packet import PacketReport, simulate_packets
+
+__all__ = [
+    "LinkStats",
+    "SimulationReport",
+    "simulate_fluid",
+    "PacketReport",
+    "simulate_packets",
+    "fail_links",
+]

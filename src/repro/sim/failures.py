@@ -1,0 +1,65 @@
+"""Link-failure degradation: how robust is the energy advantage?
+
+An extension beyond the paper: DCNs lose links routinely, and an
+energy-optimizing scheduler must keep meeting deadlines on the degraded
+fabric.  :func:`fail_links` removes a host-safe subset of links (never
+disconnecting any host) and the failure ablation re-runs Random-Schedule
+and SP+MCF on the survivor topology.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from repro.errors import TopologyError, ValidationError
+from repro.topology.base import Edge, Topology
+
+__all__ = ["fail_links"]
+
+
+def fail_links(
+    topology: Topology,
+    count: int,
+    seed: int = 0,
+    protect_host_links: bool = True,
+) -> tuple[Topology, tuple[Edge, ...]]:
+    """Remove ``count`` random links while keeping every host reachable.
+
+    Candidate links are drawn uniformly (host access links excluded when
+    ``protect_host_links``); a candidate whose removal disconnects the
+    graph is skipped.  Raises when fewer than ``count`` safe removals
+    exist.
+
+    Returns the degraded :class:`Topology` and the failed edges.
+    """
+    if count < 0:
+        raise ValidationError(f"count must be >= 0, got {count}")
+    graph = topology.graph.copy()
+    hosts = set(topology.hosts)
+
+    candidates = [
+        edge
+        for edge in topology.edges
+        if not (protect_host_links and (edge[0] in hosts or edge[1] in hosts))
+    ]
+    rng = np.random.default_rng(seed)
+    order = list(rng.permutation(len(candidates)))
+
+    failed: list[Edge] = []
+    for index in order:
+        if len(failed) >= count:
+            break
+        u, v = candidates[index]
+        graph.remove_edge(u, v)
+        if nx.is_connected(graph):
+            failed.append((u, v))
+        else:
+            graph.add_edge(u, v)
+    if len(failed) < count:
+        raise TopologyError(
+            f"only {len(failed)} of {count} links can fail without "
+            f"disconnecting the fabric"
+        )
+    degraded = Topology(graph, name=f"{topology.name}-minus{count}")
+    return degraded, tuple(sorted(failed))

@@ -1,0 +1,270 @@
+"""Topology abstraction over :mod:`networkx` used throughout the library.
+
+A data center network is an **undirected** graph whose nodes are either
+hosts (servers) or switches.  Links are undirected and identical (the paper
+assumes commodity switches), each governed by one shared transmission rate
+``x_e(t)`` regardless of direction — see DESIGN.md Section 5.
+
+Edges are addressed by a *canonical* ``(u, v)`` tuple with ``u < v`` (node
+ids are strings) so that dictionaries keyed by edges are direction-agnostic.
+The class also maintains the integer indexing and CSR adjacency structure
+the Frank–Wolfe solver needs for fast batched Dijkstra via
+:func:`scipy.sparse.csgraph.dijkstra`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+import networkx as nx
+import numpy as np
+
+from repro.errors import TopologyError
+
+__all__ = ["Edge", "Topology", "canonical_edge", "path_edges"]
+
+Edge = tuple[str, str]
+
+HOST = "host"
+SWITCH = "switch"
+
+
+def canonical_edge(u: str, v: str) -> Edge:
+    """Return the direction-agnostic representative of link ``{u, v}``."""
+    if u == v:
+        raise TopologyError(f"self-loop edge ({u!r}, {v!r}) is not a link")
+    return (u, v) if u < v else (v, u)
+
+
+def path_edges(path: Sequence[str]) -> tuple[Edge, ...]:
+    """Canonical edges along a node path ``[n0, n1, ..., nk]``."""
+    if len(path) < 2:
+        raise TopologyError(f"path must have at least 2 nodes, got {list(path)!r}")
+    return tuple(canonical_edge(a, b) for a, b in zip(path, path[1:]))
+
+
+class Topology:
+    """An undirected DCN graph with host/switch roles and edge indexing.
+
+    Parameters
+    ----------
+    graph:
+        Undirected :class:`networkx.Graph`; every node must carry a
+        ``kind`` attribute equal to ``"host"`` or ``"switch"``.
+    name:
+        Human-readable topology name used in reports.
+    """
+
+    def __init__(self, graph: nx.Graph, name: str = "topology") -> None:
+        if graph.number_of_nodes() == 0:
+            raise TopologyError("topology must have at least one node")
+        for node, data in graph.nodes(data=True):
+            if not isinstance(node, str):
+                raise TopologyError(
+                    f"node ids must be strings, got {node!r} ({type(node).__name__})"
+                )
+            if data.get("kind") not in (HOST, SWITCH):
+                raise TopologyError(
+                    f"node {node!r} must have kind 'host' or 'switch', "
+                    f"got {data.get('kind')!r}"
+                )
+        self._graph = graph
+        self.name = name
+
+        self._edges: tuple[Edge, ...] = tuple(
+            sorted(canonical_edge(u, v) for u, v in graph.edges())
+        )
+        self._edge_index: dict[Edge, int] = {
+            e: i for i, e in enumerate(self._edges)
+        }
+        self._nodes: tuple[str, ...] = tuple(sorted(graph.nodes()))
+        self._node_index: dict[str, int] = {n: i for i, n in enumerate(self._nodes)}
+
+        # Directed-arc arrays for the CSR adjacency used by batched Dijkstra:
+        # each undirected edge contributes two arcs.  ``arc_edge`` maps the
+        # arc position in the CSR data array back to the undirected edge id.
+        rows: list[int] = []
+        cols: list[int] = []
+        arc_edge: list[int] = []
+        for eid, (u, v) in enumerate(self._edges):
+            ui, vi = self._node_index[u], self._node_index[v]
+            rows.append(ui)
+            cols.append(vi)
+            arc_edge.append(eid)
+            rows.append(vi)
+            cols.append(ui)
+            arc_edge.append(eid)
+        order = np.lexsort((np.asarray(cols), np.asarray(rows)))
+        self._csr_rows = np.asarray(rows)[order]
+        self._csr_cols = np.asarray(cols)[order]
+        self._arc_edge = np.asarray(arc_edge)[order]
+        self._csr_indptr = np.zeros(len(self._nodes) + 1, dtype=np.int64)
+        np.add.at(self._csr_indptr, self._csr_rows + 1, 1)
+        self._csr_indptr = np.cumsum(self._csr_indptr)
+
+    # ------------------------------------------------------------------
+    # Basic accessors.
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> nx.Graph:
+        """The underlying :class:`networkx.Graph` (do not mutate)."""
+        return self._graph
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        """All node ids, sorted."""
+        return self._nodes
+
+    @property
+    def edges(self) -> tuple[Edge, ...]:
+        """All canonical edges, sorted."""
+        return self._edges
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    @property
+    def hosts(self) -> tuple[str, ...]:
+        """Server nodes, sorted."""
+        return tuple(
+            n for n in self._nodes if self._graph.nodes[n]["kind"] == HOST
+        )
+
+    @property
+    def switches(self) -> tuple[str, ...]:
+        """Switch nodes, sorted."""
+        return tuple(
+            n for n in self._nodes if self._graph.nodes[n]["kind"] == SWITCH
+        )
+
+    def has_node(self, node: str) -> bool:
+        return node in self._node_index
+
+    def edge_id(self, edge: Edge) -> int:
+        """Dense integer id of a canonical edge (for numpy vectors)."""
+        try:
+            return self._edge_index[edge]
+        except KeyError:
+            raise TopologyError(f"edge {edge!r} not in topology {self.name!r}")
+
+    def node_id(self, node: str) -> int:
+        try:
+            return self._node_index[node]
+        except KeyError:
+            raise TopologyError(f"node {node!r} not in topology {self.name!r}")
+
+    def node_at(self, index: int) -> str:
+        return self._nodes[index]
+
+    def degree(self, node: str) -> int:
+        return int(self._graph.degree[node])
+
+    def neighbors(self, node: str) -> Iterator[str]:
+        return iter(self._graph.neighbors(node))
+
+    def __contains__(self, node: str) -> bool:
+        return self.has_node(node)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Topology({self.name!r}, hosts={len(self.hosts)}, "
+            f"switches={len(self.switches)}, links={self.num_edges})"
+        )
+
+    # ------------------------------------------------------------------
+    # Vector/CSR plumbing for solvers.
+    # ------------------------------------------------------------------
+    def csr_components(
+        self, edge_weights: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """CSR ``(data, indices, indptr)`` with per-arc weights.
+
+        ``edge_weights`` is a dense vector indexed by edge id; both arcs of
+        an undirected edge receive the same weight.
+        """
+        if edge_weights.shape != (self.num_edges,):
+            raise TopologyError(
+                f"edge_weights must have shape ({self.num_edges},), "
+                f"got {edge_weights.shape}"
+            )
+        data = edge_weights[self._arc_edge]
+        return data, self._csr_cols, self._csr_indptr
+
+    def edge_vector(self, values: Mapping[Edge, float] | None = None) -> np.ndarray:
+        """Dense edge-indexed vector, optionally initialized from a mapping."""
+        vec = np.zeros(self.num_edges)
+        if values:
+            for edge, value in values.items():
+                vec[self.edge_id(edge)] = value
+        return vec
+
+    # ------------------------------------------------------------------
+    # Paths.
+    # ------------------------------------------------------------------
+    def shortest_path(self, src: str, dst: str) -> tuple[str, ...]:
+        """Deterministic hop-count shortest path (lexicographic tie-break).
+
+        Uses a BFS that expands neighbors in sorted order, so repeated calls
+        and different platforms produce identical routes — important for the
+        SP+MCF baseline to be reproducible.
+        """
+        if src == dst:
+            raise TopologyError("shortest_path requires distinct endpoints")
+        if not self.has_node(src) or not self.has_node(dst):
+            raise TopologyError(f"unknown endpoint in ({src!r}, {dst!r})")
+        parent: dict[str, str] = {src: src}
+        frontier = [src]
+        while frontier:
+            next_frontier: list[str] = []
+            for node in frontier:
+                for nbr in sorted(self._graph.neighbors(node)):
+                    if nbr not in parent:
+                        parent[nbr] = node
+                        if nbr == dst:
+                            path = [dst]
+                            while path[-1] != src:
+                                path.append(parent[path[-1]])
+                            return tuple(reversed(path))
+                        next_frontier.append(nbr)
+            frontier = next_frontier
+        raise TopologyError(f"no path between {src!r} and {dst!r}")
+
+    def validate_path(self, path: Sequence[str], src: str, dst: str) -> None:
+        """Raise :class:`TopologyError` unless ``path`` is a simple
+        ``src -> dst`` walk over existing links."""
+        if not path or path[0] != src or path[-1] != dst:
+            raise TopologyError(
+                f"path must start at {src!r} and end at {dst!r}, got {list(path)!r}"
+            )
+        if len(set(path)) != len(path):
+            raise TopologyError(f"path revisits a node: {list(path)!r}")
+        for a, b in zip(path, path[1:]):
+            if not self._graph.has_edge(a, b):
+                raise TopologyError(f"({a!r}, {b!r}) is not a link")
+
+    def path_length(self, path: Sequence[str]) -> int:
+        """Number of links on a node path (``|P|`` in the paper)."""
+        return len(path) - 1
+
+
+def build_topology(
+    links: Iterable[tuple[str, str]],
+    hosts: Iterable[str],
+    name: str = "custom",
+) -> Topology:
+    """Assemble a :class:`Topology` from a link list.
+
+    Every node appearing in ``links`` but not listed in ``hosts`` is marked
+    as a switch.  Convenient for tests and small hand-built networks.
+    """
+    graph = nx.Graph()
+    host_set = set(hosts)
+    for u, v in links:
+        graph.add_edge(u, v)
+    for node in graph.nodes:
+        graph.nodes[node]["kind"] = HOST if node in host_set else SWITCH
+    missing = host_set - set(graph.nodes)
+    if missing:
+        raise TopologyError(f"hosts {sorted(missing)!r} do not appear in links")
+    return Topology(graph, name=name)

@@ -1,0 +1,55 @@
+"""BCube topology (Guo et al., SIGCOMM 2009).
+
+``BCube(n, k)`` is a server-centric recursive topology:
+
+* ``n^(k+1)`` servers, each identified by a ``k+1`` digit base-``n`` address;
+* ``k+1`` levels of switches, ``n^k`` switches per level;
+* the level-``l`` switch with index ``(prefix, suffix)`` connects the ``n``
+  servers whose addresses agree everywhere except digit ``l``.
+
+Servers have ``k+1`` ports (one per level) and participate in forwarding —
+which our undirected host/switch graph represents naturally because paths
+may pass through host nodes.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import networkx as nx
+
+from repro.errors import TopologyError
+from repro.topology.base import HOST, SWITCH, Topology
+
+__all__ = ["bcube"]
+
+
+def bcube(n: int = 4, k: int = 1, name: str | None = None) -> Topology:
+    """Build ``BCube(n, k)``: ``n`` server ports per switch, recursion depth ``k``.
+
+    ``BCube(4, 1)`` has 16 servers and 8 switches; ``BCube(8, 1)`` has 64
+    servers and 16 switches.
+    """
+    if n < 2:
+        raise TopologyError(f"bcube requires n >= 2 servers per switch, got {n}")
+    if k < 0:
+        raise TopologyError(f"bcube requires k >= 0, got {k}")
+    graph = nx.Graph()
+
+    addresses = list(itertools.product(range(n), repeat=k + 1))
+    for addr in addresses:
+        server = "srv_" + "".join(str(d) for d in addr)
+        graph.add_node(server, kind=HOST)
+
+    for level in range(k + 1):
+        # A level-`level` switch is identified by the k digits of the server
+        # address with digit `level` removed.
+        for rest in itertools.product(range(n), repeat=k):
+            switch = f"sw_l{level}_" + "".join(str(d) for d in rest)
+            graph.add_node(switch, kind=SWITCH)
+            for digit in range(n):
+                addr = rest[:level] + (digit,) + rest[level:]
+                server = "srv_" + "".join(str(d) for d in addr)
+                graph.add_edge(switch, server)
+
+    return Topology(graph, name=name or f"bcube-n{n}-k{k}")

@@ -1,0 +1,66 @@
+"""k-ary fat-tree topology (Al-Fares et al., SIGCOMM 2008).
+
+A ``k``-ary fat-tree (``k`` even) has
+
+* ``(k/2)^2`` core switches,
+* ``k`` pods, each with ``k/2`` aggregation and ``k/2`` edge switches,
+* ``k/2`` hosts per edge switch, ``k^3/4`` hosts total.
+
+With ``k = 8`` this is 80 switches and 128 hosts — exactly the paper's
+"data center network topology which consists of 80 switches (with 128
+servers connected)" evaluation substrate.
+
+Node naming (all strings, sortable):
+
+* hosts:        ``h_p{pod:02d}_e{edge}_{i}``
+* edge switch:  ``sw_e_p{pod:02d}_{edge}``
+* agg switch:   ``sw_a_p{pod:02d}_{agg}``
+* core switch:  ``sw_c_{i:02d}_{j:02d}`` (row i, column j in the core grid)
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.errors import TopologyError
+from repro.topology.base import HOST, SWITCH, Topology
+
+__all__ = ["fat_tree"]
+
+
+def fat_tree(k: int = 4, name: str | None = None) -> Topology:
+    """Build a ``k``-ary fat-tree; ``k`` must be even and >= 2.
+
+    Wiring follows the standard construction: edge switch ``e`` in a pod
+    connects to all ``k/2`` aggregation switches of its pod; aggregation
+    switch ``a`` of every pod connects to core switches ``(a, j)`` for
+    ``j in range(k/2)``.
+    """
+    if k < 2 or k % 2 != 0:
+        raise TopologyError(f"fat-tree requires even k >= 2, got {k}")
+    half = k // 2
+    graph = nx.Graph()
+
+    core = [[f"sw_c_{i:02d}_{j:02d}" for j in range(half)] for i in range(half)]
+    for row in core:
+        for sw in row:
+            graph.add_node(sw, kind=SWITCH)
+
+    for pod in range(k):
+        aggs = [f"sw_a_p{pod:02d}_{a}" for a in range(half)]
+        edges = [f"sw_e_p{pod:02d}_{e}" for e in range(half)]
+        for sw in aggs + edges:
+            graph.add_node(sw, kind=SWITCH)
+        for agg in aggs:
+            for edge in edges:
+                graph.add_edge(agg, edge)
+        for a, agg in enumerate(aggs):
+            for j in range(half):
+                graph.add_edge(agg, core[a][j])
+        for e, edge in enumerate(edges):
+            for i in range(half):
+                host = f"h_p{pod:02d}_e{e}_{i}"
+                graph.add_node(host, kind=HOST)
+                graph.add_edge(host, edge)
+
+    return Topology(graph, name=name or f"fattree-k{k}")

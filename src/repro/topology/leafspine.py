@@ -1,0 +1,44 @@
+"""Two-tier leaf-spine topology, the workhorse of modern DCN deployments.
+
+Every leaf (ToR) switch connects to every spine switch; hosts hang off the
+leaves.  This is the natural substrate for the incast / partition-aggregate
+example workloads.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.errors import TopologyError
+from repro.topology.base import HOST, SWITCH, Topology
+
+__all__ = ["leaf_spine"]
+
+
+def leaf_spine(
+    num_leaves: int = 4,
+    num_spines: int = 2,
+    hosts_per_leaf: int = 4,
+    name: str | None = None,
+) -> Topology:
+    """Build a full-mesh leaf-spine fabric."""
+    if num_leaves < 1 or num_spines < 1:
+        raise TopologyError("leaf_spine needs >= 1 leaf and >= 1 spine")
+    if hosts_per_leaf < 1:
+        raise TopologyError(f"hosts_per_leaf must be >= 1, got {hosts_per_leaf}")
+
+    graph = nx.Graph()
+    spines = [f"sw_spine_{s:02d}" for s in range(num_spines)]
+    leaves = [f"sw_leaf_{l:02d}" for l in range(num_leaves)]
+    for sw in spines + leaves:
+        graph.add_node(sw, kind=SWITCH)
+    for leaf in leaves:
+        for spine in spines:
+            graph.add_edge(leaf, spine)
+    for l, leaf in enumerate(leaves):
+        for h in range(hosts_per_leaf):
+            host = f"h_l{l:02d}_{h}"
+            graph.add_node(host, kind=HOST)
+            graph.add_edge(host, leaf)
+
+    return Topology(graph, name=name or f"leafspine-{num_leaves}x{num_spines}")

@@ -1,0 +1,66 @@
+"""Randomized topologies: Jellyfish-style random regular switch fabrics.
+
+Jellyfish (Singla et al., NSDI 2012) wires top-of-rack switches as a random
+regular graph and attaches hosts to each switch.  We use it as the
+"unstructured" point in the topology ablation (ABL-TOPO in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.errors import TopologyError
+from repro.topology.base import HOST, SWITCH, Topology
+
+__all__ = ["jellyfish"]
+
+
+def jellyfish(
+    num_switches: int = 16,
+    switch_degree: int = 4,
+    hosts_per_switch: int = 2,
+    seed: int = 0,
+    name: str | None = None,
+) -> Topology:
+    """Random ``switch_degree``-regular switch fabric with attached hosts.
+
+    Retries the random-regular construction until the switch graph is
+    connected (a handful of attempts suffices for the sizes we use).
+    """
+    if num_switches < switch_degree + 1:
+        raise TopologyError(
+            f"need num_switches > switch_degree, got {num_switches} <= {switch_degree}"
+        )
+    if (num_switches * switch_degree) % 2 != 0:
+        raise TopologyError(
+            "num_switches * switch_degree must be even for a regular graph"
+        )
+    if hosts_per_switch < 1:
+        raise TopologyError(f"hosts_per_switch must be >= 1, got {hosts_per_switch}")
+
+    core = None
+    for attempt in range(64):
+        candidate = nx.random_regular_graph(
+            switch_degree, num_switches, seed=seed + attempt
+        )
+        if nx.is_connected(candidate):
+            core = candidate
+            break
+    if core is None:
+        raise TopologyError(
+            "failed to draw a connected random regular graph after 64 attempts"
+        )
+
+    graph = nx.Graph()
+    switch_names = [f"sw_{i:03d}" for i in range(num_switches)]
+    for sw in switch_names:
+        graph.add_node(sw, kind=SWITCH)
+    for u, v in core.edges():
+        graph.add_edge(switch_names[u], switch_names[v])
+    for s, sw in enumerate(switch_names):
+        for h in range(hosts_per_switch):
+            host = f"h_s{s:03d}_{h}"
+            graph.add_node(host, kind=HOST)
+            graph.add_edge(host, sw)
+
+    return Topology(graph, name=name or f"jellyfish-{num_switches}x{switch_degree}")

@@ -1,0 +1,70 @@
+"""VL2 topology (Greenberg et al., SIGCOMM 2009) — a folded-Clos DCN.
+
+``vl2(d_a, d_i, hosts_per_tor)`` builds:
+
+* ``d_a / 2`` intermediate (spine) switches,
+* ``d_i`` aggregation switches, each wired to every intermediate switch,
+* ``d_a * d_i / 4`` top-of-rack (ToR) switches; each ToR connects to two
+  aggregation switches (consecutive pair, wrap-around),
+* ``hosts_per_tor`` servers per ToR.
+
+The defaults give a small but structurally faithful VL2 instance.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.errors import TopologyError
+from repro.topology.base import HOST, SWITCH, Topology
+
+__all__ = ["vl2"]
+
+
+def vl2(
+    d_a: int = 4,
+    d_i: int = 4,
+    hosts_per_tor: int = 2,
+    name: str | None = None,
+) -> Topology:
+    """Build a VL2 folded-Clos topology.
+
+    Parameters
+    ----------
+    d_a:
+        Aggregation switch degree facing intermediates; must be even >= 2.
+    d_i:
+        Number of aggregation switches; must be even >= 2.
+    hosts_per_tor:
+        Servers attached to each top-of-rack switch.
+    """
+    if d_a < 2 or d_a % 2 != 0:
+        raise TopologyError(f"vl2 requires even d_a >= 2, got {d_a}")
+    if d_i < 2 or d_i % 2 != 0:
+        raise TopologyError(f"vl2 requires even d_i >= 2, got {d_i}")
+    if hosts_per_tor < 1:
+        raise TopologyError(f"hosts_per_tor must be >= 1, got {hosts_per_tor}")
+
+    graph = nx.Graph()
+    intermediates = [f"sw_int_{i:02d}" for i in range(d_a // 2)]
+    aggregates = [f"sw_agg_{i:02d}" for i in range(d_i)]
+    num_tors = d_a * d_i // 4
+    tors = [f"sw_tor_{i:03d}" for i in range(num_tors)]
+
+    for sw in intermediates + aggregates + tors:
+        graph.add_node(sw, kind=SWITCH)
+
+    for agg in aggregates:
+        for intermediate in intermediates:
+            graph.add_edge(agg, intermediate)
+
+    for t, tor in enumerate(tors):
+        a = (2 * t) % d_i
+        graph.add_edge(tor, aggregates[a])
+        graph.add_edge(tor, aggregates[(a + 1) % d_i])
+        for h in range(hosts_per_tor):
+            host = f"h_t{t:03d}_{h}"
+            graph.add_node(host, kind=HOST)
+            graph.add_edge(host, tor)
+
+    return Topology(graph, name=name or f"vl2-da{d_a}-di{d_i}")

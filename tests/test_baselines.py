@@ -1,0 +1,111 @@
+"""Tests for the baseline algorithms (SP+MCF and extras)."""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.conftest import random_flows_on
+from repro.core import (
+    fractional_lower_bound,
+    full_rate_sp,
+    greedy_marginal_routing,
+    sp_mcf,
+)
+from repro.errors import ValidationError
+from repro.power import PowerModel
+
+
+class TestSpMcf:
+    def test_uses_shortest_paths(self, ft4, quadratic):
+        flows = random_flows_on(ft4, 6, seed=0)
+        result = sp_mcf(flows, ft4, quadratic)
+        for flow in flows:
+            assert result.paths[flow.id] == ft4.shortest_path(flow.src, flow.dst)
+
+    def test_schedule_feasible(self, ft4, quadratic):
+        flows = random_flows_on(ft4, 8, seed=1)
+        result = sp_mcf(flows, ft4, quadratic)
+        report = result.schedule.verify(flows, ft4, quadratic)
+        assert report.deadline_feasible, report.summary()
+
+    def test_energy_at_least_lower_bound(self, ft4, quadratic):
+        flows = random_flows_on(ft4, 8, seed=2)
+        result = sp_mcf(flows, ft4, quadratic)
+        lb = fractional_lower_bound(flows, ft4, quadratic)
+        assert result.energy.total >= lb * (1 - 1e-9)
+
+    def test_exposes_dcfs_result(self, ft4, quadratic):
+        flows = random_flows_on(ft4, 5, seed=3)
+        result = sp_mcf(flows, ft4, quadratic)
+        assert result.dcfs is not None
+        assert set(result.dcfs.rates) == {f.id for f in flows}
+        assert result.name == "SP+MCF"
+
+
+class TestGreedyMarginal:
+    def test_schedule_feasible(self, ft4, quadratic):
+        flows = random_flows_on(ft4, 8, seed=4)
+        result = greedy_marginal_routing(flows, ft4, quadratic)
+        report = result.schedule.verify(flows, ft4, quadratic)
+        assert report.deadline_feasible
+
+    def test_valid_paths(self, ft4, quadratic):
+        flows = random_flows_on(ft4, 6, seed=5)
+        result = greedy_marginal_routing(flows, ft4, quadratic)
+        for flow in flows:
+            ft4.validate_path(result.paths[flow.id], flow.src, flow.dst)
+
+    def test_spreads_load_vs_sp(self, quadratic):
+        """Many same-pair flows: greedy must use more distinct paths than
+        SP routing (which puts them all on one)."""
+        from repro.flows import Flow, FlowSet
+        from repro.topology import fat_tree
+
+        topo = fat_tree(4)
+        h = topo.hosts
+        flows = FlowSet(
+            Flow(id=i, src=h[0], dst=h[-1], size=5.0, release=0, deadline=2)
+            for i in range(4)
+        )
+        greedy = greedy_marginal_routing(flows, topo, quadratic)
+        sp = sp_mcf(flows, topo, quadratic)
+        assert len(set(greedy.paths.values())) > len(set(sp.paths.values()))
+        # The shared host-access links bottleneck both routings equally
+        # under EDF serialization, so spreading can only tie or win.
+        assert greedy.energy.total <= sp.energy.total * (1 + 1e-9)
+
+
+class TestFullRate:
+    def test_requires_finite_capacity(self, ft4, quadratic):
+        flows = random_flows_on(ft4, 4, seed=6)
+        with pytest.raises(ValidationError):
+            full_rate_sp(flows, ft4, quadratic)
+
+    def test_costs_more_than_speed_scaling(self, ft4):
+        power = PowerModel.quadratic(capacity=20.0)
+        flows = random_flows_on(ft4, 6, seed=7)
+        race = full_rate_sp(flows, ft4, power)
+        scaled = sp_mcf(flows, ft4, power)
+        # Race-to-idle at rate C always burns more dynamic energy than the
+        # minimum-rate schedule under a superadditive power function.
+        assert race.energy.dynamic > scaled.energy.dynamic
+
+    def test_volumes_delivered(self, ft4):
+        power = PowerModel.quadratic(capacity=20.0)
+        flows = random_flows_on(ft4, 6, seed=8)
+        race = full_rate_sp(flows, ft4, power)
+        for flow in flows:
+            assert race.schedule[flow.id].transmitted == pytest.approx(
+                flow.size, rel=1e-6
+            )
+
+    def test_impossible_deadline_rejected(self, ft4):
+        from repro.flows import Flow, FlowSet
+
+        power = PowerModel.quadratic(capacity=1.0)
+        h = ft4.hosts
+        flows = FlowSet(
+            [Flow(id=1, src=h[0], dst=h[1], size=10.0, release=0, deadline=1)]
+        )
+        with pytest.raises(ValidationError):
+            full_rate_sp(flows, ft4, power)

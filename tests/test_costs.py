@@ -1,0 +1,75 @@
+"""Tests for vectorized edge costs (relaxation objective)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.power import PowerModel
+from repro.routing import EdgeCost, envelope_cost
+
+
+class TestValueAndDerivative:
+    def test_matches_power_model_envelope(self):
+        pm = PowerModel(sigma=2.0, mu=1.5, alpha=2.5)
+        cost = EdgeCost(power=pm)
+        xs = np.array([0.0, 0.1, pm.best_operating_rate, 3.0, 10.0])
+        values = cost.value(xs)
+        for x, v in zip(xs, values):
+            assert v == pytest.approx(pm.envelope(float(x)), rel=1e-12)
+
+    def test_sigma_zero_is_pure_dynamic(self):
+        cost = EdgeCost(power=PowerModel.quadratic())
+        xs = np.array([0.0, 1.0, 2.0])
+        assert cost.value(xs) == pytest.approx([0.0, 1.0, 4.0])
+        assert cost.derivative(xs) == pytest.approx([0.0, 2.0, 4.0])
+
+    def test_derivative_matches_numeric(self):
+        pm = PowerModel(sigma=3.0, mu=1.0, alpha=3.0)
+        cost = EdgeCost(power=pm)
+        h = 1e-6
+        for x in (0.2, 1.0, pm.best_operating_rate * 2):
+            numeric = (
+                cost.scalar_value(x + h) - cost.scalar_value(x - h)
+            ) / (2 * h)
+            assert cost.scalar_derivative(x) == pytest.approx(numeric, rel=1e-4)
+
+    def test_negative_loads_clamped(self):
+        cost = EdgeCost(power=PowerModel.quadratic())
+        assert cost.value(np.array([-1.0]))[0] == 0.0
+
+    def test_total(self):
+        cost = EdgeCost(power=PowerModel.quadratic())
+        assert cost.total(np.array([1.0, 2.0])) == pytest.approx(5.0)
+
+
+class TestPenalty:
+    def test_no_penalty_below_capacity(self):
+        pm = PowerModel.quadratic(capacity=2.0)
+        cost = EdgeCost(power=pm, penalty=10.0)
+        assert cost.scalar_value(1.5) == pytest.approx(1.5**2)
+
+    def test_penalty_above_capacity(self):
+        pm = PowerModel.quadratic(capacity=2.0)
+        cost = EdgeCost(power=pm, penalty=10.0)
+        assert cost.scalar_value(3.0) == pytest.approx(9.0 + 10.0 * 1.0)
+        assert cost.scalar_derivative(3.0) == pytest.approx(6.0 + 20.0)
+
+    def test_negative_penalty_rejected(self):
+        with pytest.raises(ValidationError):
+            EdgeCost(power=PowerModel.quadratic(), penalty=-1.0)
+
+
+class TestEnvelopeCostFactory:
+    def test_infinite_capacity_disables_penalty(self):
+        cost = envelope_cost(PowerModel.quadratic())
+        assert cost.penalty == 0.0
+
+    def test_finite_capacity_autoscales_penalty(self):
+        cost = envelope_cost(PowerModel.quadratic(capacity=4.0))
+        assert cost.penalty > 0.0
+
+    def test_explicit_penalty_respected(self):
+        cost = envelope_cost(PowerModel.quadratic(capacity=4.0), penalty=7.0)
+        assert cost.penalty == 7.0

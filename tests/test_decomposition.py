@@ -1,0 +1,85 @@
+"""Tests for Raghavan–Tompson flow decomposition."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SolverError, ValidationError
+from repro.power import PowerModel
+from repro.routing import Commodity, FrankWolfeSolver, decompose_flow, envelope_cost
+from repro.topology import fat_tree
+
+
+class TestBasics:
+    def test_single_path(self):
+        paths = decompose_flow({("a", "b"): 2.0, ("b", "c"): 2.0}, "a", "c")
+        assert paths == [(("a", "b", "c"), 2.0)]
+
+    def test_two_parallel_paths(self):
+        arc_flows = {
+            ("s", "m1"): 1.0,
+            ("m1", "t"): 1.0,
+            ("s", "m2"): 2.0,
+            ("m2", "t"): 2.0,
+        }
+        paths = dict(decompose_flow(arc_flows, "s", "t"))
+        assert paths[("s", "m2", "t")] == pytest.approx(2.0)
+        assert paths[("s", "m1", "t")] == pytest.approx(1.0)
+
+    def test_weights_sum_to_outflow(self):
+        arc_flows = {
+            ("s", "a"): 1.5,
+            ("a", "t"): 1.0,
+            ("a", "b"): 0.5,
+            ("b", "t"): 0.5,
+        }
+        paths = decompose_flow(arc_flows, "s", "t")
+        assert sum(w for _p, w in paths) == pytest.approx(1.5)
+
+    def test_cycle_cancelled(self):
+        """A circulation superimposed on a path must not break extraction."""
+        arc_flows = {
+            ("s", "a"): 1.0,
+            ("a", "t"): 1.0,
+            # cycle a -> b -> a carrying junk flow
+            ("a", "b"): 0.7,
+            ("b", "a"): 0.7,
+        }
+        paths = decompose_flow(arc_flows, "s", "t")
+        assert sum(w for _p, w in paths) == pytest.approx(1.0)
+        for path, _w in paths:
+            assert len(set(path)) == len(path)
+
+    def test_negative_flow_rejected(self):
+        with pytest.raises(ValidationError):
+            decompose_flow({("a", "b"): -1.0}, "a", "b")
+
+    def test_broken_conservation_detected(self):
+        with pytest.raises(SolverError):
+            decompose_flow({("s", "a"): 1.0}, "s", "t")
+
+    def test_zero_flow_returns_empty(self):
+        assert decompose_flow({}, "s", "t") == []
+
+
+class TestAgainstFrankWolfe:
+    def test_roundtrip_matches_path_flows(self):
+        """Aggregating FW's path flows to arcs and decomposing again must
+        conserve total weight and only produce valid paths."""
+        topo = fat_tree(4)
+        fw = FrankWolfeSolver(
+            topo, envelope_cost(PowerModel.quadratic()),
+            max_iterations=300, gap_tolerance=1e-6,
+        )
+        h = topo.hosts
+        sol = fw.solve([Commodity(0, h[0], h[-1], 3.0)])
+
+        arc_flows: dict[tuple[str, str], float] = {}
+        for path, amount in sol.path_flows[0].items():
+            for u, v in zip(path, path[1:]):
+                arc_flows[(u, v)] = arc_flows.get((u, v), 0.0) + amount
+
+        extracted = decompose_flow(arc_flows, h[0], h[-1])
+        assert sum(w for _p, w in extracted) == pytest.approx(3.0, rel=1e-6)
+        for path, _w in extracted:
+            topo.validate_path(path, h[0], h[-1])

@@ -1,0 +1,125 @@
+"""Tests for the exhaustive exact DCFSR solver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import exact_parallel_assignment_energy, solve_dcfsr_exact
+from repro.errors import InfeasibleError, ValidationError
+from repro.flows import Flow, FlowSet
+from repro.power import PowerModel
+from repro.topology import parallel_paths, star
+
+
+class TestExactSearch:
+    def test_two_flows_prefer_disjoint_paths(self, quadratic):
+        """With f = x^2 and simultaneous unit-time flows, splitting across
+        two relay paths beats stacking on one: (a^2+b^2) < (a+b)^2."""
+        topo = parallel_paths(2)
+        flows = FlowSet(
+            [
+                Flow(id=1, src="src", dst="dst", size=3.0, release=0, deadline=1),
+                Flow(id=2, src="src", dst="dst", size=2.0, release=0, deadline=1),
+            ]
+        )
+        result = solve_dcfsr_exact(flows, topo, quadratic)
+        assert result.paths[1] != result.paths[2]
+        # 2 links/path * (3^2 + 2^2) = 26.
+        assert result.energy.total == pytest.approx(26.0)
+
+    def test_with_idle_power_flows_consolidate(self):
+        """A big enough sigma flips the preference: one active path."""
+        topo = parallel_paths(2)
+        flows = FlowSet(
+            [
+                Flow(id=1, src="src", dst="dst", size=1.0, release=0, deadline=1),
+                Flow(id=2, src="src", dst="dst", size=1.0, release=0, deadline=1),
+            ]
+        )
+        power = PowerModel(sigma=10.0, mu=1.0, alpha=2.0)
+        result = solve_dcfsr_exact(flows, topo, power)
+        assert result.paths[1] == result.paths[2]
+
+    def test_assignment_space_cap(self, quadratic):
+        topo = parallel_paths(4)
+        flows = FlowSet(
+            Flow(id=i, src="src", dst="dst", size=1.0, release=0, deadline=1)
+            for i in range(8)
+        )
+        with pytest.raises(ValidationError):
+            solve_dcfsr_exact(
+                flows, topo, quadratic, max_paths_per_flow=4, max_assignments=100
+            )
+
+    def test_counts_assignments(self, quadratic):
+        topo = parallel_paths(2)
+        flows = FlowSet(
+            [
+                Flow(id=1, src="src", dst="dst", size=1.0, release=0, deadline=1),
+                Flow(id=2, src="src", dst="dst", size=1.0, release=0, deadline=1),
+            ]
+        )
+        result = solve_dcfsr_exact(flows, topo, quadratic, max_paths_per_flow=2)
+        assert result.assignments_tried == 4
+
+    def test_star_instance(self, quadratic):
+        topo = star(4)
+        flows = FlowSet(
+            [
+                Flow(id=1, src="h0", dst="h1", size=2.0, release=0, deadline=2),
+                Flow(id=2, src="h2", dst="h3", size=4.0, release=0, deadline=2),
+            ]
+        )
+        result = solve_dcfsr_exact(flows, topo, quadratic)
+        # Unique paths in a star; energy = 2*(1^2)*2 + 2*(2^2)*2.
+        assert result.energy.total == pytest.approx(4.0 + 16.0)
+
+
+class TestParallelAssignmentEnumerator:
+    def test_matches_hand_computation(self, quadratic):
+        energy, grouping = exact_parallel_assignment_energy(
+            [3.0, 2.0], num_paths=2, power=quadratic
+        )
+        assert energy == pytest.approx(26.0)
+        assert sorted(len(g) for g in grouping) == [1, 1]
+
+    def test_consolidates_under_idle_power(self):
+        power = PowerModel(sigma=10.0, mu=1.0, alpha=2.0)
+        energy, grouping = exact_parallel_assignment_energy(
+            [1.0, 1.0], num_paths=2, power=power
+        )
+        assert len(grouping) == 1
+        assert energy == pytest.approx(2 * (10.0 + 4.0))
+
+    def test_capacity_prunes_groupings(self):
+        power = PowerModel.quadratic(capacity=2.5)
+        energy, grouping = exact_parallel_assignment_energy(
+            [2.0, 2.0], num_paths=2, power=power
+        )
+        assert len(grouping) == 2  # stacking 4.0 > C is pruned
+
+    def test_infeasible_capacity_raises(self):
+        power = PowerModel.quadratic(capacity=0.5)
+        with pytest.raises(InfeasibleError):
+            exact_parallel_assignment_energy([2.0], num_paths=2, power=power)
+
+    def test_too_many_flows_rejected(self, quadratic):
+        with pytest.raises(ValidationError):
+            exact_parallel_assignment_energy(
+                [1.0] * 13, num_paths=3, power=quadratic
+            )
+
+    def test_matches_exact_search(self, quadratic):
+        """The closed-form enumerator and the general exhaustive search must
+        agree on parallel-path instances."""
+        topo = parallel_paths(3)
+        sizes = [3.0, 1.0, 2.0]
+        flows = FlowSet(
+            Flow(id=i, src="src", dst="dst", size=s, release=0, deadline=1)
+            for i, s in enumerate(sizes)
+        )
+        search = solve_dcfsr_exact(flows, topo, quadratic, max_paths_per_flow=3)
+        enum_energy, _ = exact_parallel_assignment_energy(
+            sizes, num_paths=3, power=quadratic
+        )
+        assert search.energy.total == pytest.approx(enum_energy)

@@ -1,0 +1,50 @@
+"""Smoke tests for the fast example scripts.
+
+The heavier examples (quickstart, topology comparison, incast sweep,
+online-vs-offline) are exercised indirectly through the experiment tests;
+the two analytical ones are cheap enough to run outright, and their
+internal assertions double as regression checks.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = spec.loader.exec_module(module) or module
+    module.main()
+    return capsys.readouterr().out
+
+
+class TestFastExamples:
+    def test_line_network_matches_paper(self, capsys):
+        out = run_example("line_network", capsys)
+        assert "matches the paper's analytical solution" in out
+        assert "5.495094" in out  # (8 + 6 sqrt 2) / 3
+
+    def test_hardness_demo_verifies_both_theorems(self, capsys):
+        out = run_example("hardness_demo", capsys)
+        assert out.count("matches: True") >= 2
+        assert "matches the 3-partition answer: True" in out
+        assert "no FPTAS" in out
+
+    def test_example_files_exist(self):
+        expected = {
+            "quickstart.py",
+            "line_network.py",
+            "incast_deadline.py",
+            "topology_comparison.py",
+            "hardness_demo.py",
+            "online_vs_offline.py",
+        }
+        present = {p.name for p in EXAMPLES.glob("*.py")}
+        assert expected <= present

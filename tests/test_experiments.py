@@ -1,0 +1,136 @@
+"""Smoke tests for the experiment harness, Figure 2, and ablations.
+
+These run at deliberately tiny scale; the full-scale reproduction lives in
+``benchmarks/`` and ``python -m repro.experiments.figure2``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.experiments import (
+    PAPER_FLOW_COUNTS,
+    figure2_table,
+    lambda_ablation,
+    rounding_ablation,
+    run_comparison,
+    run_figure2,
+    sigma_ablation,
+    topology_ablation,
+)
+from repro.flows import paper_workload
+from repro.power import PowerModel
+
+
+class TestRunComparison:
+    def test_point_structure(self, ft4, quadratic):
+        point = run_comparison(
+            ft4,
+            quadratic,
+            workload_factory=lambda seed: paper_workload(
+                ft4, 10, horizon=(0.0, 20.0), seed=seed
+            ),
+            label="10",
+            runs=2,
+        )
+        assert point.runs == 2
+        assert len(point.ratios["RS"]) == 2
+        assert len(point.ratios["SP+MCF"]) == 2
+        assert point.mean_ratio("RS") >= 1.0 - 1e-9
+        assert point.std_ratio("RS") >= 0.0
+
+    def test_extra_algorithms(self, ft4, quadratic):
+        from repro.core import greedy_marginal_routing
+
+        point = run_comparison(
+            ft4,
+            quadratic,
+            workload_factory=lambda seed: paper_workload(
+                ft4, 8, horizon=(0.0, 20.0), seed=seed
+            ),
+            label="8",
+            runs=1,
+            algorithms={
+                "Greedy": lambda f, t, p: greedy_marginal_routing(
+                    f, t, p
+                ).energy.total
+            },
+        )
+        assert "Greedy" in point.ratios
+        assert point.mean_ratio("Greedy") >= 1.0 - 1e-9
+
+    def test_runs_validated(self, ft4, quadratic):
+        with pytest.raises(ValidationError):
+            run_comparison(
+                ft4, quadratic,
+                workload_factory=lambda seed: paper_workload(ft4, 4, seed=seed),
+                label="x", runs=0,
+            )
+
+
+class TestFigure2:
+    def test_paper_constants(self):
+        assert PAPER_FLOW_COUNTS == (40, 80, 120, 160, 200)
+
+    @pytest.mark.parametrize("alpha", [2.0, 4.0])
+    def test_small_scale_panel(self, alpha):
+        result = run_figure2(
+            alpha=alpha,
+            flow_counts=(8, 16),
+            runs=1,
+            fat_tree_k=4,
+            horizon=(1.0, 20.0),
+        )
+        assert result.alpha == alpha
+        assert [p.label for p in result.points] == ["8", "16"]
+        rs = result.series("RS")
+        sp = result.series("SP+MCF")
+        assert all(r >= 1.0 - 1e-9 for r in rs)
+        assert all(s >= 1.0 - 1e-9 for s in sp)
+
+    def test_table_rendering(self):
+        result = run_figure2(
+            alpha=2.0, flow_counts=(6,), runs=1, fat_tree_k=4,
+            horizon=(1.0, 10.0),
+        )
+        table = figure2_table(result)
+        text = table.render()
+        assert "Figure 2" in text
+        assert "RS mean" in text and "SP+MCF mean" in text
+        assert len(table.rows) == 1
+
+    def test_cli_entrypoint(self, capsys, tmp_path):
+        from repro.experiments.figure2 import main
+
+        csv = tmp_path / "fig2.csv"
+        code = main(
+            [
+                "--alpha", "2", "--runs", "1", "--fat-tree-k", "4",
+                "--flows", "6", "--csv", str(csv),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 2" in out
+        assert csv.exists()
+
+
+class TestAblations:
+    def test_sigma(self):
+        table = sigma_ablation(sigmas=(0.0, 1.0), num_flows=8, runs=1)
+        assert len(table.rows) == 2
+
+    def test_lambda(self):
+        table = lambda_ablation(skews=(0.0, 2.0), num_flows=8, runs=1)
+        assert len(table.rows) == 2
+
+    def test_rounding(self):
+        table = rounding_ablation(num_flows=8, draws=5, seed=0)
+        assert len(table.rows) == 1
+        row = table.rows[0]
+        assert float(row[1]) <= float(row[2]) <= float(row[3])  # min<=mean<=max
+
+    def test_topology(self):
+        table = topology_ablation(num_flows=6, runs=1)
+        assert len(table.rows) == 5  # five fabrics

@@ -1,0 +1,75 @@
+"""Tests for link-failure degradation."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from tests.conftest import random_flows_on
+from repro.core import solve_dcfsr, sp_mcf
+from repro.errors import TopologyError, ValidationError
+from repro.sim import fail_links
+from repro.topology import fat_tree, line, star
+
+
+class TestFailLinks:
+    def test_removes_requested_count(self, ft4):
+        degraded, failed = fail_links(ft4, 4, seed=0)
+        assert len(failed) == 4
+        assert degraded.num_edges == ft4.num_edges - 4
+
+    def test_stays_connected(self, ft4):
+        degraded, _failed = fail_links(ft4, 8, seed=1)
+        assert nx.is_connected(degraded.graph)
+
+    def test_host_links_protected(self, ft4):
+        hosts = set(ft4.hosts)
+        _degraded, failed = fail_links(ft4, 10, seed=2)
+        for u, v in failed:
+            assert u not in hosts and v not in hosts
+
+    def test_deterministic(self, ft4):
+        _a, failed_a = fail_links(ft4, 5, seed=7)
+        _b, failed_b = fail_links(ft4, 5, seed=7)
+        assert failed_a == failed_b
+
+    def test_zero_failures_identity(self, ft4):
+        degraded, failed = fail_links(ft4, 0, seed=0)
+        assert failed == ()
+        assert degraded.num_edges == ft4.num_edges
+
+    def test_refuses_when_impossible(self):
+        # A star has only host links; protecting them leaves nothing to fail.
+        with pytest.raises(TopologyError):
+            fail_links(star(4), 1, seed=0)
+
+    def test_negative_count_rejected(self, ft4):
+        with pytest.raises(ValidationError):
+            fail_links(ft4, -1)
+
+    def test_unprotected_mode_keeps_connectivity(self):
+        topo = line(4)
+        # Any removal on a line disconnects it; must refuse.
+        with pytest.raises(TopologyError):
+            fail_links(topo, 1, seed=0, protect_host_links=False)
+
+
+class TestDegradedScheduling:
+    def test_pipeline_survives_failures(self, quadratic):
+        base = fat_tree(4)
+        flows = random_flows_on(base, 8, seed=5)
+        degraded, _failed = fail_links(base, 6, seed=5)
+        rs = solve_dcfsr(flows, degraded, quadratic, seed=5)
+        sp = sp_mcf(flows, degraded, quadratic)
+        assert rs.schedule.verify(flows, degraded, quadratic).ok
+        assert sp.schedule.verify(flows, degraded, quadratic).deadline_feasible
+
+    def test_failures_never_reduce_lower_bound(self, quadratic):
+        """Removing links can only shrink the feasible set, so the
+        fractional LB is monotone nondecreasing in failures."""
+        base = fat_tree(4)
+        flows = random_flows_on(base, 8, seed=6)
+        rs_full = solve_dcfsr(flows, base, quadratic, seed=6)
+        degraded, _ = fail_links(base, 8, seed=6)
+        rs_deg = solve_dcfsr(flows, degraded, quadratic, seed=6)
+        assert rs_deg.lower_bound >= rs_full.lower_bound * (1 - 1e-6)

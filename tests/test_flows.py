@@ -1,0 +1,124 @@
+"""Tests for Flow / FlowSet."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.flows import Flow, FlowSet
+
+
+def make_flow(**overrides):
+    base = dict(id=1, src="a", dst="b", size=5.0, release=0.0, deadline=2.0)
+    base.update(overrides)
+    return Flow(**base)
+
+
+class TestFlow:
+    def test_density(self):
+        assert make_flow(size=6.0, release=1.0, deadline=4.0).density == 2.0
+
+    def test_span(self):
+        f = make_flow(release=1.0, deadline=4.0)
+        assert f.span == (1.0, 4.0)
+        assert f.span_length == 3.0
+
+    def test_rejects_equal_endpoints(self):
+        with pytest.raises(ValidationError):
+            make_flow(dst="a")
+
+    @pytest.mark.parametrize("size", [0.0, -1.0])
+    def test_rejects_nonpositive_size(self, size):
+        with pytest.raises(ValidationError):
+            make_flow(size=size)
+
+    def test_rejects_deadline_before_release(self):
+        with pytest.raises(ValidationError):
+            make_flow(release=3.0, deadline=3.0)
+
+    def test_active_at_closed_span(self):
+        f = make_flow(release=1.0, deadline=4.0)
+        assert f.is_active_at(1.0)
+        assert f.is_active_at(4.0)
+        assert not f.is_active_at(0.999)
+        assert not f.is_active_at(4.001)
+
+    def test_covers_interval(self):
+        f = make_flow(release=1.0, deadline=4.0)
+        assert f.covers_interval(1.0, 4.0)
+        assert f.covers_interval(2.0, 3.0)
+        assert not f.covers_interval(0.5, 2.0)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            make_flow().size = 9.0
+
+
+class TestFlowSet:
+    def make_set(self):
+        return FlowSet(
+            [
+                make_flow(id=1, release=0.0, deadline=2.0, size=4.0),
+                make_flow(id=2, release=1.0, deadline=5.0, size=8.0),
+                make_flow(id=3, release=3.0, deadline=4.0, size=1.0),
+            ]
+        )
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            FlowSet([])
+
+    def test_rejects_duplicate_ids(self):
+        with pytest.raises(ValidationError):
+            FlowSet([make_flow(id=1), make_flow(id=1)])
+
+    def test_lookup(self):
+        flows = self.make_set()
+        assert flows[2].size == 8.0
+        assert 2 in flows
+        assert 99 not in flows
+        with pytest.raises(ValidationError):
+            flows[99]
+
+    def test_horizon_covers_all_deadlines(self):
+        flows = self.make_set()
+        assert flows.horizon == (0.0, 5.0)
+        assert flows.horizon_length == 5.0
+
+    def test_total_size(self):
+        assert self.make_set().total_size == 13.0
+
+    def test_max_density(self):
+        flows = self.make_set()
+        assert flows.max_density == pytest.approx(2.0)  # flow 1: 4/2
+
+    def test_breakpoints_sorted_unique(self):
+        flows = self.make_set()
+        assert flows.breakpoints() == (0.0, 1.0, 2.0, 3.0, 4.0, 5.0)
+
+    def test_active_at(self):
+        flows = self.make_set()
+        assert {f.id for f in flows.active_at(1.5)} == {1, 2}
+        assert {f.id for f in flows.active_at(3.5)} == {2, 3}
+
+    def test_active_in(self):
+        flows = self.make_set()
+        assert {f.id for f in flows.active_in(3.0, 4.0)} == {2, 3}
+
+    def test_subset_preserves_order(self):
+        flows = self.make_set()
+        sub = flows.subset([3, 1])
+        assert [f.id for f in sub] == [3, 1]
+
+    def test_validate_against(self, line3):
+        good = FlowSet([make_flow(src="n0", dst="n2")])
+        good.validate_against(line3)
+        bad = FlowSet([make_flow(src="n0", dst="zz")])
+        with pytest.raises(ValidationError):
+            bad.validate_against(line3)
+
+    def test_iteration_order(self):
+        flows = self.make_set()
+        assert [f.id for f in flows] == [1, 2, 3]
+        assert flows.ids == (1, 2, 3)
+        assert len(flows) == 3

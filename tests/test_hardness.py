@@ -1,0 +1,168 @@
+"""Tests for the NP-hardness constructions (Theorems 2 and 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.hardness import (
+    GapInstance,
+    PartitionInstance,
+    ThreePartitionInstance,
+    build_gap_instance,
+    build_reduction,
+    gap_lower_bound,
+    partition_exists,
+    three_partition_exists,
+    verify_gap,
+    verify_reduction,
+)
+
+# A YES 3-Partition instance: {6,6,8} and {7,6,7} both sum to 20.
+YES_3P = ThreePartitionInstance(integers=(6, 6, 8, 7, 6, 7), target=20)
+# A NO 3-Partition instance: no triple of these sums to 100.
+NO_3P = ThreePartitionInstance(integers=(26, 26, 27, 40, 40, 41), target=100)
+
+# Partition: {3,5,4} = {2,6,4} = 12.
+YES_PART = PartitionInstance(integers=(3, 5, 4, 2, 6, 4))
+# No subset of {1,1,1,5,5,5} reaches 9.
+NO_PART = PartitionInstance(integers=(1, 1, 1, 5, 5, 5))
+
+
+class TestThreePartitionInstances:
+    def test_decision_solver(self):
+        assert three_partition_exists(YES_3P)
+        assert not three_partition_exists(NO_3P)
+
+    def test_validation_sum(self):
+        with pytest.raises(ValidationError):
+            ThreePartitionInstance(integers=(6, 6, 6, 6, 6, 6), target=20)
+
+    def test_validation_range(self):
+        # 5 == B/4 violates the open interval (B/4, B/2).
+        with pytest.raises(ValidationError):
+            ThreePartitionInstance(integers=(5, 7, 8, 6, 7, 7), target=20)
+
+    def test_validation_multiple_of_three(self):
+        with pytest.raises(ValidationError):
+            ThreePartitionInstance(integers=(10, 10), target=20)
+
+
+class TestTheorem2Reduction:
+    def test_power_model_pins_ropt_to_b(self):
+        red = build_reduction(YES_3P)
+        assert red.power.r_opt == pytest.approx(20.0)
+
+    def test_flow_per_integer(self):
+        red = build_reduction(YES_3P)
+        assert len(red.flows) == 6
+        assert sorted(f.size for f in red.flows) == sorted(
+            float(a) for a in YES_3P.integers
+        )
+
+    def test_yes_instance_meets_threshold(self):
+        red = build_reduction(YES_3P)
+        below, optimal = verify_reduction(red)
+        assert below
+        assert optimal == pytest.approx(red.energy_threshold)
+
+    def test_no_instance_exceeds_threshold(self):
+        red = build_reduction(NO_3P)
+        below, optimal = verify_reduction(red)
+        assert not below
+        assert optimal > red.energy_threshold
+
+    def test_iff_matches_decision(self):
+        for instance in (YES_3P, NO_3P):
+            red = build_reduction(instance)
+            below, _ = verify_reduction(red)
+            assert below == three_partition_exists(instance)
+
+    @pytest.mark.parametrize("alpha", [2.0, 3.0])
+    def test_threshold_formula(self, alpha):
+        """Phi_0 = (relay factor) * m * alpha * mu * B^alpha."""
+        red = build_reduction(YES_3P, alpha=alpha)
+        m, b = YES_3P.m, YES_3P.target
+        assert red.energy_threshold == pytest.approx(
+            2 * m * alpha * 1.0 * b**alpha
+        )
+
+
+class TestPartitionInstances:
+    def test_decision_solver(self):
+        assert partition_exists(YES_PART)
+        assert not partition_exists(NO_PART)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            PartitionInstance(integers=(3,))
+        with pytest.raises(ValidationError):
+            PartitionInstance(integers=(1, 2))  # odd total
+        with pytest.raises(ValidationError):
+            PartitionInstance(integers=(0, 2))
+
+
+class TestTheorem3Gap:
+    def test_gamma_formula(self):
+        # alpha = 2: 3/2 * (1 + (4/9 - 1)/2) = 13/12.
+        assert gap_lower_bound(2.0) == pytest.approx(13.0 / 12.0)
+        # gamma > 1 for every alpha > 1 (otherwise no gap).
+        for alpha in (1.5, 2.0, 3.0, 4.0, 8.0):
+            assert gap_lower_bound(alpha) > 1.0
+
+    def test_gamma_rejects_bad_alpha(self):
+        with pytest.raises(ValidationError):
+            gap_lower_bound(1.0)
+
+    def test_capacity_is_half_total(self):
+        gap = build_gap_instance(YES_PART)
+        assert gap.power.capacity == pytest.approx(YES_PART.total / 2)
+
+    def test_ropt_at_least_capacity(self):
+        gap = build_gap_instance(YES_PART)
+        assert gap.power.r_opt >= gap.power.capacity * (1 - 1e-9)
+
+    def test_yes_instance_hits_two_link_energy(self):
+        gap = build_gap_instance(YES_PART)
+        optimal, yes_side = verify_gap(gap)
+        assert yes_side
+        assert optimal == pytest.approx(gap.yes_energy)
+
+    def test_no_instance_needs_three_links(self):
+        gap = build_gap_instance(NO_PART)
+        optimal, yes_side = verify_gap(gap)
+        assert not yes_side
+        assert optimal >= gap.no_energy_bound * (1 - 1e-9)
+
+    def test_gap_ratio_at_least_gamma(self):
+        gap = build_gap_instance(NO_PART)
+        ratio = gap.no_energy_bound / gap.yes_energy
+        assert ratio >= gap_lower_bound(2.0) - 1e-9
+
+    def test_oversized_integer_rejected(self):
+        with pytest.raises(ValidationError):
+            build_gap_instance(PartitionInstance(integers=(1, 1, 1, 1, 2, 8)))
+
+    def test_needs_three_paths(self):
+        with pytest.raises(ValidationError):
+            build_gap_instance(YES_PART, num_paths=2)
+
+    @pytest.mark.parametrize("alpha", [2.0, 4.0])
+    def test_both_paper_alphas(self, alpha):
+        """The gap construction holds under both evaluation exponents."""
+        yes_gap = build_gap_instance(YES_PART, alpha=alpha)
+        opt_yes, yes_side = verify_gap(yes_gap)
+        assert yes_side and opt_yes == pytest.approx(yes_gap.yes_energy)
+        no_gap = build_gap_instance(NO_PART, alpha=alpha)
+        opt_no, no_side = verify_gap(no_gap)
+        assert not no_side
+        assert opt_no >= no_gap.no_energy_bound * (1 - 1e-9)
+        assert opt_no / opt_yes * (yes_gap.yes_energy / no_gap.yes_energy) > 0
+
+    @pytest.mark.parametrize("alpha", [2.0, 3.0, 4.0])
+    def test_reduction_iff_for_alphas(self, alpha):
+        """Theorem 2's iff is exponent-independent."""
+        for instance in (YES_3P, NO_3P):
+            red = build_reduction(instance, alpha=alpha)
+            below, _ = verify_reduction(red)
+            assert below == three_partition_exists(instance)

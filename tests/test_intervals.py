@@ -1,0 +1,121 @@
+"""Tests for the TimeGrid interval structure (paper Section V-A)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.flows import Flow, FlowSet, TimeGrid
+
+
+def flows_from_spans(spans):
+    return FlowSet(
+        Flow(id=i, src="a", dst="b", size=1.0, release=r, deadline=d)
+        for i, (r, d) in enumerate(spans)
+    )
+
+
+class TestBasics:
+    def test_breakpoints_and_intervals(self):
+        grid = TimeGrid(flows_from_spans([(0, 2), (1, 5)]))
+        assert grid.breakpoints == (0, 1, 2, 5)
+        assert [(iv.start, iv.end) for iv in grid.intervals] == [
+            (0, 1),
+            (1, 2),
+            (2, 5),
+        ]
+        assert grid.num_intervals == 3
+
+    def test_indices_one_based(self):
+        grid = TimeGrid(flows_from_spans([(0, 2), (1, 5)]))
+        assert [iv.index for iv in grid.intervals] == [1, 2, 3]
+
+    def test_horizon(self):
+        grid = TimeGrid(flows_from_spans([(0, 2), (1, 5)]))
+        assert grid.horizon == (0, 5)
+        assert grid.horizon_length == 5
+
+    def test_lam(self):
+        grid = TimeGrid(flows_from_spans([(0, 2), (1, 5)]))
+        assert grid.lam == pytest.approx(5.0 / 1.0)
+
+    def test_betas_sum_to_one(self):
+        grid = TimeGrid(flows_from_spans([(0, 2), (1, 5), (0.5, 4.5)]))
+        assert sum(grid.beta(iv) for iv in grid) == pytest.approx(1.0)
+
+    def test_degenerate_grid_rejected(self):
+        # Identical release/deadline across flows: only 2 breakpoints is
+        # fine, but a single point is impossible since deadline > release.
+        grid = TimeGrid(flows_from_spans([(0, 1), (0, 1)]))
+        assert grid.num_intervals == 1
+
+
+class TestActiveFlows:
+    def test_active_flows_per_interval(self):
+        flows = flows_from_spans([(0, 2), (1, 5)])
+        grid = TimeGrid(flows)
+        by_interval = [
+            {f.id for f in grid.active_flows(iv)} for iv in grid.intervals
+        ]
+        assert by_interval == [{0}, {0, 1}, {1}]
+
+    def test_intervals_of_tile_span(self):
+        flows = flows_from_spans([(0, 2), (1, 5), (2, 3)])
+        grid = TimeGrid(flows)
+        for flow in flows:
+            own = grid.intervals_of(flow)
+            assert own[0].start == flow.release
+            assert own[-1].end == flow.deadline
+            total = sum(iv.length for iv in own)
+            assert total == pytest.approx(flow.span_length)
+
+    def test_interval_at(self):
+        grid = TimeGrid(flows_from_spans([(0, 2), (1, 5)]))
+        assert grid.interval_at(0.5).index == 1
+        assert grid.interval_at(1.0).index == 2  # right-open boundaries
+        assert grid.interval_at(5.0).index == 3  # last interval closed
+
+    def test_interval_at_outside_horizon(self):
+        grid = TimeGrid(flows_from_spans([(0, 2)]))
+        with pytest.raises(ValidationError):
+            grid.interval_at(-1.0)
+
+
+@st.composite
+def random_spans(draw):
+    n = draw(st.integers(1, 8))
+    spans = []
+    for _ in range(n):
+        r = draw(st.floats(0, 50, allow_nan=False))
+        length = draw(st.floats(0.1, 20, allow_nan=False))
+        spans.append((r, r + length))
+    return spans
+
+
+class TestProperties:
+    @given(random_spans())
+    def test_intervals_tile_horizon(self, spans):
+        grid = TimeGrid(flows_from_spans(spans))
+        points = grid.breakpoints
+        assert all(a < b for a, b in zip(points, points[1:]))
+        assert grid.intervals[0].start == points[0]
+        assert grid.intervals[-1].end == points[-1]
+        for prev, nxt in zip(grid.intervals, grid.intervals[1:]):
+            assert prev.end == nxt.start
+
+    @given(random_spans())
+    def test_active_sets_constant_within_interval(self, spans):
+        flows = flows_from_spans(spans)
+        grid = TimeGrid(flows)
+        for iv in grid.intervals:
+            mid = 0.5 * (iv.start + iv.end)
+            active_mid = {f.id for f in flows.active_at(mid)}
+            active_iv = {f.id for f in grid.active_flows(iv)}
+            assert active_iv == active_mid
+
+    @given(random_spans())
+    def test_lambda_at_least_one(self, spans):
+        grid = TimeGrid(flows_from_spans(spans))
+        assert grid.lam >= 1.0 - 1e-12

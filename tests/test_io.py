@@ -1,0 +1,99 @@
+"""Round-trip tests for JSON persistence."""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.conftest import random_flows_on
+from repro.core import sp_mcf
+from repro.errors import ValidationError
+from repro.io import (
+    flows_from_json,
+    flows_to_json,
+    load_json,
+    save_json,
+    schedule_from_json,
+    schedule_to_json,
+    topology_from_json,
+    topology_to_json,
+)
+from repro.topology import fat_tree
+
+
+class TestFlowsRoundTrip:
+    def test_identity(self, ft4):
+        flows = random_flows_on(ft4, 8, seed=1)
+        clone = flows_from_json(flows_to_json(flows))
+        assert len(clone) == len(flows)
+        for f in flows:
+            g = clone[f.id]
+            assert (g.src, g.dst, g.size, g.release, g.deadline) == (
+                f.src, f.dst, f.size, f.release, f.deadline,
+            )
+
+    def test_wrong_kind_rejected(self, ft4):
+        flows = random_flows_on(ft4, 2, seed=0)
+        payload = flows_to_json(flows)
+        payload["kind"] = "topology"
+        with pytest.raises(ValidationError):
+            flows_from_json(payload)
+
+    def test_wrong_version_rejected(self, ft4):
+        payload = flows_to_json(random_flows_on(ft4, 2, seed=0))
+        payload["version"] = 99
+        with pytest.raises(ValidationError):
+            flows_from_json(payload)
+
+
+class TestTopologyRoundTrip:
+    def test_structure_preserved(self):
+        topo = fat_tree(4)
+        clone = topology_from_json(topology_to_json(topo))
+        assert clone.name == topo.name
+        assert clone.edges == topo.edges
+        assert clone.hosts == topo.hosts
+        assert clone.switches == topo.switches
+
+    def test_paths_agree_after_roundtrip(self):
+        topo = fat_tree(4)
+        clone = topology_from_json(topology_to_json(topo))
+        h = topo.hosts
+        assert clone.shortest_path(h[0], h[-1]) == topo.shortest_path(
+            h[0], h[-1]
+        )
+
+
+class TestScheduleRoundTrip:
+    def test_energy_preserved(self, ft4, quadratic):
+        flows = random_flows_on(ft4, 6, seed=2)
+        result = sp_mcf(flows, ft4, quadratic)
+        clone = schedule_from_json(schedule_to_json(result.schedule))
+        horizon = flows.horizon
+        original = result.schedule.energy(quadratic, horizon=horizon)
+        restored = clone.energy(quadratic, horizon=horizon)
+        assert restored.total == pytest.approx(original.total, rel=1e-12)
+        assert restored.active_links == original.active_links
+
+    def test_verification_passes_after_roundtrip(self, ft4, quadratic):
+        flows = random_flows_on(ft4, 6, seed=3)
+        result = sp_mcf(flows, ft4, quadratic)
+        clone = schedule_from_json(schedule_to_json(result.schedule))
+        report = clone.verify(flows, ft4, quadratic)
+        assert report.deadline_feasible
+
+
+class TestFileHelpers:
+    def test_save_and_load(self, ft4, tmp_path):
+        flows = random_flows_on(ft4, 4, seed=4)
+        path = tmp_path / "flows.json"
+        save_json(flows_to_json(flows), str(path))
+        payload = load_json(str(path))
+        assert payload["kind"] == "flows"
+        clone = flows_from_json(payload)
+        assert len(clone) == 4
+
+    def test_load_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ValidationError):
+            load_json(str(path))

@@ -1,0 +1,120 @@
+"""Tests for schedule metrics and reporting utilities."""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.conftest import random_flows_on
+from repro.analysis import Table, ascii_bar, compute_metrics, jain_index
+from repro.core import sp_mcf
+from repro.errors import ValidationError
+
+
+class TestJainIndex:
+    def test_equal_values_give_one(self):
+        assert jain_index([3.0, 3.0, 3.0]) == pytest.approx(1.0)
+
+    def test_single_value(self):
+        assert jain_index([7.0]) == pytest.approx(1.0)
+
+    def test_maximally_unfair(self):
+        # One user hogging everything among n users: index = 1/n.
+        assert jain_index([1.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_known_value(self):
+        # (1+2+3)^2 / (3 * (1+4+9)) = 36/42.
+        assert jain_index([1.0, 2.0, 3.0]) == pytest.approx(36.0 / 42.0)
+
+    def test_all_zero(self):
+        assert jain_index([0.0, 0.0]) == 1.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            jain_index([])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            jain_index([1.0, -0.5])
+
+
+class TestComputeMetrics:
+    def test_consistent_with_energy(self, ft4, quadratic):
+        flows = random_flows_on(ft4, 8, seed=0)
+        result = sp_mcf(flows, ft4, quadratic)
+        metrics = compute_metrics(result.schedule, flows, quadratic)
+        assert metrics.total_energy == pytest.approx(result.energy.total)
+        assert metrics.dynamic_energy == pytest.approx(result.energy.dynamic)
+        assert metrics.active_links == result.energy.active_links
+
+    def test_slack_nonnegative_for_feasible(self, ft4, quadratic):
+        flows = random_flows_on(ft4, 8, seed=1)
+        result = sp_mcf(flows, ft4, quadratic)
+        metrics = compute_metrics(result.schedule, flows, quadratic)
+        assert metrics.min_deadline_slack >= -1e-9
+        assert metrics.mean_deadline_slack >= metrics.min_deadline_slack
+
+    def test_utilization_in_unit_range(self, ft4, quadratic):
+        flows = random_flows_on(ft4, 8, seed=2)
+        result = sp_mcf(flows, ft4, quadratic)
+        metrics = compute_metrics(result.schedule, flows, quadratic)
+        assert 0.0 < metrics.mean_link_utilization <= 1.0
+
+    def test_fairness_in_unit_range(self, ft4, quadratic):
+        flows = random_flows_on(ft4, 8, seed=3)
+        result = sp_mcf(flows, ft4, quadratic)
+        metrics = compute_metrics(result.schedule, flows, quadratic)
+        assert 0.0 < metrics.rate_fairness <= 1.0
+
+    def test_as_dict_round_trip(self, ft4, quadratic):
+        flows = random_flows_on(ft4, 5, seed=4)
+        result = sp_mcf(flows, ft4, quadratic)
+        metrics = compute_metrics(result.schedule, flows, quadratic)
+        data = metrics.as_dict()
+        assert data["total_energy"] == metrics.total_energy
+        assert len(data) == 10
+
+
+class TestTable:
+    def test_render_contains_everything(self):
+        table = Table(title="demo", columns=("a", "b"))
+        table.add_row(1, 2.34567)
+        text = table.render()
+        assert "demo" in text
+        assert "2.346" in text  # 4 significant digits
+
+    def test_cell_count_enforced(self):
+        table = Table(title="demo", columns=("a", "b"))
+        with pytest.raises(ValidationError):
+            table.add_row(1)
+
+    def test_needs_columns(self):
+        with pytest.raises(ValidationError):
+            Table(title="demo", columns=())
+
+    def test_csv(self, tmp_path):
+        table = Table(title="demo", columns=("x", "y"))
+        table.add_row("p", 1.5)
+        path = tmp_path / "out.csv"
+        table.save_csv(str(path))
+        assert path.read_text() == "x,y\np,1.5\n"
+
+    def test_rows_accessor(self):
+        table = Table(title="demo", columns=("x",))
+        table.add_row(3)
+        assert table.rows == [("3",)]
+
+
+class TestAsciiBar:
+    def test_full_and_empty(self):
+        assert ascii_bar(10, 10, width=10) == "#" * 10
+        assert ascii_bar(0, 10, width=10) == "." * 10
+
+    def test_half(self):
+        assert ascii_bar(5, 10, width=10).count("#") == 5
+
+    def test_clamps_overflow(self):
+        assert ascii_bar(15, 10, width=10) == "#" * 10
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ValidationError):
+            ascii_bar(1, 0)

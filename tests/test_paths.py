@@ -1,0 +1,120 @@
+"""Tests for path enumeration utilities (k-shortest, ECMP)."""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.conftest import random_flows_on
+from repro.errors import TopologyError, ValidationError
+from repro.routing import ecmp_paths, ecmp_route, k_shortest_paths
+from repro.topology import build_topology, fat_tree, line
+
+
+class TestKShortest:
+    def test_orders_by_length(self, ft4):
+        h = ft4.hosts
+        paths = k_shortest_paths(ft4, h[0], h[-1], k=6)
+        lengths = [len(p) - 1 for p in paths]
+        assert lengths == sorted(lengths)
+        assert len(paths) == 6
+
+    def test_paths_are_valid_and_distinct(self, ft4):
+        h = ft4.hosts
+        paths = k_shortest_paths(ft4, h[0], h[-1], k=4)
+        assert len(set(paths)) == 4
+        for path in paths:
+            ft4.validate_path(path, h[0], h[-1])
+
+    def test_max_hops_cut(self, ft4):
+        h = ft4.hosts
+        paths = k_shortest_paths(ft4, h[0], h[-1], k=50, max_hops=6)
+        assert all(len(p) - 1 <= 6 for p in paths)
+        # A k=4 fat-tree has exactly 4 six-hop core routes between pods.
+        assert len(paths) == 4
+
+    def test_unique_path_topology(self, line3):
+        assert k_shortest_paths(line3, "n0", "n2", k=5) == [("n0", "n1", "n2")]
+
+    def test_validation(self, line3):
+        with pytest.raises(ValidationError):
+            k_shortest_paths(line3, "n0", "n2", k=0)
+        with pytest.raises(TopologyError):
+            k_shortest_paths(line3, "n0", "n0", k=1)
+        with pytest.raises(TopologyError):
+            k_shortest_paths(line3, "n0", "zz", k=1)
+
+    def test_disconnected(self):
+        topo = build_topology([("a", "b"), ("c", "d")], hosts=["a", "b", "c", "d"])
+        with pytest.raises(TopologyError):
+            k_shortest_paths(topo, "a", "c", k=1)
+
+    def test_max_hops_too_tight(self, ft4):
+        h = ft4.hosts
+        with pytest.raises(TopologyError):
+            k_shortest_paths(ft4, h[0], h[-1], k=3, max_hops=1)
+
+
+class TestEcmp:
+    def test_group_is_all_min_hop_paths(self, ft4):
+        h = ft4.hosts
+        group = ecmp_paths(ft4, h[0], h[-1])
+        assert len(group) == 4  # inter-pod: k^2/4 core routes
+        hops = {len(p) - 1 for p in group}
+        assert hops == {6}
+
+    def test_same_rack_single_path(self, ft4):
+        h = ft4.hosts
+        group = ecmp_paths(ft4, h[0], h[1])  # same edge switch
+        assert len(group) == 1
+
+    def test_route_spreads_flows(self, ft4):
+        flows = random_flows_on(ft4, 30, seed=1)
+        routes = ecmp_route(flows, ft4, seed=1)
+        assert set(routes) == {f.id for f in flows}
+        for flow in flows:
+            ft4.validate_path(routes[flow.id], flow.src, flow.dst)
+
+    def test_route_deterministic(self, ft4):
+        flows = random_flows_on(ft4, 10, seed=2)
+        assert ecmp_route(flows, ft4, seed=5) == ecmp_route(flows, ft4, seed=5)
+
+    def test_different_seeds_differ(self, ft4):
+        from repro.flows import Flow, FlowSet
+
+        h = ft4.hosts
+        flows = FlowSet(
+            Flow(id=i, src=h[0], dst=h[-1], size=1.0, release=0, deadline=1)
+            for i in range(16)
+        )
+        a = ecmp_route(flows, ft4, seed=1)
+        b = ecmp_route(flows, ft4, seed=2)
+        assert a != b
+
+
+class TestEcmpMcfBaseline:
+    def test_feasible_and_bounded(self, ft4, quadratic):
+        from repro.core import ecmp_mcf, fractional_lower_bound
+
+        flows = random_flows_on(ft4, 10, seed=3)
+        result = ecmp_mcf(flows, ft4, quadratic, seed=3)
+        assert result.name == "ECMP+MCF"
+        assert result.schedule.verify(flows, ft4, quadratic).deadline_feasible
+        lb = fractional_lower_bound(flows, ft4, quadratic)
+        assert result.energy.total >= lb * (1 - 1e-9)
+
+    def test_usually_beats_sp_on_hotspot(self, quadratic):
+        """Many same-pair flows: hashing across the ECMP group must beat
+        stacking them all on the single deterministic shortest path."""
+        from repro.core import ecmp_mcf, sp_mcf
+        from repro.flows import Flow, FlowSet
+
+        topo = fat_tree(4)
+        h = topo.hosts
+        flows = FlowSet(
+            Flow(id=i, src=h[0], dst=h[-1], size=5.0, release=float(i),
+                 deadline=float(i) + 2.0)
+            for i in range(8)
+        )
+        ecmp = ecmp_mcf(flows, topo, quadratic, seed=0)
+        sp = sp_mcf(flows, topo, quadratic)
+        assert ecmp.energy.total <= sp.energy.total * (1 + 1e-9)

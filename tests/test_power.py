@@ -1,0 +1,190 @@
+"""Tests for the link power model (paper Eq. (1) and Lemma 3)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.power import PowerModel
+
+
+class TestValidation:
+    def test_defaults_are_quadratic(self):
+        pm = PowerModel()
+        assert pm.sigma == 0.0
+        assert pm.alpha == 2.0
+        assert math.isinf(pm.capacity)
+
+    @pytest.mark.parametrize("sigma", [-1.0, -1e-9])
+    def test_negative_sigma_rejected(self, sigma):
+        with pytest.raises(ValidationError):
+            PowerModel(sigma=sigma)
+
+    @pytest.mark.parametrize("mu", [0.0, -2.0])
+    def test_nonpositive_mu_rejected(self, mu):
+        with pytest.raises(ValidationError):
+            PowerModel(mu=mu)
+
+    @pytest.mark.parametrize("alpha", [1.0, 0.5, -3.0])
+    def test_alpha_at_most_one_rejected(self, alpha):
+        with pytest.raises(ValidationError):
+            PowerModel(alpha=alpha)
+
+    def test_nonpositive_capacity_rejected(self):
+        with pytest.raises(ValidationError):
+            PowerModel(capacity=0.0)
+
+    def test_frozen(self):
+        pm = PowerModel()
+        with pytest.raises(AttributeError):
+            pm.sigma = 5.0
+
+
+class TestPowerFunction:
+    def test_zero_rate_draws_nothing(self):
+        pm = PowerModel(sigma=3.0)
+        assert pm.power(0.0) == 0.0
+        assert pm.power(-1.0) == 0.0
+
+    def test_positive_rate_pays_idle_plus_dynamic(self):
+        pm = PowerModel(sigma=3.0, mu=2.0, alpha=2.0)
+        assert pm.power(4.0) == pytest.approx(3.0 + 2.0 * 16.0)
+
+    def test_paper_quadratic(self):
+        pm = PowerModel.quadratic()
+        assert pm.power(5.0) == pytest.approx(25.0)
+
+    def test_paper_quartic(self):
+        pm = PowerModel.quartic()
+        assert pm.power(2.0) == pytest.approx(16.0)
+
+    def test_dynamic_power_excludes_idle(self):
+        pm = PowerModel(sigma=3.0, mu=1.0, alpha=2.0)
+        assert pm.dynamic_power(2.0) == pytest.approx(4.0)
+
+    def test_energy_is_power_times_duration(self):
+        pm = PowerModel.quadratic()
+        assert pm.energy(3.0, 2.0) == pytest.approx(18.0)
+
+    def test_energy_rejects_negative_duration(self):
+        with pytest.raises(ValidationError):
+            PowerModel.quadratic().energy(1.0, -1.0)
+
+    def test_dynamic_derivative(self):
+        pm = PowerModel(mu=2.0, alpha=3.0)
+        # d/dx 2x^3 = 6x^2
+        assert pm.dynamic_derivative(2.0) == pytest.approx(24.0)
+        assert pm.dynamic_derivative(0.0) == 0.0
+
+    def test_power_rate_requires_positive(self):
+        with pytest.raises(ValidationError):
+            PowerModel.quadratic().power_rate(0.0)
+
+
+class TestLemma3:
+    """R_opt = (sigma / (mu (alpha - 1)))^(1/alpha) minimizes power-per-bit."""
+
+    def test_closed_form(self):
+        pm = PowerModel(sigma=8.0, mu=2.0, alpha=2.0)
+        assert pm.r_opt == pytest.approx((8.0 / 2.0) ** 0.5)
+
+    def test_zero_sigma_gives_zero(self):
+        assert PowerModel.quadratic().r_opt == 0.0
+
+    @pytest.mark.parametrize("alpha", [1.5, 2.0, 3.0, 4.0])
+    @pytest.mark.parametrize("sigma", [0.5, 1.0, 10.0])
+    def test_r_opt_minimizes_power_rate(self, alpha, sigma):
+        pm = PowerModel(sigma=sigma, mu=1.3, alpha=alpha)
+        r = pm.r_opt
+        for factor in (0.5, 0.9, 1.1, 2.0):
+            assert pm.power_rate(r) <= pm.power_rate(r * factor) + 1e-12
+
+    def test_with_optimal_rate_inverts(self):
+        pm = PowerModel.with_optimal_rate(7.0, mu=2.0, alpha=3.0)
+        assert pm.r_opt == pytest.approx(7.0)
+
+    def test_with_optimal_rate_rejects_nonpositive(self):
+        with pytest.raises(ValidationError):
+            PowerModel.with_optimal_rate(0.0)
+
+    def test_best_operating_rate_clamped_by_capacity(self):
+        pm = PowerModel.with_optimal_rate(7.0).with_capacity(5.0)
+        assert pm.best_operating_rate == pytest.approx(5.0)
+
+
+class TestEnvelope:
+    def test_equals_f_when_sigma_zero(self):
+        pm = PowerModel.quadratic()
+        for x in (0.5, 1.0, 3.0):
+            assert pm.envelope(x) == pytest.approx(pm.power(x))
+
+    def test_zero_at_zero(self):
+        pm = PowerModel(sigma=2.0)
+        assert pm.envelope(0.0) == 0.0
+
+    def test_linear_below_kink(self):
+        pm = PowerModel(sigma=2.0, mu=1.0, alpha=2.0)
+        x_star = pm.best_operating_rate
+        slope = pm.power(x_star) / x_star
+        assert pm.envelope(x_star / 2) == pytest.approx(slope * x_star / 2)
+
+    def test_equals_f_above_kink(self):
+        pm = PowerModel(sigma=2.0, mu=1.0, alpha=2.0)
+        x = pm.best_operating_rate * 1.5
+        assert pm.envelope(x) == pytest.approx(pm.power(x))
+
+    def test_never_exceeds_f(self):
+        pm = PowerModel(sigma=4.0, mu=0.7, alpha=2.5)
+        for x in [0.01 * i for i in range(1, 600)]:
+            assert pm.envelope(x) <= pm.power(x) + 1e-12
+
+    def test_continuous_at_kink(self):
+        pm = PowerModel(sigma=3.0, mu=1.0, alpha=3.0)
+        x_star = pm.best_operating_rate
+        assert pm.envelope(x_star * (1 - 1e-9)) == pytest.approx(
+            pm.envelope(x_star * (1 + 1e-9)), rel=1e-6
+        )
+
+    @given(
+        sigma=st.floats(0.1, 10.0),
+        alpha=st.floats(1.1, 4.0),
+        a=st.floats(0.01, 20.0),
+        b=st.floats(0.01, 20.0),
+        lam=st.floats(0.0, 1.0),
+    )
+    def test_envelope_is_convex(self, sigma, alpha, a, b, lam):
+        pm = PowerModel(sigma=sigma, mu=1.0, alpha=alpha)
+        mid = lam * a + (1 - lam) * b
+        chord = lam * pm.envelope(a) + (1 - lam) * pm.envelope(b)
+        assert pm.envelope(mid) <= chord + 1e-9 * max(1.0, abs(chord))
+
+    def test_derivative_matches_numeric(self):
+        pm = PowerModel(sigma=2.0, mu=1.5, alpha=2.5)
+        h = 1e-7
+        for x in (0.3, pm.best_operating_rate * 2, 5.0):
+            numeric = (pm.envelope(x + h) - pm.envelope(x - h)) / (2 * h)
+            assert pm.envelope_derivative(x) == pytest.approx(numeric, rel=1e-4)
+
+
+class TestMisc:
+    def test_check_rate(self):
+        pm = PowerModel(capacity=10.0)
+        assert pm.check_rate(10.0)
+        assert pm.check_rate(0.0)
+        assert not pm.check_rate(10.5)
+        assert not pm.check_rate(-1.0)
+
+    def test_with_capacity_copies(self):
+        pm = PowerModel(sigma=1.0, mu=2.0, alpha=3.0)
+        pm2 = pm.with_capacity(4.0)
+        assert pm2.capacity == 4.0
+        assert (pm2.sigma, pm2.mu, pm2.alpha) == (1.0, 2.0, 3.0)
+        assert math.isinf(pm.capacity)
+
+    def test_describe_mentions_parameters(self):
+        text = PowerModel(sigma=1.0, mu=2.0, alpha=3.0, capacity=7.0).describe()
+        assert "1" in text and "2" in text and "3" in text and "7" in text

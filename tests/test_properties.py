@@ -1,0 +1,159 @@
+"""End-to-end property-based tests over randomly generated instances.
+
+These exercise the complete pipeline on hypothesis-generated workloads and
+assert the invariants that must hold for *every* instance, not just the
+seeded ones used elsewhere:
+
+* Random-Schedule always meets every deadline (Theorem 4);
+* energies are sandwiched:  LB <= RS energy, LB <= SP+MCF energy;
+* the independent fluid simulator always agrees with the analytical
+  integral;
+* scaling homogeneity: multiplying all sizes by c scales MCF rates by c
+  and dynamic energy by c^alpha (for fixed routing).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import validate_result
+from repro.core import solve_dcfs, solve_dcfsr, sp_mcf
+from repro.flows import Flow, FlowSet
+from repro.power import PowerModel
+from repro.topology import leaf_spine
+
+TOPOLOGY = leaf_spine(3, 2, hosts_per_leaf=2)
+POWER = PowerModel.quadratic()
+HOSTS = TOPOLOGY.hosts
+
+
+@st.composite
+def small_workloads(draw):
+    n = draw(st.integers(2, 6))
+    flows = []
+    for i in range(n):
+        release = draw(st.floats(0.0, 10.0, allow_nan=False))
+        length = draw(st.floats(0.5, 8.0, allow_nan=False))
+        size = draw(st.floats(0.5, 12.0, allow_nan=False))
+        pair = draw(
+            st.tuples(
+                st.integers(0, len(HOSTS) - 1), st.integers(0, len(HOSTS) - 1)
+            ).filter(lambda p: p[0] != p[1])
+        )
+        flows.append(
+            Flow(
+                id=i,
+                src=HOSTS[pair[0]],
+                dst=HOSTS[pair[1]],
+                size=size,
+                release=release,
+                deadline=release + length,
+            )
+        )
+    return FlowSet(flows)
+
+
+class TestPipelineInvariants:
+    @settings(max_examples=20, deadline=None)
+    @given(small_workloads())
+    def test_random_schedule_feasible_and_sandwiched(self, flows):
+        rs = solve_dcfsr(flows, TOPOLOGY, POWER, seed=0)
+        outcome = validate_result(rs.schedule, flows, TOPOLOGY, POWER)
+        assert outcome.ok, outcome.summary()
+        assert rs.lower_bound <= rs.energy.total * (1 + 1e-9)
+
+    @settings(max_examples=20, deadline=None)
+    @given(small_workloads())
+    def test_sp_mcf_feasible_and_simulator_agrees(self, flows):
+        sp = sp_mcf(flows, TOPOLOGY, POWER)
+        outcome = validate_result(sp.schedule, flows, TOPOLOGY, POWER)
+        assert outcome.report.deadline_feasible, outcome.summary()
+        assert outcome.energy_agreement <= 1e-6
+        assert outcome.simulated_deadlines_met
+
+
+class TestHomogeneity:
+    @settings(max_examples=15, deadline=None)
+    @given(small_workloads(), st.floats(1.5, 4.0))
+    def test_size_scaling_scales_rates_linearly(self, flows, factor):
+        """With routing fixed, scaling every w_i by c scales every optimal
+        rate by c (the YDS intensity is linear in work)."""
+        paths = {
+            f.id: TOPOLOGY.shortest_path(f.src, f.dst) for f in flows
+        }
+        base = solve_dcfs(flows, TOPOLOGY, paths, POWER)
+        scaled_flows = FlowSet(
+            Flow(
+                id=f.id, src=f.src, dst=f.dst, size=f.size * factor,
+                release=f.release, deadline=f.deadline,
+            )
+            for f in flows
+        )
+        scaled = solve_dcfs(scaled_flows, TOPOLOGY, paths, POWER)
+        for fid in base.rates:
+            assert scaled.rates[fid] == pytest.approx(
+                base.rates[fid] * factor, rel=1e-6
+            )
+
+    @settings(max_examples=15, deadline=None)
+    @given(small_workloads(), st.floats(1.5, 3.0))
+    def test_size_scaling_scales_energy_superlinearly(self, flows, factor):
+        """Dynamic energy scales as c^alpha under size scaling (alpha=2)."""
+        paths = {
+            f.id: TOPOLOGY.shortest_path(f.src, f.dst) for f in flows
+        }
+        base = solve_dcfs(flows, TOPOLOGY, paths, POWER)
+        scaled_flows = FlowSet(
+            Flow(
+                id=f.id, src=f.src, dst=f.dst, size=f.size * factor,
+                release=f.release, deadline=f.deadline,
+            )
+            for f in flows
+        )
+        scaled = solve_dcfs(scaled_flows, TOPOLOGY, paths, POWER)
+        assert scaled.dynamic_energy(POWER) == pytest.approx(
+            base.dynamic_energy(POWER) * factor**2, rel=1e-6
+        )
+
+
+class TestValidationApi:
+    def test_detects_broken_schedule(self):
+        from repro.scheduling import FlowSchedule, Schedule, Segment
+
+        flow = Flow(
+            id=1, src=HOSTS[0], dst=HOSTS[1], size=4.0, release=0.0,
+            deadline=2.0,
+        )
+        flows = FlowSet([flow])
+        path = TOPOLOGY.shortest_path(flow.src, flow.dst)
+        # Deliver only half the volume.
+        broken = Schedule(
+            [FlowSchedule(flow=flow, path=path, segments=(Segment(0, 1, 2.0),))]
+        )
+        outcome = validate_result(broken, flows, TOPOLOGY, POWER)
+        assert not outcome.ok
+        assert "volume" in outcome.summary()
+
+    def test_bad_horizon_rejected(self):
+        from repro.errors import ValidationError
+        from repro.scheduling import FlowSchedule, Schedule, Segment
+
+        flow = Flow(
+            id=1, src=HOSTS[0], dst=HOSTS[1], size=2.0, release=0.0,
+            deadline=2.0,
+        )
+        schedule = Schedule(
+            [
+                FlowSchedule(
+                    flow=flow,
+                    path=TOPOLOGY.shortest_path(flow.src, flow.dst),
+                    segments=(Segment(0, 2, 1.0),),
+                )
+            ]
+        )
+        with pytest.raises(ValidationError):
+            validate_result(
+                schedule, FlowSet([flow]), TOPOLOGY, POWER, horizon=(2, 2)
+            )

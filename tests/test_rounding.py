@@ -1,0 +1,100 @@
+"""Tests for randomized path rounding (Algorithm 2 steps 6-10)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.flows import Flow
+from repro.flows.intervals import Interval
+from repro.routing import aggregate_path_weights, sample_path
+
+
+def flow(release=0.0, deadline=4.0):
+    return Flow(id=1, src="a", dst="b", size=4.0, release=release, deadline=deadline)
+
+
+P1 = ("a", "x", "b")
+P2 = ("a", "y", "b")
+
+
+class TestAggregation:
+    def test_weights_are_interval_length_weighted(self):
+        f = flow()
+        fractions = [
+            (Interval(1, 0.0, 1.0), {P1: 1.0}),
+            (Interval(2, 1.0, 4.0), {P2: 1.0}),
+        ]
+        weights = aggregate_path_weights(f, fractions)
+        assert weights[P1] == pytest.approx(0.25)
+        assert weights[P2] == pytest.approx(0.75)
+
+    def test_mixed_fractions(self):
+        f = flow(deadline=2.0)
+        fractions = [
+            (Interval(1, 0.0, 1.0), {P1: 0.5, P2: 0.5}),
+            (Interval(2, 1.0, 2.0), {P1: 1.0}),
+        ]
+        weights = aggregate_path_weights(f, fractions)
+        assert weights[P1] == pytest.approx(0.75)
+        assert weights[P2] == pytest.approx(0.25)
+
+    def test_weights_sum_to_one(self):
+        f = flow()
+        fractions = [
+            (Interval(1, 0.0, 2.0), {P1: 0.3, P2: 0.7}),
+            (Interval(2, 2.0, 4.0), {P1: 0.9, P2: 0.1}),
+        ]
+        weights = aggregate_path_weights(f, fractions)
+        assert sum(weights.values()) == pytest.approx(1.0)
+
+    def test_interval_outside_span_rejected(self):
+        f = flow(release=1.0)
+        with pytest.raises(ValidationError):
+            aggregate_path_weights(f, [(Interval(1, 0.0, 2.0), {P1: 1.0})])
+
+    def test_partial_coverage_rejected(self):
+        f = flow()
+        with pytest.raises(ValidationError):
+            aggregate_path_weights(f, [(Interval(1, 0.0, 1.0), {P1: 1.0})])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            aggregate_path_weights(flow(), [])
+
+    def test_negative_fraction_rejected(self):
+        f = flow()
+        with pytest.raises(ValidationError):
+            aggregate_path_weights(
+                f, [(Interval(1, 0.0, 4.0), {P1: 1.5, P2: -0.5})]
+            )
+
+    def test_tolerates_solver_dust(self):
+        f = flow()
+        weights = aggregate_path_weights(
+            f, [(Interval(1, 0.0, 4.0), {P1: 0.999999, P2: 1.1e-6})]
+        )
+        assert sum(weights.values()) == pytest.approx(1.0)
+
+
+class TestSampling:
+    def test_deterministic_given_seed(self):
+        weights = {P1: 0.3, P2: 0.7}
+        a = sample_path(weights, np.random.default_rng(42))
+        b = sample_path(weights, np.random.default_rng(42))
+        assert a == b
+
+    def test_only_choice_always_selected(self):
+        assert sample_path({P1: 1.0}, np.random.default_rng(0)) == P1
+
+    def test_distribution_roughly_matches(self):
+        weights = {P1: 0.2, P2: 0.8}
+        rng = np.random.default_rng(7)
+        draws = [sample_path(weights, rng) for _ in range(2000)]
+        share = draws.count(P2) / len(draws)
+        assert 0.74 <= share <= 0.86
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            sample_path({}, np.random.default_rng(0))

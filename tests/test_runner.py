@@ -1,0 +1,59 @@
+"""Tests for the ablation CLI runner and the error hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    CapacityError,
+    InfeasibleError,
+    ReproError,
+    SolverError,
+    TopologyError,
+    ValidationError,
+)
+from repro.experiments.runner import ABLATIONS, main
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [ValidationError, TopologyError, InfeasibleError, CapacityError,
+         SolverError],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        with pytest.raises(ReproError):
+            raise exc("boom")
+
+    def test_catchable_individually(self):
+        with pytest.raises(InfeasibleError):
+            raise InfeasibleError("missed deadline")
+
+
+class TestRunnerCli:
+    def test_registry_complete(self):
+        assert set(ABLATIONS) == {
+            "sigma", "lambda", "rounding", "rounding-mode", "topology",
+            "failures", "online",
+        }
+
+    def test_single_ablation_runs(self, capsys, monkeypatch, tmp_path):
+        # Swap in a tiny stand-in so the CLI test stays fast.
+        from repro.analysis.reporting import Table
+
+        def tiny():
+            table = Table(title="tiny", columns=("a",))
+            table.add_row(1)
+            return table
+
+        monkeypatch.setitem(ABLATIONS, "rounding", tiny)
+        code = main(["--which", "rounding", "--csv-dir", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "tiny" in out
+        assert (tmp_path / "ablation_rounding.csv").exists()
+
+    def test_unknown_choice_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--which", "nonsense"])

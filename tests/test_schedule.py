@@ -1,0 +1,192 @@
+"""Tests for Schedule / FlowSchedule / energy accounting (Eq. (5))."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CapacityError, ValidationError
+from repro.flows import Flow, FlowSet
+from repro.power import PowerModel
+from repro.scheduling import FlowSchedule, Schedule, Segment
+
+
+def fs(flow, path, segments):
+    return FlowSchedule(
+        flow=flow, path=tuple(path), segments=tuple(Segment(*s) for s in segments)
+    )
+
+
+@pytest.fixture
+def flow_ab():
+    return Flow(id=1, src="n0", dst="n1", size=4.0, release=0.0, deadline=4.0)
+
+
+@pytest.fixture
+def flow_ac():
+    return Flow(id=2, src="n0", dst="n2", size=2.0, release=0.0, deadline=4.0)
+
+
+class TestSegment:
+    def test_volume(self):
+        assert Segment(0, 2, 3.0).volume == pytest.approx(6.0)
+
+    def test_rejects_zero_length(self):
+        with pytest.raises(ValidationError):
+            Segment(1, 1, 2.0)
+
+    def test_rejects_zero_rate(self):
+        with pytest.raises(ValidationError):
+            Segment(0, 1, 0.0)
+
+
+class TestFlowSchedule:
+    def test_orders_segments(self, flow_ab):
+        sched = fs(flow_ab, ["n0", "n1"], [(2, 3, 1.0), (0, 1, 3.0)])
+        assert [s.start for s in sched.segments] == [0, 2]
+
+    def test_rejects_overlap(self, flow_ab):
+        with pytest.raises(ValidationError):
+            fs(flow_ab, ["n0", "n1"], [(0, 2, 1.0), (1, 3, 1.0)])
+
+    def test_transmitted(self, flow_ab):
+        sched = fs(flow_ab, ["n0", "n1"], [(0, 1, 3.0), (2, 3, 1.0)])
+        assert sched.transmitted == pytest.approx(4.0)
+
+    def test_edges_and_hops(self, flow_ac):
+        sched = fs(flow_ac, ["n0", "n1", "n2"], [(0, 2, 1.0)])
+        assert sched.edges == (("n0", "n1"), ("n1", "n2"))
+        assert sched.num_links == 2
+
+    def test_within_span(self, flow_ab):
+        inside = fs(flow_ab, ["n0", "n1"], [(0, 4, 1.0)])
+        assert inside.within_span()
+        outside = fs(flow_ab, ["n0", "n1"], [(3, 5, 2.0)])
+        assert not outside.within_span()
+
+    def test_completion_time(self, flow_ab):
+        sched = fs(flow_ab, ["n0", "n1"], [(0, 1, 3.0), (2, 3, 1.0)])
+        assert sched.completion_time() == 3
+
+
+class TestScheduleEnergy:
+    def test_virtual_circuit_accounting(self, line3, flow_ac, quadratic):
+        """A 2-hop flow at rate s for t seconds costs 2 * s^2 * t."""
+        schedule = Schedule([fs(flow_ac, ["n0", "n1", "n2"], [(0, 2, 1.0)])])
+        e = schedule.energy(quadratic, horizon=(0, 4))
+        assert e.dynamic == pytest.approx(2 * 1.0 * 2)
+        assert e.idle == 0.0
+        assert e.active_links == 2
+
+    def test_concurrent_flows_stack(self, flow_ab, flow_ac, quadratic):
+        """Fluid sharing: both flows on (n0,n1) simultaneously -> rates add."""
+        schedule = Schedule(
+            [
+                fs(flow_ab, ["n0", "n1"], [(0, 4, 1.0)]),
+                fs(flow_ac, ["n0", "n1", "n2"], [(0, 4, 0.5)]),
+            ]
+        )
+        e = schedule.energy(quadratic, horizon=(0, 4))
+        # (n0,n1): rate 1.5 for 4s -> 9; (n1,n2): rate 0.5 for 4s -> 1
+        assert e.dynamic == pytest.approx(1.5**2 * 4 + 0.5**2 * 4)
+
+    def test_idle_charged_over_full_horizon(self, flow_ab):
+        power = PowerModel(sigma=2.0, mu=1.0, alpha=2.0)
+        schedule = Schedule([fs(flow_ab, ["n0", "n1"], [(0, 1, 4.0)])])
+        e = schedule.energy(power, horizon=(0, 10))
+        assert e.idle == pytest.approx(2.0 * 10 * 1)  # one link, whole horizon
+        assert e.total == e.idle + e.dynamic
+
+    def test_default_horizon_is_segment_extent(self, flow_ab):
+        power = PowerModel(sigma=1.0)
+        schedule = Schedule([fs(flow_ab, ["n0", "n1"], [(1, 3, 2.0)])])
+        assert schedule.energy(power).idle == pytest.approx(1.0 * 2)
+
+    def test_quartic_energy(self, flow_ab, quartic):
+        schedule = Schedule([fs(flow_ab, ["n0", "n1"], [(0, 2, 2.0)])])
+        assert schedule.energy(quartic, horizon=(0, 2)).dynamic == pytest.approx(
+            2.0**4 * 2
+        )
+
+    def test_max_link_rate(self, flow_ab, flow_ac):
+        schedule = Schedule(
+            [
+                fs(flow_ab, ["n0", "n1"], [(0, 4, 1.0)]),
+                fs(flow_ac, ["n0", "n1", "n2"], [(0, 4, 0.5)]),
+            ]
+        )
+        assert schedule.max_link_rate() == pytest.approx(1.5)
+
+    def test_duplicate_flow_rejected(self, flow_ab):
+        with pytest.raises(ValidationError):
+            Schedule(
+                [
+                    fs(flow_ab, ["n0", "n1"], [(0, 1, 4.0)]),
+                    fs(flow_ab, ["n0", "n1"], [(1, 2, 4.0)]),
+                ]
+            )
+
+    def test_lookup(self, flow_ab):
+        schedule = Schedule([fs(flow_ab, ["n0", "n1"], [(0, 1, 4.0)])])
+        assert schedule[1].flow == flow_ab
+        assert 1 in schedule and 2 not in schedule
+        with pytest.raises(ValidationError):
+            schedule[2]
+
+
+class TestVerify:
+    def make_instance(self, flow_ab, flow_ac):
+        flows = FlowSet([flow_ab, flow_ac])
+        return flows
+
+    def test_feasible_schedule_passes(self, line3, flow_ab, flow_ac, quadratic):
+        flows = self.make_instance(flow_ab, flow_ac)
+        schedule = Schedule(
+            [
+                fs(flow_ab, ["n0", "n1"], [(0, 4, 1.0)]),
+                fs(flow_ac, ["n0", "n1", "n2"], [(0, 4, 0.5)]),
+            ]
+        )
+        report = schedule.verify(flows, line3, quadratic)
+        assert report.ok
+        assert report.summary() == "feasible"
+
+    def test_volume_shortfall_detected(self, line3, flow_ab, quadratic):
+        flows = FlowSet([flow_ab])
+        schedule = Schedule([fs(flow_ab, ["n0", "n1"], [(0, 2, 1.0)])])  # 2 of 4
+        report = schedule.verify(flows, line3, quadratic)
+        assert not report.ok
+        assert report.volume_violations
+
+    def test_span_violation_detected(self, line3, quadratic):
+        flow = Flow(id=1, src="n0", dst="n1", size=2.0, release=0.0, deadline=1.0)
+        schedule = Schedule([fs(flow, ["n0", "n1"], [(0.5, 1.5, 2.0)])])
+        report = schedule.verify(FlowSet([flow]), line3, quadratic)
+        assert report.span_violations
+
+    def test_bad_path_detected(self, line3, flow_ac, quadratic):
+        schedule = Schedule([fs(flow_ac, ["n0", "n2"], [(0, 2, 1.0)])])
+        report = schedule.verify(FlowSet([flow_ac]), line3, quadratic)
+        assert report.path_violations
+
+    def test_capacity_violation_detected(self, line3, flow_ab):
+        power = PowerModel(capacity=2.0)
+        schedule = Schedule([fs(flow_ab, ["n0", "n1"], [(0, 1, 4.0)])])
+        report = schedule.verify(FlowSet([flow_ab]), line3, power)
+        assert report.capacity_violations
+        assert report.deadline_feasible  # capacity is the only problem
+
+    def test_missing_flow_detected(self, line3, flow_ab, flow_ac, quadratic):
+        flows = self.make_instance(flow_ab, flow_ac)
+        schedule = Schedule([fs(flow_ab, ["n0", "n1"], [(0, 4, 1.0)])])
+        report = schedule.verify(flows, line3, quadratic)
+        assert report.missing_flows
+
+    def test_verify_strict_raises(self, line3, flow_ab):
+        power = PowerModel(capacity=2.0)
+        schedule = Schedule([fs(flow_ab, ["n0", "n1"], [(0, 1, 4.0)])])
+        with pytest.raises(CapacityError):
+            schedule.verify_strict(FlowSet([flow_ab]), line3, power)
+
+    def test_paths_accessor(self, flow_ab):
+        schedule = Schedule([fs(flow_ab, ["n0", "n1"], [(0, 4, 1.0)])])
+        assert schedule.paths() == {1: ("n0", "n1")}

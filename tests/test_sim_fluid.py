@@ -1,0 +1,110 @@
+"""Tests for the fluid replay simulator (independent energy cross-check)."""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.conftest import random_flows_on
+from repro.core import solve_dcfsr, sp_mcf
+from repro.errors import ValidationError
+from repro.flows import Flow, FlowSet
+from repro.power import PowerModel
+from repro.scheduling import FlowSchedule, Schedule, Segment
+from repro.sim import simulate_fluid
+
+
+class TestEnergyAgreement:
+    """The simulator and the analytical integral are independent code paths
+    and must agree exactly."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_schedule(self, ft4, quadratic, seed):
+        flows = random_flows_on(ft4, 8, seed=seed)
+        rs = solve_dcfsr(flows, ft4, quadratic, seed=seed)
+        report = simulate_fluid(rs.schedule, flows, ft4, quadratic)
+        assert report.total_energy == pytest.approx(rs.energy.total, rel=1e-9)
+        assert report.all_deadlines_met
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_sp_mcf_schedule(self, ft4, quadratic, seed):
+        flows = random_flows_on(ft4, 8, seed=seed)
+        sp = sp_mcf(flows, ft4, quadratic)
+        report = simulate_fluid(sp.schedule, flows, ft4, quadratic)
+        assert report.total_energy == pytest.approx(sp.energy.total, rel=1e-9)
+        assert report.all_deadlines_met
+
+    def test_quartic_and_idle_power(self, ft4):
+        power = PowerModel(sigma=1.5, mu=1.0, alpha=4.0)
+        flows = random_flows_on(ft4, 6, seed=4)
+        sp = sp_mcf(flows, ft4, power)
+        analytic = sp.schedule.energy(power, horizon=flows.horizon)
+        report = simulate_fluid(sp.schedule, flows, ft4, power, horizon=flows.horizon)
+        assert report.idle_energy == pytest.approx(analytic.idle, rel=1e-9)
+        assert report.dynamic_energy == pytest.approx(analytic.dynamic, rel=1e-9)
+        assert report.active_links == analytic.active_links
+
+
+class TestDiagnostics:
+    def make_simple(self, quadratic):
+        flow = Flow(id=1, src="n0", dst="n1", size=4.0, release=0, deadline=4)
+        flows = FlowSet([flow])
+        schedule = Schedule(
+            [
+                FlowSchedule(
+                    flow=flow,
+                    path=("n0", "n1"),
+                    segments=(Segment(0, 2, 2.0),),
+                )
+            ]
+        )
+        return flows, schedule
+
+    def test_completion_times(self, line3, quadratic):
+        flows, schedule = self.make_simple(quadratic)
+        report = simulate_fluid(schedule, flows, line3, quadratic)
+        assert report.completion_times[1] == pytest.approx(2.0)
+
+    def test_link_stats(self, line3, quadratic):
+        flows, schedule = self.make_simple(quadratic)
+        report = simulate_fluid(schedule, flows, line3, quadratic)
+        stats = report.link_stats[("n0", "n1")]
+        assert stats.peak_rate == pytest.approx(2.0)
+        assert stats.busy_time == pytest.approx(2.0)
+        assert stats.volume_carried == pytest.approx(4.0)
+        assert stats.utilization(4.0) == pytest.approx(0.5)
+
+    def test_capacity_violation_reported(self, line3):
+        power = PowerModel.quadratic(capacity=1.0)
+        flow = Flow(id=1, src="n0", dst="n1", size=4.0, release=0, deadline=4)
+        schedule = Schedule(
+            [FlowSchedule(flow=flow, path=("n0", "n1"), segments=(Segment(0, 2, 2.0),))]
+        )
+        report = simulate_fluid(schedule, FlowSet([flow]), line3, power)
+        assert report.capacity_violations
+
+    def test_unfinished_flow_detected(self, line3, quadratic):
+        flow = Flow(id=1, src="n0", dst="n1", size=4.0, release=0, deadline=4)
+        short = Schedule(
+            [FlowSchedule(flow=flow, path=("n0", "n1"), segments=(Segment(0, 1, 2.0),))]
+        )
+        report = simulate_fluid(short, FlowSet([flow]), line3, quadratic)
+        assert not report.deadlines_met[1]
+
+    def test_late_completion_detected(self, line3, quadratic):
+        flow = Flow(id=1, src="n0", dst="n1", size=4.0, release=0, deadline=1)
+        late = Schedule(
+            [FlowSchedule(flow=flow, path=("n0", "n1"), segments=(Segment(0, 2, 2.0),))]
+        )
+        report = simulate_fluid(late, FlowSet([flow]), line3, quadratic)
+        assert not report.deadlines_met[1]
+
+    def test_epoch_count(self, line3, quadratic):
+        flows, schedule = self.make_simple(quadratic)
+        report = simulate_fluid(schedule, flows, line3, quadratic, horizon=(0, 4))
+        assert report.epochs >= 2
+
+    def test_bad_utilization_arg(self, line3, quadratic):
+        flows, schedule = self.make_simple(quadratic)
+        report = simulate_fluid(schedule, flows, line3, quadratic)
+        with pytest.raises(ValidationError):
+            report.link_stats[("n0", "n1")].utilization(0.0)

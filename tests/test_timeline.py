@@ -1,0 +1,154 @@
+"""Tests for piecewise-constant timelines and blocked-time structures."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.scheduling import PiecewiseConstant, merge_segments, overlap_length
+from repro.scheduling.timeline import BlockedTimeline
+
+
+class TestMergeSegments:
+    def test_merges_overlap(self):
+        assert merge_segments([(0, 2), (1, 3)]) == [(0, 3)]
+
+    def test_merges_adjacent(self):
+        assert merge_segments([(0, 1), (1, 2)]) == [(0, 2)]
+
+    def test_keeps_gaps(self):
+        assert merge_segments([(0, 1), (2, 3)]) == [(0, 1), (2, 3)]
+
+    def test_drops_empty(self):
+        assert merge_segments([(1, 1), (2, 2.0000000000001)]) == []
+
+    def test_unsorted_input(self):
+        assert merge_segments([(5, 6), (0, 1), (0.5, 2)]) == [(0, 2), (5, 6)]
+
+
+class TestOverlapLength:
+    def test_basic(self):
+        assert overlap_length([(0, 2), (4, 6)], 1, 5) == pytest.approx(2.0)
+
+    def test_disjoint(self):
+        assert overlap_length([(0, 1)], 2, 3) == 0.0
+
+
+class TestPiecewiseConstant:
+    def test_single_segment(self):
+        pc = PiecewiseConstant()
+        pc.add(1, 3, 2.0)
+        assert pc(2.0) == 2.0
+        assert pc(0.0) == 0.0
+        assert pc(3.0) == 0.0  # right-open
+        assert pc.integrate() == pytest.approx(4.0)
+
+    def test_stacking(self):
+        pc = PiecewiseConstant()
+        pc.add(0, 2, 3.0)
+        pc.add(1, 4, 1.0)
+        assert pc(0.5) == 3.0
+        assert pc(1.5) == 4.0
+        assert pc(3.0) == 1.0
+        assert pc.maximum() == 4.0
+        assert pc.integrate() == pytest.approx(3 * 2 + 1 * 3)
+
+    def test_integrate_transform(self):
+        pc = PiecewiseConstant()
+        pc.add(0, 2, 3.0)
+        pc.add(1, 4, 1.0)
+        # x^2: 9*1 + 16*1 + 1*2 = 27
+        assert pc.integrate(lambda v: v * v) == pytest.approx(27.0)
+
+    def test_zero_value_ignored(self):
+        pc = PiecewiseConstant()
+        pc.add(0, 5, 0.0)
+        assert pc.is_empty()
+
+    def test_negative_length_rejected(self):
+        pc = PiecewiseConstant()
+        with pytest.raises(ValidationError):
+            pc.add(3, 1, 2.0)
+
+    def test_support_length(self):
+        pc = PiecewiseConstant()
+        pc.add(0, 1, 1.0)
+        pc.add(2, 3, 1.0)
+        assert pc.support_length() == pytest.approx(2.0)
+
+    def test_support_with_cancellation(self):
+        pc = PiecewiseConstant()
+        pc.add(0, 2, 1.0)
+        pc.add(0, 2, -1.0)
+        assert pc.support_length() == 0.0
+
+    def test_pieces_cover_breakpoints(self):
+        pc = PiecewiseConstant()
+        pc.add(0, 1, 1.0)
+        pc.add(2, 3, 5.0)
+        pieces = pc.pieces()
+        assert pieces == ((0, 1, 1.0), (1, 2, 0.0), (2, 3, 5.0))
+
+    def test_incremental_recompile(self):
+        pc = PiecewiseConstant()
+        pc.add(0, 1, 1.0)
+        assert pc.integrate() == pytest.approx(1.0)
+        pc.add(1, 2, 2.0)  # after a query, must recompile
+        assert pc.integrate() == pytest.approx(3.0)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(0, 10, allow_nan=False),
+                st.floats(0.1, 5, allow_nan=False),
+                st.floats(0.1, 4, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    def test_integral_equals_sum_of_rectangles(self, raw):
+        pc = PiecewiseConstant()
+        expected = 0.0
+        for start, length, value in raw:
+            pc.add(start, start + length, value)
+            expected += length * value
+        assert pc.integrate() == pytest.approx(expected, rel=1e-9)
+
+
+class TestBlockedTimeline:
+    def test_overlap_exact(self):
+        bt = BlockedTimeline()
+        bt.add_many([(0, 2), (5, 7)])
+        assert bt.overlap(1, 6) == pytest.approx(2.0)
+        assert bt.available(1, 6) == pytest.approx(3.0)
+
+    def test_merging_on_add(self):
+        bt = BlockedTimeline()
+        bt.add_many([(0, 2)])
+        bt.add_many([(1, 3)])
+        assert bt.segments() == ((0, 3),)
+
+    def test_bool(self):
+        bt = BlockedTimeline()
+        assert not bt
+        bt.add_many([(0, 1)])
+        assert bt
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(0, 20, allow_nan=False), st.floats(0.1, 5)),
+            max_size=10,
+        ),
+        st.floats(0, 20, allow_nan=False),
+        st.floats(0.1, 10, allow_nan=False),
+    )
+    def test_overlap_matches_bruteforce(self, raw, a, length):
+        segments = [(s, s + l) for s, l in raw]
+        bt = BlockedTimeline()
+        bt.add_many(segments)
+        b = a + length
+        expected = overlap_length(list(bt.segments()), a, b)
+        assert bt.overlap(a, b) == pytest.approx(expected, abs=1e-9)

@@ -1,0 +1,177 @@
+"""Structural tests for every topology generator."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology import (
+    LINKS_PER_PARALLEL_PATH,
+    bcube,
+    dumbbell,
+    fat_tree,
+    jellyfish,
+    leaf_spine,
+    line,
+    parallel_paths,
+    star,
+    vl2,
+)
+
+
+class TestFatTree:
+    @pytest.mark.parametrize("k", [2, 4, 6, 8])
+    def test_counts(self, k):
+        topo = fat_tree(k)
+        assert len(topo.hosts) == k**3 // 4
+        assert len(topo.switches) == 5 * k**2 // 4
+        # host links + edge-agg links + agg-core links
+        expected_links = (k**3 // 4) + k * (k // 2) ** 2 * 2
+        assert topo.num_edges == expected_links
+
+    def test_paper_scale_is_k8(self):
+        """80 switches and 128 servers (Section V-C) is exactly k = 8."""
+        topo = fat_tree(8)
+        assert len(topo.switches) == 80
+        assert len(topo.hosts) == 128
+
+    def test_connected(self):
+        assert nx.is_connected(fat_tree(4).graph)
+
+    def test_host_paths_at_most_six_hops(self):
+        topo = fat_tree(4)
+        h = topo.hosts
+        for other in h[1:8]:
+            assert len(topo.shortest_path(h[0], other)) - 1 <= 6
+
+    @pytest.mark.parametrize("k", [0, 3, -2])
+    def test_invalid_k(self, k):
+        with pytest.raises(TopologyError):
+            fat_tree(k)
+
+    def test_switch_degrees(self):
+        k = 4
+        topo = fat_tree(k)
+        for sw in topo.switches:
+            assert topo.degree(sw) == k
+
+
+class TestBCube:
+    @pytest.mark.parametrize("n,k", [(2, 1), (4, 1), (3, 2)])
+    def test_counts(self, n, k):
+        topo = bcube(n, k)
+        assert len(topo.hosts) == n ** (k + 1)
+        assert len(topo.switches) == (k + 1) * n**k
+        assert topo.num_edges == (k + 1) * n ** (k + 1)
+
+    def test_server_degree_is_k_plus_one(self):
+        topo = bcube(4, 1)
+        for host in topo.hosts:
+            assert topo.degree(host) == 2
+
+    def test_connected(self):
+        assert nx.is_connected(bcube(4, 1).graph)
+
+    @pytest.mark.parametrize("n,k", [(1, 1), (4, -1)])
+    def test_invalid_params(self, n, k):
+        with pytest.raises(TopologyError):
+            bcube(n, k)
+
+
+class TestVl2:
+    def test_counts(self):
+        topo = vl2(4, 4, hosts_per_tor=2)
+        assert len([s for s in topo.switches if "int" in s]) == 2
+        assert len([s for s in topo.switches if "agg" in s]) == 4
+        assert len([s for s in topo.switches if "tor" in s]) == 4
+        assert len(topo.hosts) == 8
+
+    def test_aggregate_full_mesh_to_intermediates(self):
+        topo = vl2(4, 4)
+        for agg in (s for s in topo.switches if "agg" in s):
+            nbrs = set(topo.neighbors(agg))
+            assert {s for s in topo.switches if "int" in s} <= nbrs
+
+    def test_connected(self):
+        assert nx.is_connected(vl2(4, 4).graph)
+
+    @pytest.mark.parametrize("da,di", [(3, 4), (4, 3), (0, 4)])
+    def test_invalid(self, da, di):
+        with pytest.raises(TopologyError):
+            vl2(da, di)
+
+
+class TestLeafSpine:
+    def test_counts(self):
+        topo = leaf_spine(3, 2, hosts_per_leaf=4)
+        assert len(topo.hosts) == 12
+        assert len(topo.switches) == 5
+        assert topo.num_edges == 3 * 2 + 12
+
+    def test_full_mesh(self):
+        topo = leaf_spine(3, 2)
+        spines = [s for s in topo.switches if "spine" in s]
+        for leaf in (s for s in topo.switches if "leaf" in s):
+            assert set(spines) <= set(topo.neighbors(leaf))
+
+    def test_invalid(self):
+        with pytest.raises(TopologyError):
+            leaf_spine(0, 1)
+
+
+class TestJellyfish:
+    def test_regular_degree(self):
+        topo = jellyfish(8, 3, hosts_per_switch=1, seed=0)
+        for sw in topo.switches:
+            host_nbrs = [n for n in topo.neighbors(sw) if n.startswith("h")]
+            sw_nbrs = [n for n in topo.neighbors(sw) if n.startswith("sw")]
+            assert len(sw_nbrs) == 3
+            assert len(host_nbrs) == 1
+
+    def test_connected_and_seeded(self):
+        a = jellyfish(10, 3, seed=3)
+        b = jellyfish(10, 3, seed=3)
+        assert a.edges == b.edges
+        assert nx.is_connected(a.graph)
+
+    def test_odd_degree_product_rejected(self):
+        with pytest.raises(TopologyError):
+            jellyfish(7, 3)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(TopologyError):
+            jellyfish(3, 4)
+
+
+class TestSimple:
+    def test_line(self):
+        topo = line(4)
+        assert topo.num_edges == 3
+        assert len(topo.hosts) == 4
+
+    def test_line_too_short(self):
+        with pytest.raises(TopologyError):
+            line(1)
+
+    def test_star(self):
+        topo = star(5)
+        assert len(topo.hosts) == 5
+        assert topo.degree("hub") == 5
+
+    def test_dumbbell_bottleneck(self):
+        topo = dumbbell(2, 3)
+        assert ("swL", "swR") in topo.edges
+        assert len(topo.hosts) == 5
+
+    def test_parallel_paths_structure(self):
+        topo = parallel_paths(3)
+        assert len(topo.switches) == 3
+        assert topo.num_edges == 3 * LINKS_PER_PARALLEL_PATH
+        # Each relay gives a disjoint 2-hop route.
+        path = topo.shortest_path("src", "dst")
+        assert len(path) - 1 == LINKS_PER_PARALLEL_PATH
+
+    def test_parallel_paths_invalid(self):
+        with pytest.raises(TopologyError):
+            parallel_paths(0)
