@@ -1,0 +1,72 @@
+"""Benchmark PERF-TRACE: sliding-horizon replay throughput (flows/second).
+
+Replays pre-generated Poisson traces through the engine at 10k and 100k
+flows on the paper's k=8 fat-tree: the load-oblivious Greedy+Density
+policy at both scales (the engine-throughput ceiling) and the
+marginal-cost Online+Density policy at 10k (Dijkstra-bound).  Trace
+generation happens outside the timed region; the timer sees only the
+engine and the policy.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.power import PowerModel
+from repro.topology import fat_tree
+from repro.traces import (
+    GreedyDensityPolicy,
+    OnlineDensityPolicy,
+    PoissonProcess,
+    ReplayEngine,
+    TraceSpec,
+    generate_trace,
+    lognormal_sizes,
+    proportional_slack,
+)
+
+TOPOLOGY = fat_tree(8)
+POWER = PowerModel.quadratic()
+WINDOW = 10.0
+ARRIVAL_RATE = 100.0
+
+
+def _trace(target_flows: int) -> list:
+    spec = TraceSpec(
+        arrivals=PoissonProcess(ARRIVAL_RATE),
+        duration=target_flows / ARRIVAL_RATE,
+        size_sampler=lognormal_sizes(1.0, 0.6),
+        slack_model=proportional_slack(3.0, 1.0),
+        seed=1,
+    )
+    return list(generate_trace(TOPOLOGY, spec))
+
+
+_POLICIES = {
+    "greedy": GreedyDensityPolicy,
+    "online": OnlineDensityPolicy,
+}
+
+
+@pytest.mark.benchmark(group="trace-replay")
+@pytest.mark.parametrize(
+    "num_flows,policy_name",
+    [(10_000, "greedy"), (100_000, "greedy"), (10_000, "online")],
+    ids=["greedy-10k", "greedy-100k", "online-10k"],
+)
+def test_replay_throughput(benchmark, num_flows, policy_name):
+    trace = _trace(num_flows)
+    engine = ReplayEngine(
+        TOPOLOGY, POWER, _POLICIES[policy_name](), window=WINDOW
+    )
+
+    def run():
+        return engine.run(iter(trace))
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert report.flows_served == len(trace)
+    assert report.miss_rate == 0.0
+    benchmark.extra_info["flows"] = report.flows_seen
+    benchmark.extra_info["flows_per_second"] = (
+        report.flows_seen / benchmark.stats.stats.mean
+    )

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Trace-driven serving: replay a bursty arrival stream window by window.
+
+The offline examples hand a complete flow set to an algorithm.  A serving
+system never gets that luxury: flows arrive over time and each must be
+routed and scheduled irrevocably.  This example generates one bursty
+(Markov-modulated) trace with heavy-tailed lognormal sizes, streams it
+through the sliding-horizon replay engine under three policies, and prints
+what the replay actually measured — deadline-miss rate, energy, and peak
+stacked link rate.
+
+Run:  python examples/trace_replay.py
+"""
+
+from repro.analysis import Table
+from repro.power import PowerModel
+from repro.topology import fat_tree
+from repro.traces import (
+    EpochDcfsPolicy,
+    GreedyDensityPolicy,
+    MarkovModulatedProcess,
+    OnlineDensityPolicy,
+    ReplayEngine,
+    TraceSpec,
+    generate_trace,
+    lognormal_sizes,
+    proportional_slack,
+)
+
+
+def main() -> None:
+    topology = fat_tree(4)
+    power = PowerModel.quadratic()
+    spec = TraceSpec(
+        arrivals=MarkovModulatedProcess(rates=(0.5, 12.0), mean_dwell=(6.0, 2.0)),
+        duration=40.0,
+        size_sampler=lognormal_sizes(1.0, 0.7),
+        slack_model=proportional_slack(3.0, 1.0),
+        seed=42,
+    )
+
+    table = Table(
+        title="sliding-horizon replay of one bursty trace (window = 5)",
+        columns=("policy", "flows", "miss rate", "energy", "peak link rate"),
+    )
+    reports = []
+    for policy in (
+        OnlineDensityPolicy(),
+        EpochDcfsPolicy(),
+        GreedyDensityPolicy(),
+    ):
+        engine = ReplayEngine(topology, power, policy, window=5.0)
+        report = engine.run(generate_trace(topology, spec))
+        reports.append(report)
+        table.add_row(
+            policy.name,
+            report.flows_seen,
+            report.miss_rate,
+            report.total_energy,
+            report.peak_link_rate,
+        )
+    assert len({r.flows_seen for r in reports}) == 1, "policies saw same trace"
+    assert all(r.miss_rate == 0.0 for r in reports), "density policies never miss"
+    print(table.render())
+    online, epoch, greedy = reports
+    assert online.total_energy < greedy.total_energy
+    print(
+        "Every policy replays the identical trace.  Marginal-cost routing\n"
+        f"(Online+Density) spends {online.total_energy / greedy.total_energy:.0%} "
+        "of the oblivious greedy energy by steering\n"
+        "bursts away from loaded links; per-epoch DCFS optimizes each window\n"
+        "in isolation and pays for cross-window stacking it cannot see."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -122,20 +122,11 @@ def greedy_marginal_routing(
     loads = np.zeros(topology.num_edges)
     paths: dict[int | str, Path] = {}
     order = sorted(flows, key=lambda f: (-f.density, str(f.id)))
-    import networkx as nx
+    from repro.routing.paths import marginal_route
 
-    from repro.topology.base import canonical_edge
-
-    graph = topology.graph
     for flow in order:
         marginal = np.maximum(cost.derivative(loads), 1e-12)
-
-        def weight(u: str, v: str, _data: dict) -> float:
-            return float(marginal[topology.edge_id(canonical_edge(u, v))])
-
-        path = tuple(
-            nx.dijkstra_path(graph, flow.src, flow.dst, weight=weight)
-        )
+        path = marginal_route(topology, flow.src, flow.dst, marginal)
         paths[flow.id] = path
         for edge in path_edges(path):
             loads[topology.edge_id(edge)] += flow.density

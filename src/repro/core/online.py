@@ -19,16 +19,16 @@ bound.
 
 from __future__ import annotations
 
-import networkx as nx
 import numpy as np
 
 from repro.core.baselines import BaselineResult
 from repro.flows.flow import FlowSet
 from repro.power.model import PowerModel
 from repro.routing.costs import envelope_cost
+from repro.routing.paths import marginal_route
 from repro.scheduling.schedule import FlowSchedule, Schedule, Segment
 from repro.scheduling.timeline import PiecewiseConstant
-from repro.topology.base import Topology, canonical_edge, path_edges
+from repro.topology.base import Topology, path_edges
 
 __all__ = ["solve_online_density"]
 
@@ -48,7 +48,6 @@ def solve_online_density(
     committed: dict = {
         edge: PiecewiseConstant() for edge in topology.edges
     }
-    graph = topology.graph
     order = sorted(flows, key=lambda f: (f.release, str(f.id)))
     paths: dict[int | str, tuple[str, ...]] = {}
     flow_schedules = []
@@ -61,11 +60,7 @@ def solve_online_density(
             if window > 0.0:
                 loads[topology.edge_id(edge)] = window / span
         marginal = np.maximum(cost.derivative(loads), 1e-12)
-
-        def weight(u: str, v: str, _data: dict) -> float:
-            return float(marginal[topology.edge_id(canonical_edge(u, v))])
-
-        path = tuple(nx.dijkstra_path(graph, flow.src, flow.dst, weight=weight))
+        path = marginal_route(topology, flow.src, flow.dst, marginal)
         paths[flow.id] = path
         for edge in path_edges(path):
             committed[edge].add(flow.release, flow.deadline, flow.density)

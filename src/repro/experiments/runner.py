@@ -21,6 +21,7 @@ from repro.experiments.ablations import (
     rounding_mode_ablation,
     sigma_ablation,
     topology_ablation,
+    trace_ablation,
 )
 
 __all__ = ["main", "ABLATIONS"]
@@ -33,6 +34,7 @@ ABLATIONS: dict[str, Callable[[], Table]] = {
     "topology": topology_ablation,
     "failures": failure_ablation,
     "online": online_ablation,
+    "traces": trace_ablation,
 }
 
 

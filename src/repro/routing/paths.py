@@ -1,4 +1,5 @@
-"""Path enumeration utilities: k-shortest paths and ECMP path sets.
+"""Path enumeration utilities: k-shortest paths, ECMP path sets, and
+marginal-cost routing.
 
 Random-Schedule derives its candidate paths from the fractional relaxation,
 but baselines and ablations need classical path machinery:
@@ -7,7 +8,10 @@ but baselines and ablations need classical path machinery:
   (Yen's algorithm via :func:`networkx.shortest_simple_paths`);
 * :func:`ecmp_paths` — all minimum-hop paths, the set ECMP hashes over;
 * :func:`ecmp_route` — a deterministic per-flow ECMP choice (seeded hash),
-  the routing layer of the ECMP+MCF baseline.
+  the routing layer of the ECMP+MCF baseline;
+* :func:`marginal_route` — the cheapest path under per-edge marginal costs,
+  the routing step shared by the online scheduler, the greedy baseline, and
+  the trace-replay policies.
 """
 
 from __future__ import annotations
@@ -17,11 +21,29 @@ import numpy as np
 
 from repro.errors import TopologyError, ValidationError
 from repro.flows.flow import FlowSet
-from repro.topology.base import Topology
+from repro.topology.base import Topology, canonical_edge
 
-__all__ = ["k_shortest_paths", "ecmp_paths", "ecmp_route"]
+__all__ = ["k_shortest_paths", "ecmp_paths", "ecmp_route", "marginal_route"]
 
 Path = tuple[str, ...]
+
+
+def marginal_route(
+    topology: Topology, src: str, dst: str, marginal: np.ndarray
+) -> Path:
+    """Cheapest ``src -> dst`` path under per-edge marginal costs.
+
+    ``marginal`` is indexed by :meth:`Topology.edge_id`; every entry must be
+    strictly positive (clamp with ``np.maximum(..., 1e-12)`` upstream so
+    Dijkstra's nonnegativity requirement holds and zero-cost cycles cannot
+    appear).
+    """
+    graph = topology.graph
+
+    def weight(u: str, v: str, _data: dict) -> float:
+        return float(marginal[topology.edge_id(canonical_edge(u, v))])
+
+    return tuple(nx.dijkstra_path(graph, src, dst, weight=weight))
 
 
 def k_shortest_paths(

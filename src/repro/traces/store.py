@@ -1,0 +1,225 @@
+"""Streaming trace persistence: JSONL (canonical) and CSV (interchange).
+
+Same contract as :mod:`repro.io` — versioned formats, loaders that refuse
+what they do not recognize — but line-oriented so that writing and reading
+both stream: neither direction ever holds more than one flow in memory.
+
+JSONL layout::
+
+    {"kind":"trace","version":1}
+    {"id":0,"src":"h0","dst":"h3","size":4.25,"release":0.31,"deadline":8.81}
+    ...
+
+CSV layout::
+
+    #repro-trace:1
+    id,src,dst,size,release,deadline
+    0,h0,h3,4.25,0.31,8.81
+    ...
+
+Floats are serialized via ``repr`` (shortest round-tripping form), so a
+regenerated trace written twice is byte-for-byte identical and numeric
+values survive a round-trip exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Iterator
+
+from repro.errors import ValidationError
+from repro.flows.flow import Flow
+
+__all__ = [
+    "TRACE_VERSION",
+    "write_trace_jsonl",
+    "read_trace_jsonl",
+    "write_trace_csv",
+    "read_trace_csv",
+]
+
+TRACE_VERSION = 1
+
+_CSV_MAGIC = f"#repro-trace:{TRACE_VERSION}"
+_CSV_COLUMNS = ("id", "src", "dst", "size", "release", "deadline")
+
+
+def _flow_record(flow: Flow) -> dict:
+    return {
+        "id": flow.id,
+        "src": flow.src,
+        "dst": flow.dst,
+        "size": flow.size,
+        "release": flow.release,
+        "deadline": flow.deadline,
+    }
+
+
+def _flow_from_record(entry: object, where: str) -> Flow:
+    if not isinstance(entry, dict):
+        raise ValidationError(f"{where}: expected a flow object, got {entry!r}")
+    try:
+        return Flow(
+            id=entry["id"],
+            src=entry["src"],
+            dst=entry["dst"],
+            size=float(entry["size"]),
+            release=float(entry["release"]),
+            deadline=float(entry["deadline"]),
+        )
+    except KeyError as exc:
+        raise ValidationError(f"{where}: missing field {exc}") from exc
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(f"{where}: bad field value ({exc})") from exc
+
+
+# ----------------------------------------------------------------------
+# JSONL.
+# ----------------------------------------------------------------------
+def write_trace_jsonl(flows: Iterable[Flow], path: str) -> int:
+    """Stream ``flows`` to ``path`` as versioned JSONL; returns the count."""
+    count = 0
+    with open(path, "w") as handle:
+        handle.write(
+            json.dumps(
+                {"kind": "trace", "version": TRACE_VERSION},
+                separators=(",", ":"),
+            )
+            + "\n"
+        )
+        for flow in flows:
+            handle.write(
+                json.dumps(_flow_record(flow), separators=(",", ":")) + "\n"
+            )
+            count += 1
+    return count
+
+
+def read_trace_jsonl(path: str) -> Iterator[Flow]:
+    """Lazily iterate the flows of a JSONL trace.
+
+    The header is validated eagerly (before the first flow is requested),
+    so an unrecognized file fails fast; each flow re-runs
+    :class:`~repro.flows.flow.Flow` validation as it is read.
+    """
+    handle = open(path)
+    try:
+        header_line = handle.readline()
+        try:
+            header = json.loads(header_line)
+        except json.JSONDecodeError as exc:
+            raise ValidationError(f"{path}: not a JSONL trace ({exc})") from exc
+        if not isinstance(header, dict) or header.get("kind") != "trace":
+            raise ValidationError(f"{path}: expected a trace header")
+        if header.get("version") != TRACE_VERSION:
+            raise ValidationError(
+                f"{path}: unsupported trace version {header.get('version')!r} "
+                f"(expected {TRACE_VERSION})"
+            )
+    except BaseException:
+        handle.close()
+        raise
+
+    def flows() -> Iterator[Flow]:
+        with handle:
+            for lineno, line in enumerate(handle, start=2):
+                if not line.strip():
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise ValidationError(
+                        f"{path}:{lineno}: bad JSON ({exc})"
+                    ) from exc
+                yield _flow_from_record(entry, f"{path}:{lineno}")
+
+    return flows()
+
+
+# ----------------------------------------------------------------------
+# CSV.
+# ----------------------------------------------------------------------
+def write_trace_csv(flows: Iterable[Flow], path: str) -> int:
+    """Stream ``flows`` to ``path`` as versioned CSV; returns the count.
+
+    Ids and endpoints must be comma-free (trace-generated ones always are).
+    """
+    count = 0
+    with open(path, "w") as handle:
+        handle.write(_CSV_MAGIC + "\n")
+        handle.write(",".join(_CSV_COLUMNS) + "\n")
+        for flow in flows:
+            fields = (str(flow.id), flow.src, flow.dst)
+            if any("," in f or "\n" in f for f in fields):
+                raise ValidationError(
+                    f"flow {flow.id!r}: CSV fields may not contain commas "
+                    "or newlines; use the JSONL format instead"
+                )
+            handle.write(
+                f"{fields[0]},{fields[1]},{fields[2]},"
+                f"{flow.size!r},{flow.release!r},{flow.deadline!r}\n"
+            )
+            count += 1
+    return count
+
+
+def read_trace_csv(path: str) -> Iterator[Flow]:
+    """Lazily iterate the flows of a CSV trace (header validated eagerly).
+
+    Ids written from canonical integers are restored as ints (the
+    generator's convention); anything else stays a string.
+    """
+    handle = open(path)
+    try:
+        magic = handle.readline().rstrip("\n")
+        if magic != _CSV_MAGIC:
+            raise ValidationError(
+                f"{path}: bad trace magic {magic!r} (expected {_CSV_MAGIC!r})"
+            )
+        columns = tuple(handle.readline().rstrip("\n").split(","))
+        if columns != _CSV_COLUMNS:
+            raise ValidationError(
+                f"{path}: bad column header {columns!r} "
+                f"(expected {_CSV_COLUMNS!r})"
+            )
+    except BaseException:
+        handle.close()
+        raise
+
+    def flows() -> Iterator[Flow]:
+        with handle:
+            for lineno, line in enumerate(handle, start=3):
+                line = line.rstrip("\n")
+                if not line:
+                    continue
+                parts = line.split(",")
+                if len(parts) != len(_CSV_COLUMNS):
+                    raise ValidationError(
+                        f"{path}:{lineno}: expected {len(_CSV_COLUMNS)} "
+                        f"fields, got {len(parts)}"
+                    )
+                raw_id, src, dst, size, release, deadline = parts
+                # Only canonical integer spellings become ints; "007" or
+                # "--5" must round-trip as the string ids they were.
+                flow_id: int | str
+                try:
+                    as_int = int(raw_id)
+                    flow_id = as_int if str(as_int) == raw_id else raw_id
+                except ValueError:
+                    flow_id = raw_id
+                try:
+                    numbers = (float(size), float(release), float(deadline))
+                except ValueError as exc:
+                    raise ValidationError(
+                        f"{path}:{lineno}: bad numeric field ({exc})"
+                    ) from exc
+                yield Flow(
+                    id=flow_id,
+                    src=src,
+                    dst=dst,
+                    size=numbers[0],
+                    release=numbers[1],
+                    deadline=numbers[2],
+                )
+
+    return flows()

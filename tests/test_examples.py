@@ -37,6 +37,11 @@ class TestFastExamples:
         assert "matches the 3-partition answer: True" in out
         assert "no FPTAS" in out
 
+    def test_trace_replay_compares_policies(self, capsys):
+        out = run_example("trace_replay", capsys)
+        assert "sliding-horizon replay" in out
+        assert "Online+Density" in out and "Epoch-DCFS" in out
+
     def test_example_files_exist(self):
         expected = {
             "quickstart.py",
@@ -45,6 +50,7 @@ class TestFastExamples:
             "topology_comparison.py",
             "hardness_demo.py",
             "online_vs_offline.py",
+            "trace_replay.py",
         }
         present = {p.name for p in EXAMPLES.glob("*.py")}
         assert expected <= present

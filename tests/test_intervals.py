@@ -111,6 +111,12 @@ class TestProperties:
         grid = TimeGrid(flows)
         for iv in grid.intervals:
             mid = 0.5 * (iv.start + iv.end)
+            if not iv.start < mid < iv.end:
+                # Adjacent-float breakpoints (e.g. 33.0 vs the next float
+                # down) make intervals thinner than the midpoint's rounding
+                # resolution; there is no representable interior point to
+                # probe, so the membership comparison is meaningless there.
+                continue
             active_mid = {f.id for f in flows.active_at(mid)}
             active_iv = {f.id for f in grid.active_flows(iv)}
             assert active_iv == active_mid

@@ -35,7 +35,7 @@ class TestRunnerCli:
     def test_registry_complete(self):
         assert set(ABLATIONS) == {
             "sigma", "lambda", "rounding", "rounding-mode", "topology",
-            "failures", "online",
+            "failures", "online", "traces",
         }
 
     def test_single_ablation_runs(self, capsys, monkeypatch, tmp_path):
