@@ -1,0 +1,81 @@
+"""Benchmark PERF-FASTPATH: the array-native routing core in isolation.
+
+Times one marginal-cost route on the paper's k=8 fat-tree through each
+engine — the networkx reference (per-edge Python weight callback), the
+early-terminating CSR heap Dijkstra behind :func:`marginal_route`, and
+the :class:`FastRouter` hot path (bidirectional search + candidate
+cache) — plus the :class:`LoadLedger` loads/commit cycle at a realistic
+resident-ledger size.  Guards the ~10x routing-core speedup the
+Online+Density replay throughput depends on (see ``bench_traces.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.routing.fastpath import FastRouter, LoadLedger, csr_dijkstra
+from repro.routing.paths import marginal_route_reference
+from repro.topology import fat_tree
+
+TOPOLOGY = fat_tree(8)
+RNG = np.random.default_rng(7)
+MARGINAL = RNG.uniform(0.05, 2.0, TOPOLOGY.num_edges)
+PAIRS = [
+    tuple(TOPOLOGY.hosts[int(i)] for i in RNG.choice(len(TOPOLOGY.hosts), 2, False))
+    for _ in range(64)
+]
+
+
+@pytest.mark.benchmark(group="fastpath-route")
+def test_route_reference_networkx(benchmark):
+    def run():
+        for src, dst in PAIRS:
+            marginal_route_reference(TOPOLOGY, src, dst, MARGINAL)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+@pytest.mark.benchmark(group="fastpath-route")
+def test_route_csr_dijkstra(benchmark):
+    def run():
+        for src, dst in PAIRS:
+            csr_dijkstra(TOPOLOGY, src, dst, MARGINAL)
+
+    benchmark.pedantic(run, rounds=3, iterations=5)
+
+
+@pytest.mark.benchmark(group="fastpath-route")
+def test_route_fast_router_churn(benchmark):
+    """FastRouter under the online policy's access pattern: a fresh
+    marginal (conservatively invalidating) before every route."""
+    router = FastRouter(TOPOLOGY)
+    variants = [np.maximum(MARGINAL * (1.0 + 0.01 * k), 1e-12) for k in range(8)]
+
+    def run():
+        for i, (src, dst) in enumerate(PAIRS):
+            router.set_marginal(variants[i % 8], decreased=True)
+            router.route(src, dst)
+
+    benchmark.pedantic(run, rounds=3, iterations=5)
+
+
+@pytest.mark.benchmark(group="fastpath-ledger")
+def test_ledger_loads_commit_cycle(benchmark):
+    """One loads+commit cycle per flow at a ~6k-entry resident ledger —
+    the steady state of a 1000-flow replay window on fat_tree(8)."""
+    flows = []
+    clock = 0.0
+    for _ in range(1000):
+        clock += float(RNG.exponential(0.01))
+        span = float(RNG.uniform(5.0, 15.0))
+        eids = RNG.choice(TOPOLOGY.num_edges, size=6, replace=False)
+        flows.append((clock, clock + span, eids))
+
+    def run():
+        ledger = LoadLedger(TOPOLOGY)
+        for start, end, eids in flows:
+            ledger.loads(start, end)
+            ledger.commit(eids, start, end, 0.3)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)

@@ -115,21 +115,26 @@ def greedy_marginal_routing(
     cheapest path under the marginal envelope cost of the loads committed
     so far (loads approximate each flow's footprint by its density on every
     link of its chosen path, ignoring span overlap — a deliberately cheap
-    surrogate).
+    surrogate).  Because loads only grow, the marginal only grows, so the
+    :class:`~repro.routing.fastpath.FastRouter` path cache stays valid for
+    every endpoint pair whose cached path the last commit did not touch.
     """
     flows.validate_against(topology)
     cost = envelope_cost(power)
     loads = np.zeros(topology.num_edges)
     paths: dict[int | str, Path] = {}
     order = sorted(flows, key=lambda f: (-f.density, str(f.id)))
-    from repro.routing.paths import marginal_route
+    from repro.routing.fastpath import FastRouter
 
+    router = FastRouter(topology)
+    router.set_marginal(np.maximum(cost.derivative(loads), 1e-12))
     for flow in order:
-        marginal = np.maximum(cost.derivative(loads), 1e-12)
-        path = marginal_route(topology, flow.src, flow.dst, marginal)
+        path, edge_ids = router.route(flow.src, flow.dst)
         paths[flow.id] = path
-        for edge in path_edges(path):
-            loads[topology.edge_id(edge)] += flow.density
+        loads[edge_ids] += flow.density
+        router.bump_edges(
+            edge_ids, np.maximum(cost.derivative(loads[edge_ids]), 1e-12)
+        )
     return _routed_mcf("Greedy+MCF", flows, topology, power, paths)
 
 

@@ -15,6 +15,15 @@ Decisions are irrevocable, exactly like per-flow routing in a real fabric.
 The ``online_ablation`` experiment quantifies the "price of not knowing
 the future" against offline Random-Schedule and the clairvoyant lower
 bound.
+
+The hot path runs on the array-native routing core (DESIGN.md §7): the
+per-edge average load over each arriving flow's span comes from an
+incremental :class:`~repro.routing.fastpath.LoadLedger` (a commit touches
+only its own path edges; span-window corrections are one vectorized pass
+per arrival) instead of an O(E x segments) rebuild of per-edge
+:class:`~repro.scheduling.timeline.PiecewiseConstant` profiles, and
+routing goes through a :class:`~repro.routing.fastpath.FastRouter`
+(cached bidirectional Dijkstra over the topology's CSR adjacency).
 """
 
 from __future__ import annotations
@@ -25,10 +34,9 @@ from repro.core.baselines import BaselineResult
 from repro.flows.flow import FlowSet
 from repro.power.model import PowerModel
 from repro.routing.costs import envelope_cost
-from repro.routing.paths import marginal_route
+from repro.routing.fastpath import FastRouter, LoadLedger
 from repro.scheduling.schedule import FlowSchedule, Schedule, Segment
-from repro.scheduling.timeline import PiecewiseConstant
-from repro.topology.base import Topology, path_edges
+from repro.topology.base import Topology
 
 __all__ = ["solve_online_density"]
 
@@ -45,25 +53,18 @@ def solve_online_density(
     """
     flows.validate_against(topology)
     cost = envelope_cost(power)
-    committed: dict = {
-        edge: PiecewiseConstant() for edge in topology.edges
-    }
+    router = FastRouter(topology)
+    ledger = LoadLedger(topology)
     order = sorted(flows, key=lambda f: (f.release, str(f.id)))
     paths: dict[int | str, tuple[str, ...]] = {}
     flow_schedules = []
 
     for flow in order:
-        span = flow.span_length
-        loads = np.zeros(topology.num_edges)
-        for edge, profile in committed.items():
-            window = profile.window_integral(flow.release, flow.deadline)
-            if window > 0.0:
-                loads[topology.edge_id(edge)] = window / span
-        marginal = np.maximum(cost.derivative(loads), 1e-12)
-        path = marginal_route(topology, flow.src, flow.dst, marginal)
+        loads = ledger.loads(flow.release, flow.deadline)
+        router.set_marginal(np.maximum(cost.derivative(loads), 1e-12))
+        path, edge_ids = router.route(flow.src, flow.dst)
         paths[flow.id] = path
-        for edge in path_edges(path):
-            committed[edge].add(flow.release, flow.deadline, flow.density)
+        ledger.commit(edge_ids, flow.release, flow.deadline, flow.density)
         flow_schedules.append(
             FlowSchedule(
                 flow=flow,

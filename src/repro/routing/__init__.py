@@ -1,9 +1,17 @@
-"""Routing: fractional MCF, path decomposition, randomized rounding."""
+"""Routing: fractional MCF, path decomposition, randomized rounding, and
+the array-native fast path (CSR Dijkstra + load ledger)."""
 
 from repro.routing.costs import EdgeCost, envelope_cost
 from repro.routing.decomposition import decompose_flow
+from repro.routing.fastpath import FastRouter, LoadLedger, csr_dijkstra
 from repro.routing.mcflow import Commodity, FrankWolfeSolver, MCFSolution
-from repro.routing.paths import ecmp_paths, ecmp_route, k_shortest_paths
+from repro.routing.paths import (
+    ecmp_paths,
+    ecmp_route,
+    k_shortest_paths,
+    marginal_route,
+    marginal_route_reference,
+)
 from repro.routing.rounding import aggregate_path_weights, sample_path
 
 __all__ = [
@@ -18,4 +26,9 @@ __all__ = [
     "k_shortest_paths",
     "ecmp_paths",
     "ecmp_route",
+    "marginal_route",
+    "marginal_route_reference",
+    "csr_dijkstra",
+    "FastRouter",
+    "LoadLedger",
 ]

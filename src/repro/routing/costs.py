@@ -66,7 +66,10 @@ class EdgeCost:
         """Per-edge marginal cost (vectorized envelope derivative)."""
         p = self.power
         loads = np.maximum(loads, 0.0)
-        dyn_deriv = p.mu * p.alpha * loads ** (p.alpha - 1.0)
+        if p.alpha == 2.0:  # x**1.0 still pays the pow kernel
+            dyn_deriv = (p.mu * 2.0) * loads
+        else:
+            dyn_deriv = p.mu * p.alpha * loads ** (p.alpha - 1.0)
         if p.sigma == 0.0:
             deriv = dyn_deriv
         else:

@@ -11,7 +11,10 @@ but baselines and ablations need classical path machinery:
   the routing layer of the ECMP+MCF baseline;
 * :func:`marginal_route` — the cheapest path under per-edge marginal costs,
   the routing step shared by the online scheduler, the greedy baseline, and
-  the trace-replay policies.
+  the trace-replay policies; dispatches to the array-native
+  :func:`repro.routing.fastpath.csr_dijkstra`, with the original networkx
+  implementation kept as :func:`marginal_route_reference` for
+  cross-checking.
 """
 
 from __future__ import annotations
@@ -21,9 +24,16 @@ import numpy as np
 
 from repro.errors import TopologyError, ValidationError
 from repro.flows.flow import FlowSet
+from repro.routing.fastpath import csr_dijkstra
 from repro.topology.base import Topology, canonical_edge
 
-__all__ = ["k_shortest_paths", "ecmp_paths", "ecmp_route", "marginal_route"]
+__all__ = [
+    "k_shortest_paths",
+    "ecmp_paths",
+    "ecmp_route",
+    "marginal_route",
+    "marginal_route_reference",
+]
 
 Path = tuple[str, ...]
 
@@ -36,14 +46,33 @@ def marginal_route(
     ``marginal`` is indexed by :meth:`Topology.edge_id`; every entry must be
     strictly positive (clamp with ``np.maximum(..., 1e-12)`` upstream so
     Dijkstra's nonnegativity requirement holds and zero-cost cycles cannot
-    appear).
+    appear).  Dispatches to :func:`repro.routing.fastpath.csr_dijkstra`
+    (equal-cost ties may resolve differently than the networkx reference,
+    always at identical cost).
     """
+    return csr_dijkstra(topology, src, dst, marginal)
+
+
+def marginal_route_reference(
+    topology: Topology, src: str, dst: str, marginal: np.ndarray
+) -> Path:
+    """Reference implementation of :func:`marginal_route` via
+    :func:`networkx.dijkstra_path` with a per-edge Python weight callback.
+
+    ~10x slower than the CSR fast path; kept for cross-checking in the
+    routing-equivalence property suite.
+    """
+    if src == dst:
+        raise TopologyError("endpoints must differ")
     graph = topology.graph
 
     def weight(u: str, v: str, _data: dict) -> float:
         return float(marginal[topology.edge_id(canonical_edge(u, v))])
 
-    return tuple(nx.dijkstra_path(graph, src, dst, weight=weight))
+    try:
+        return tuple(nx.dijkstra_path(graph, src, dst, weight=weight))
+    except nx.NetworkXNoPath as exc:
+        raise TopologyError(f"no path between {src!r} and {dst!r}") from exc
 
 
 def k_shortest_paths(
@@ -72,9 +101,11 @@ def k_shortest_paths(
             paths.append(tuple(path))
             if len(paths) >= k:
                 break
-    except nx.NetworkXNoPath:
-        raise TopologyError(f"no path between {src!r} and {dst!r}")
+    except nx.NetworkXNoPath as exc:
+        raise TopologyError(f"no path between {src!r} and {dst!r}") from exc
     if not paths:
+        if max_hops is None:
+            raise TopologyError(f"no path between {src!r} and {dst!r}")
         raise TopologyError(
             f"no path between {src!r} and {dst!r} within {max_hops} hops"
         )
@@ -98,6 +129,8 @@ def ecmp_route(
 
     Models per-flow ECMP hashing: the same seed always maps the same flow
     to the same path, and distinct flows spread across the ECMP group.
+    Singleton groups consume no RNG draw, so adding a single-path flow to
+    a flow set never reshuffles the choices of the flows after it.
     """
     flows.validate_against(topology)
     rng = np.random.default_rng(seed)
@@ -109,5 +142,8 @@ def ecmp_route(
         if group is None:
             group = ecmp_paths(topology, flow.src, flow.dst)
             group_cache[key] = group
-        routes[flow.id] = group[int(rng.integers(len(group)))]
+        if len(group) == 1:
+            routes[flow.id] = group[0]
+        else:
+            routes[flow.id] = group[int(rng.integers(len(group)))]
     return routes

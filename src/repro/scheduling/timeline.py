@@ -45,9 +45,18 @@ def merge_segments(
 ) -> list[tuple[float, float]]:
     """Union of intervals, returned sorted and disjoint.
 
-    Adjacent or overlapping intervals (within ``tol``) are coalesced.
+    Adjacent or overlapping intervals (within ``tol``) are coalesced;
+    empty and inverted intervals are dropped.  Tolerance semantics
+    (pinned by the brute-force Hypothesis suite in
+    ``tests/test_timeline.py``): ``tol`` exists only to close float-noise
+    *gaps* between segments, so the total measure of the result never
+    undershoots the exact union measure and overshoots it by at most
+    ``tol`` per coalesced gap.  In particular, sub-``tol`` slivers are
+    kept — dropping them (as an earlier revision did) made
+    :meth:`BlockedTimeline.available` over-report free time by the summed
+    sliver measure under many tiny EDF segments.
     """
-    ordered = sorted((a, b) for a, b in segments if b - a > tol)
+    ordered = sorted((a, b) for a, b in segments if b > a)
     merged: list[tuple[float, float]] = []
     for a, b in ordered:
         if merged and a <= merged[-1][1] + tol:

@@ -7,9 +7,11 @@ assumes commodity switches), each governed by one shared transmission rate
 
 Edges are addressed by a *canonical* ``(u, v)`` tuple with ``u < v`` (node
 ids are strings) so that dictionaries keyed by edges are direction-agnostic.
-The class also maintains the integer indexing and CSR adjacency structure
-the Frank–Wolfe solver needs for fast batched Dijkstra via
-:func:`scipy.sparse.csgraph.dijkstra`.
+The class also maintains the integer indexing and a directed-arc CSR
+adjacency (``indptr`` / ``neighbors`` / ``edge_ids``, compiled once per
+topology and cached) shared by every array-native shortest-path consumer:
+the Frank–Wolfe solver's batched :func:`scipy.sparse.csgraph.dijkstra`
+and the routing core in :mod:`repro.routing.fastpath`.
 """
 
 from __future__ import annotations
@@ -80,27 +82,10 @@ class Topology:
         self._nodes: tuple[str, ...] = tuple(sorted(graph.nodes()))
         self._node_index: dict[str, int] = {n: i for i, n in enumerate(self._nodes)}
 
-        # Directed-arc arrays for the CSR adjacency used by batched Dijkstra:
-        # each undirected edge contributes two arcs.  ``arc_edge`` maps the
-        # arc position in the CSR data array back to the undirected edge id.
-        rows: list[int] = []
-        cols: list[int] = []
-        arc_edge: list[int] = []
-        for eid, (u, v) in enumerate(self._edges):
-            ui, vi = self._node_index[u], self._node_index[v]
-            rows.append(ui)
-            cols.append(vi)
-            arc_edge.append(eid)
-            rows.append(vi)
-            cols.append(ui)
-            arc_edge.append(eid)
-        order = np.lexsort((np.asarray(cols), np.asarray(rows)))
-        self._csr_rows = np.asarray(rows)[order]
-        self._csr_cols = np.asarray(cols)[order]
-        self._arc_edge = np.asarray(arc_edge)[order]
-        self._csr_indptr = np.zeros(len(self._nodes) + 1, dtype=np.int64)
-        np.add.at(self._csr_indptr, self._csr_rows + 1, 1)
-        self._csr_indptr = np.cumsum(self._csr_indptr)
+        # Directed-arc CSR adjacency, compiled lazily on first use.
+        self._csr: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+        self._csr_lists: tuple[list[int], list[int], list[int]] | None = None
+        self._leaf_mask: list[bool] | None = None
 
     # ------------------------------------------------------------------
     # Basic accessors.
@@ -175,6 +160,74 @@ class Topology:
     # ------------------------------------------------------------------
     # Vector/CSR plumbing for solvers.
     # ------------------------------------------------------------------
+    def _compile_csr(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Build (once) the directed-arc CSR adjacency.
+
+        Each undirected edge contributes two arcs.  ``edge_ids`` maps the
+        arc position in the CSR data array back to the undirected edge id.
+        """
+        if self._csr is None:
+            rows: list[int] = []
+            cols: list[int] = []
+            arc_edge: list[int] = []
+            for eid, (u, v) in enumerate(self._edges):
+                ui, vi = self._node_index[u], self._node_index[v]
+                rows.append(ui)
+                cols.append(vi)
+                arc_edge.append(eid)
+                rows.append(vi)
+                cols.append(ui)
+                arc_edge.append(eid)
+            order = np.lexsort((np.asarray(cols), np.asarray(rows)))
+            row_arr = np.asarray(rows, dtype=np.int64)[order]
+            neighbors = np.asarray(cols, dtype=np.int64)[order]
+            edge_ids = np.asarray(arc_edge, dtype=np.int64)[order]
+            indptr = np.zeros(len(self._nodes) + 1, dtype=np.int64)
+            np.add.at(indptr, row_arr + 1, 1)
+            self._csr = (np.cumsum(indptr), neighbors, edge_ids)
+        return self._csr
+
+    @property
+    def csr_adjacency(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(indptr, neighbors, edge_ids)`` int arrays of the directed-arc
+        CSR adjacency (compiled once and cached).
+
+        ``neighbors[indptr[u]:indptr[u + 1]]`` are the neighbor node ids of
+        node ``u`` (see :meth:`node_id`), sorted; the parallel slice of
+        ``edge_ids`` gives each arc's undirected edge id, the index into
+        every per-edge vector in this library.  Do not mutate.
+        """
+        return self._compile_csr()
+
+    @property
+    def csr_adjacency_lists(self) -> tuple[list[int], list[int], list[int]]:
+        """The CSR adjacency as plain Python int lists (cached).
+
+        Pure-Python shortest-path kernels (:func:`repro.routing.fastpath.
+        csr_dijkstra`) iterate these ~2x faster than numpy scalars.
+        """
+        if self._csr_lists is None:
+            indptr, neighbors, edge_ids = self._compile_csr()
+            self._csr_lists = (
+                indptr.tolist(),
+                neighbors.tolist(),
+                edge_ids.tolist(),
+            )
+        return self._csr_lists
+
+    @property
+    def leaf_mask(self) -> list[bool]:
+        """Per-node-id flags marking degree-1 nodes (cached).
+
+        A degree-1 node can never be interior to a simple path, so
+        shortest-path kernels skip arcs into flagged nodes unless they
+        are the destination.
+        """
+        if self._leaf_mask is None:
+            indptr, _, _ = self._compile_csr()
+            self._leaf_mask = (np.diff(indptr) == 1).tolist()
+        return self._leaf_mask
+
     def csr_components(
         self, edge_weights: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -188,8 +241,9 @@ class Topology:
                 f"edge_weights must have shape ({self.num_edges},), "
                 f"got {edge_weights.shape}"
             )
-        data = edge_weights[self._arc_edge]
-        return data, self._csr_cols, self._csr_indptr
+        indptr, neighbors, edge_ids = self._compile_csr()
+        data = edge_weights[edge_ids]
+        return data, neighbors, indptr
 
     def edge_vector(self, values: Mapping[Edge, float] | None = None) -> np.ndarray:
         """Dense edge-indexed vector, optionally initialized from a mapping."""

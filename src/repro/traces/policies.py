@@ -13,8 +13,9 @@ Three policies span the clairvoyance spectrum:
 * :class:`GreedyDensityPolicy` — static shortest paths, constant density
   rate; the load-oblivious strawman (and the fastest, for 100k-flow runs);
 * :class:`OnlineDensityPolicy` — the :mod:`repro.core.online` policy made
-  streaming-scalable: marginal-envelope-cost routing against the committed
-  background, one Dijkstra per flow;
+  streaming-scalable on the array-native routing core: marginal-envelope-
+  cost routing against the committed background, at most one cached
+  bidirectional CSR Dijkstra per flow;
 * :class:`EpochDcfsPolicy` — per-epoch re-solve with the paper's optimal
   Most-Critical-First (Algorithm 1) over the window's flows on shortest
   paths; the "batch clairvoyant within the window" upper reference.
@@ -34,9 +35,9 @@ from repro.errors import InfeasibleError
 from repro.flows.flow import Flow, FlowSet
 from repro.power.model import PowerModel
 from repro.routing.costs import envelope_cost
-from repro.routing.paths import marginal_route
+from repro.routing.fastpath import FastRouter, LoadLedger
 from repro.scheduling.schedule import FlowSchedule, Segment
-from repro.topology.base import Topology, path_edges
+from repro.topology.base import Topology
 
 __all__ = [
     "WindowContext",
@@ -151,33 +152,49 @@ class GreedyDensityPolicy(_PathCacheMixin, ReplayPolicy):
 class OnlineDensityPolicy(ReplayPolicy):
     """Marginal-cost routing against committed load, density rates.
 
-    The streaming port of :func:`repro.core.online.solve_online_density`:
-    flows are routed in release order on the cheapest path under the
-    envelope's marginal cost.  Two deliberate approximations keep it
-    O(window + E) per window instead of O(flows x E x segments):
+    The streaming port of :func:`repro.core.online.solve_online_density`
+    on the array-native routing core (DESIGN.md §7): within a window, a
+    :class:`~repro.routing.fastpath.LoadLedger` seeded with the engine's
+    background tracks the committed per-edge average load — a commit
+    touches only its own path edges, and each arriving flow's load view
+    is corrected to its individual span window in one vectorized pass —
+    while routing goes through a :class:`~repro.routing.fastpath.
+    FastRouter` (cached bidirectional CSR Dijkstra).
 
-    * the committed background is averaged over the *window* (supplied
-      once by the engine) rather than over each flow's individual span;
-    * within the window, a routed flow contributes its density to the
-      load vector for its whole span (no per-segment bookkeeping).
+    One deliberate approximation remains: the background committed by
+    *earlier* windows is averaged over the window (a single vector
+    supplied by the engine) rather than over each flow's individual span.
+    Within the window, span accounting is exact.
 
     Deadlines are met by construction (density rate over the full span).
     """
 
     name = "Online+Density"
 
+    def __init__(self) -> None:
+        self._router: FastRouter | None = None
+
     def schedule_window(
         self, flows: Sequence[Flow], ctx: WindowContext
     ) -> list[FlowSchedule]:
         cost = envelope_cost(ctx.power)
         topology = ctx.topology
-        loads = np.array(ctx.background, dtype=float, copy=True)
+        router = self._router
+        if router is None or router.topology is not topology:
+            router = self._router = FastRouter(topology)
+        ledger = LoadLedger(topology, background=ctx.background)
         schedules = []
         for flow in sorted(flows, key=lambda f: (f.release, str(f.id))):
-            marginal = np.maximum(cost.derivative(loads), 1e-12)
-            path = marginal_route(topology, flow.src, flow.dst, marginal)
-            for edge in path_edges(path):
-                loads[topology.edge_id(edge)] += flow.density
+            loads = ledger.loads(flow.release, flow.deadline)
+            # decreased=True: span corrections shrink as the window slides,
+            # so weights may drop anywhere; invalidate conservatively
+            # rather than pay a full-vector scan per flow (the bound-seeded
+            # search still re-proves cached candidates cheaply).
+            router.set_marginal(
+                np.maximum(cost.derivative(loads), 1e-12), decreased=True
+            )
+            path, edge_ids = router.route(flow.src, flow.dst)
+            ledger.commit(edge_ids, flow.release, flow.deadline, flow.density)
             schedules.append(
                 FlowSchedule(
                     flow=flow,
@@ -192,6 +209,9 @@ class OnlineDensityPolicy(ReplayPolicy):
                 )
             )
         return schedules
+
+    def reset(self) -> None:
+        self._router = None
 
 
 class EpochDcfsPolicy(_PathCacheMixin, ReplayPolicy):

@@ -1,0 +1,347 @@
+"""Property suite for the array-native routing core (DESIGN.md §7).
+
+Two load-bearing pins:
+
+* routing equivalence — :func:`csr_dijkstra` (the early-terminating heap
+  kernel behind :func:`marginal_route`) and :class:`FastRouter` (the
+  bidirectional, cache-seeded hot path) must return paths of *equal cost*
+  to the :func:`networkx.dijkstra_path` reference on random
+  jellyfish/fat-tree topologies under random positive marginals;
+* ledger exactness — :class:`LoadLedger` must reproduce, bit-for-bit up
+  to float tolerance, the from-scratch load rebuild via per-edge
+  :class:`PiecewiseConstant` profiles that :mod:`repro.core.online` used
+  before the ledger existed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TopologyError, ValidationError
+from repro.routing.fastpath import FastRouter, LoadLedger, csr_dijkstra
+from repro.routing.paths import marginal_route, marginal_route_reference
+from repro.scheduling.timeline import PiecewiseConstant
+from repro.topology import build_topology, fat_tree
+from repro.topology.base import path_edges
+from repro.topology.random_graphs import jellyfish
+
+# Topologies are module-level so Hypothesis examples only pay for them once.
+TOPOLOGIES = [
+    fat_tree(4),
+    fat_tree(6),
+    jellyfish(8, 3, hosts_per_switch=2, seed=1),
+    jellyfish(12, 4, hosts_per_switch=1, seed=2),
+]
+
+
+def path_cost(topology, path, marginal) -> float:
+    return float(
+        sum(marginal[topology.edge_id(e)] for e in path_edges(path))
+    )
+
+
+class TestCsrDijkstraEquivalence:
+    @settings(max_examples=120, deadline=None)
+    @given(
+        topo_index=st.integers(0, len(TOPOLOGIES) - 1),
+        weight_seed=st.integers(0, 2**31 - 1),
+        pair_seed=st.integers(0, 2**31 - 1),
+    )
+    def test_equal_cost_to_networkx(self, topo_index, weight_seed, pair_seed):
+        topology = TOPOLOGIES[topo_index]
+        rng = np.random.default_rng(weight_seed)
+        marginal = rng.uniform(1e-3, 10.0, topology.num_edges)
+        hosts = topology.hosts
+        pick = np.random.default_rng(pair_seed)
+        src_i, dst_i = pick.choice(len(hosts), size=2, replace=False)
+        src, dst = hosts[int(src_i)], hosts[int(dst_i)]
+
+        fast = csr_dijkstra(topology, src, dst, marginal)
+        reference = marginal_route_reference(topology, src, dst, marginal)
+        topology.validate_path(fast, src, dst)
+        assert path_cost(topology, fast, marginal) == pytest.approx(
+            path_cost(topology, reference, marginal), rel=1e-9
+        )
+
+    def test_marginal_route_dispatches_to_csr(self, ft4):
+        h = ft4.hosts
+        marginal = np.full(ft4.num_edges, 1.0)
+        assert marginal_route(ft4, h[0], h[-1], marginal) == csr_dijkstra(
+            ft4, h[0], h[-1], marginal
+        )
+
+    def test_equal_endpoints_rejected(self, ft4):
+        marginal = np.ones(ft4.num_edges)
+        with pytest.raises(TopologyError):
+            csr_dijkstra(ft4, ft4.hosts[0], ft4.hosts[0], marginal)
+
+    def test_unknown_endpoint_rejected(self, ft4):
+        with pytest.raises(TopologyError):
+            csr_dijkstra(ft4, ft4.hosts[0], "nope", np.ones(ft4.num_edges))
+
+    def test_wrong_marginal_shape_rejected(self, ft4):
+        h = ft4.hosts
+        with pytest.raises(ValidationError):
+            csr_dijkstra(ft4, h[0], h[1], np.ones(3))
+
+    def test_disconnected_raises(self):
+        topo = build_topology(
+            [("a", "b"), ("c", "d")], hosts=["a", "b", "c", "d"]
+        )
+        with pytest.raises(TopologyError, match="no path"):
+            csr_dijkstra(topo, "a", "c", np.ones(topo.num_edges))
+
+    def test_routes_through_degree2_hosts(self, line3):
+        # Hosts with degree > 1 are legitimate transit nodes (the leaf
+        # skip must only prune degree-1 nodes).
+        marginal = np.ones(line3.num_edges)
+        assert csr_dijkstra(line3, "n0", "n2", marginal) == ("n0", "n1", "n2")
+
+
+class TestFastRouterEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        topo_index=st.integers(0, len(TOPOLOGIES) - 1),
+        seed=st.integers(0, 2**31 - 1),
+        steps=st.integers(1, 8),
+    )
+    def test_equal_cost_under_marginal_churn(self, topo_index, seed, steps):
+        """Random weight updates (growth and shrinkage, full and edge-wise)
+        interleaved with repeated-pair queries: every route the router
+        returns — cached, re-proven, or fresh — must cost the same as the
+        networkx reference."""
+        topology = TOPOLOGIES[topo_index]
+        rng = np.random.default_rng(seed)
+        hosts = topology.hosts
+        router = FastRouter(topology)
+        marginal = rng.uniform(0.1, 5.0, topology.num_edges)
+        router.set_marginal(marginal.copy())
+        pairs = [
+            tuple(hosts[int(i)] for i in rng.choice(len(hosts), 2, False))
+            for _ in range(3)
+        ]
+        for _ in range(steps):
+            for src, dst in pairs:
+                path, eids = router.route(src, dst)
+                topology.validate_path(path, src, dst)
+                assert np.array_equal(
+                    eids,
+                    [topology.edge_id(e) for e in path_edges(path)],
+                )
+                reference = marginal_route_reference(
+                    topology, src, dst, marginal
+                )
+                assert path_cost(topology, path, marginal) == pytest.approx(
+                    path_cost(topology, reference, marginal), rel=1e-9
+                )
+            if rng.random() < 0.5:
+                marginal = np.maximum(
+                    marginal * rng.uniform(0.5, 2.0, len(marginal)), 1e-9
+                )
+                router.set_marginal(marginal.copy())
+            else:
+                touched = rng.choice(
+                    topology.num_edges,
+                    size=min(4, topology.num_edges),
+                    replace=False,
+                )
+                marginal[touched] = np.maximum(
+                    marginal[touched] * rng.uniform(0.5, 2.0, len(touched)),
+                    1e-9,
+                )
+                router.bump_edges(touched, marginal[touched])
+
+    def test_cache_hit_when_weights_untouched(self, ft4):
+        router = FastRouter(ft4)
+        router.set_marginal(np.full(ft4.num_edges, 1.0))
+        h = ft4.hosts
+        path1, eids1 = router.route(h[0], h[-1])
+        path2, _ = router.route(h[0], h[-1])
+        assert path1 is path2
+        assert router.hits == 1 and router.misses == 1
+
+    def test_cache_survives_offpath_increase(self, ft4):
+        router = FastRouter(ft4)
+        marginal = np.full(ft4.num_edges, 1.0)
+        router.set_marginal(marginal.copy())
+        h = ft4.hosts
+        path, eids = router.route(h[0], h[-1])
+        off = [e for e in range(ft4.num_edges) if e not in set(eids.tolist())]
+        router.bump_edges(off[:3], [5.0, 5.0, 5.0])
+        path2, _ = router.route(h[0], h[-1])
+        assert path2 is path
+        assert router.hits == 1
+
+    def test_onpath_increase_reroutes_equal_cost(self, ft4, quadratic):
+        router = FastRouter(ft4)
+        marginal = np.full(ft4.num_edges, 1.0)
+        router.set_marginal(marginal.copy())
+        h = ft4.hosts
+        path, eids = router.route(h[0], h[-1])
+        marginal[eids[len(eids) // 2]] = 50.0  # congest a middle link
+        router.bump_edges(
+            [int(eids[len(eids) // 2])], [50.0]
+        )
+        path2, _ = router.route(h[0], h[-1])
+        assert path2 != path  # the fat-tree always has an equal-length detour
+        reference = marginal_route_reference(ft4, h[0], h[-1], marginal)
+        assert path_cost(ft4, path2, marginal) == pytest.approx(
+            path_cost(ft4, reference, marginal), rel=1e-12
+        )
+
+    def test_decrease_reproves_or_reroutes(self, ft4):
+        router = FastRouter(ft4)
+        marginal = np.full(ft4.num_edges, 2.0)
+        router.set_marginal(marginal.copy())
+        h = ft4.hosts
+        path, eids = router.route(h[0], h[-1])
+        # A global decrease invalidates; the bound-seeded search re-proves
+        # the candidate when it is still cheapest.
+        router.set_marginal(np.full(ft4.num_edges, 1.0))
+        path2, _ = router.route(h[0], h[-1])
+        assert path_cost(ft4, path2, np.full(ft4.num_edges, 1.0)) == (
+            pytest.approx(len(path2) - 1)
+        )
+        assert router.proofs + router.misses >= 2
+
+    def test_route_before_set_marginal_rejected(self, ft4):
+        router = FastRouter(ft4)
+        with pytest.raises(ValidationError):
+            router.route(ft4.hosts[0], ft4.hosts[-1])
+
+    def test_nonpositive_marginal_rejected(self, ft4):
+        router = FastRouter(ft4)
+        with pytest.raises(ValidationError):
+            router.set_marginal(np.zeros(ft4.num_edges))
+        router.set_marginal(np.ones(ft4.num_edges))
+        with pytest.raises(ValidationError):
+            router.bump_edges([0], [0.0])
+
+    def test_disconnected_raises(self):
+        topo = build_topology(
+            [("a", "b"), ("c", "d")], hosts=["a", "b", "c", "d"]
+        )
+        router = FastRouter(topo)
+        router.set_marginal(np.ones(topo.num_edges))
+        with pytest.raises(TopologyError, match="no path"):
+            router.route("a", "c")
+
+
+def ledger_reference(topology, commits, start, end):
+    """From-scratch rebuild: per-edge PiecewiseConstant window integral —
+    exactly what repro.core.online did before the LoadLedger existed."""
+    profiles = {eid: PiecewiseConstant() for eid in range(topology.num_edges)}
+    for eids, c_start, c_end, rate in commits:
+        for eid in eids:
+            profiles[eid].add(c_start, c_end, rate)
+    span = end - start
+    loads = np.zeros(topology.num_edges)
+    for eid, profile in profiles.items():
+        window = profile.window_integral(start, end)
+        if window != 0.0:
+            loads[eid] = window / span
+    return loads
+
+
+class TestLoadLedger:
+    @settings(max_examples=80, deadline=None)
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        num_flows=st.integers(1, 60),
+        merge_at=st.sampled_from([1, 2, 8, 64]),
+    )
+    def test_matches_from_scratch_rebuild(self, seed, num_flows, merge_at):
+        topology = TOPOLOGIES[0]
+        rng = np.random.default_rng(seed)
+        ledger = LoadLedger(topology)
+        ledger._MERGE_AT = merge_at  # exercise pending/merged interplay
+        commits = []
+        clock = 0.0
+        for _ in range(num_flows):
+            clock += float(rng.exponential(0.5))
+            span = float(rng.uniform(0.2, 6.0))
+            loads = ledger.loads(clock, clock + span)
+            expected = ledger_reference(
+                topology, commits, clock, clock + span
+            )
+            np.testing.assert_allclose(loads, expected, atol=1e-9)
+            k = int(rng.integers(1, 5))
+            eids = rng.choice(topology.num_edges, size=k, replace=False)
+            rate = float(rng.uniform(0.1, 3.0))
+            ledger.commit(eids, clock, clock + span, rate)
+            commits.append((eids.tolist(), clock, clock + span, rate))
+
+    def test_background_is_permanent(self, ft4):
+        background = np.full(ft4.num_edges, 0.25)
+        ledger = LoadLedger(ft4, background=background)
+        assert np.allclose(ledger.loads(0.0, 1.0), 0.25)
+        assert np.allclose(ledger.loads(100.0, 200.0), 0.25)
+
+    def test_release_order_enforced(self, ft4):
+        ledger = LoadLedger(ft4)
+        ledger.loads(5.0, 6.0)
+        with pytest.raises(ValidationError):
+            ledger.loads(4.0, 6.0)
+        with pytest.raises(ValidationError):
+            ledger.commit([0], 4.0, 6.0, 1.0)
+
+    def test_query_before_commit_start_rejected(self, ft4):
+        """A query opening before an accepted commit's start would break
+        the covers-the-left-edge invariant and silently return wrong
+        loads; the clock must advance on commit so it raises instead."""
+        ledger = LoadLedger(ft4)
+        ledger.loads(0.0, 10.0)
+        ledger.commit([0], 5.0, 8.0, 1.0)
+        with pytest.raises(ValidationError):
+            ledger.loads(1.0, 10.0)
+
+    def test_degenerate_windows_rejected(self, ft4):
+        ledger = LoadLedger(ft4)
+        with pytest.raises(ValidationError):
+            ledger.loads(1.0, 1.0)
+        with pytest.raises(ValidationError):
+            ledger.commit([0], 2.0, 2.0, 1.0)
+
+    def test_wrong_background_shape_rejected(self, ft4):
+        with pytest.raises(ValidationError):
+            LoadLedger(ft4, background=np.zeros(3))
+
+
+class TestOnlineConsumersAgree:
+    def test_online_density_matches_profile_rebuild(self, ft4, quadratic):
+        """Replay the ledger+router rewrite of solve_online_density against
+        the per-flow PiecewiseConstant rebuild + networkx Dijkstra it
+        replaced: committing the fast run's own paths step by step, every
+        chosen path must be exactly as cheap as the reference's under the
+        reference's (identical) marginal."""
+        from tests.conftest import random_flows_on
+        from repro.core import solve_online_density
+        from repro.routing.costs import envelope_cost
+
+        flows = random_flows_on(ft4, 20, seed=11)
+        fast = solve_online_density(flows, ft4, quadratic)
+
+        cost = envelope_cost(quadratic)
+        committed = {e: PiecewiseConstant() for e in ft4.edges}
+        for flow in sorted(flows, key=lambda f: (f.release, str(f.id))):
+            span = flow.span_length
+            loads = np.zeros(ft4.num_edges)
+            for edge, profile in committed.items():
+                window = profile.window_integral(flow.release, flow.deadline)
+                if window > 0.0:
+                    loads[ft4.edge_id(edge)] = window / span
+            marginal = np.maximum(cost.derivative(loads), 1e-12)
+            reference = marginal_route_reference(
+                ft4, flow.src, flow.dst, marginal
+            )
+            fast_path = fast.paths[flow.id]
+            assert path_cost(ft4, fast_path, marginal) == pytest.approx(
+                path_cost(ft4, reference, marginal), rel=1e-9
+            )
+            # Commit the fast run's choice so both trajectories share the
+            # same committed state even when equal-cost ties broke apart.
+            for edge in path_edges(fast_path):
+                committed[edge].add(flow.release, flow.deadline, flow.density)

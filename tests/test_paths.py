@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import networkx as nx
 import pytest
 
 from tests.conftest import random_flows_on
@@ -48,9 +49,24 @@ class TestKShortest:
         with pytest.raises(TopologyError):
             k_shortest_paths(topo, "a", "c", k=1)
 
+    def test_disconnected_chains_networkx_cause(self):
+        """The TopologyError must keep the NetworkXNoPath chain (it was
+        dropped by a bare re-raise) and must not claim a hop bound that
+        was never set."""
+        topo = build_topology([("a", "b"), ("c", "d")], hosts=["a", "b", "c", "d"])
+        with pytest.raises(TopologyError) as excinfo:
+            k_shortest_paths(topo, "a", "c", k=1)
+        assert isinstance(excinfo.value.__cause__, nx.NetworkXNoPath)
+        assert "None" not in str(excinfo.value)
+
     def test_max_hops_too_tight(self, ft4):
         h = ft4.hosts
         with pytest.raises(TopologyError):
+            k_shortest_paths(ft4, h[0], h[-1], k=3, max_hops=1)
+
+    def test_max_hops_message_names_the_bound(self, ft4):
+        h = ft4.hosts
+        with pytest.raises(TopologyError, match="within 1 hops"):
             k_shortest_paths(ft4, h[0], h[-1], k=3, max_hops=1)
 
 
@@ -89,6 +105,24 @@ class TestEcmp:
         a = ecmp_route(flows, ft4, seed=1)
         b = ecmp_route(flows, ft4, seed=2)
         assert a != b
+
+    def test_singleton_groups_consume_no_rng_draw(self, ft4):
+        """Adding a single-path (same-rack) flow ahead of multipath flows
+        must not reshuffle the multipath flows' choices — singleton ECMP
+        groups have nothing to draw for."""
+        from repro.flows import Flow, FlowSet
+
+        h = ft4.hosts
+        multi = [
+            Flow(id=i, src=h[0], dst=h[-1], size=1.0, release=0, deadline=1)
+            for i in range(1, 9)
+        ]
+        single = Flow(id=0, src=h[0], dst=h[1], size=1.0, release=0, deadline=1)
+        base = ecmp_route(FlowSet(multi), ft4, seed=9)
+        grown = ecmp_route(FlowSet([single] + multi), ft4, seed=9)
+        assert len(ecmp_paths(ft4, h[0], h[1])) == 1  # same-rack: one path
+        for flow in multi:
+            assert grown[flow.id] == base[flow.id]
 
 
 class TestEcmpMcfBaseline:
