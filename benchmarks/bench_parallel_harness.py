@@ -1,0 +1,54 @@
+"""Benchmark PERF-PAR: process-parallel experiment harness.
+
+Runs the sigma ablation serially and with a 2-worker fork pool, asserts
+the tables are identical (deterministic per-task seeding), and records
+both wall-clocks in ``BENCH_parallel_harness.json``.  No speedup is
+asserted — CI runners may expose a single core, where the pool can only
+break even — the recorded ratio is what gets tracked across PRs.
+"""
+
+from __future__ import annotations
+
+import time
+
+from record import record_bench
+from repro.experiments.ablations import sigma_ablation
+from repro.experiments.parallel import available_parallelism
+
+SIGMAS = (0.0, 1.0, 4.0)
+RUNS = 2
+FLOWS = 30
+
+
+def test_parallel_matches_serial_and_record(capsys):
+    t0 = time.perf_counter()
+    serial = sigma_ablation(
+        sigmas=SIGMAS, num_flows=FLOWS, runs=RUNS, jobs=1
+    )
+    t_serial = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    parallel = sigma_ablation(
+        sigmas=SIGMAS, num_flows=FLOWS, runs=RUNS, jobs=2
+    )
+    t_parallel = time.perf_counter() - t0
+
+    assert serial.rows == parallel.rows
+
+    path = record_bench(
+        "parallel_harness",
+        wall_clock_s=t_parallel,
+        seed=0,
+        topology="fat_tree(4)",
+        extra={
+            "serial_wall_clock_s": t_serial,
+            "parallel_speedup": t_serial / t_parallel,
+            "jobs": 2,
+            "available_parallelism": available_parallelism(),
+            "tasks": len(SIGMAS) * RUNS,
+        },
+    )
+    with capsys.disabled():
+        print(
+            f"\nsigma ablation: serial {t_serial:.2f}s, 2-worker "
+            f"{t_parallel:.2f}s -> {path}"
+        )

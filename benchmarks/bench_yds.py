@@ -1,15 +1,22 @@
 """Benchmark PERF-YDS: the YDS speed-scaling substrate.
 
 Times the critical-interval loop on single-machine instances of growing
-size (this is the inner engine of Most-Critical-First).
+size (this is the inner engine of Most-Critical-First).  The vectorized
+grid kernel makes the 400-job size routine; the largest instance's
+wall-clock is recorded in ``BENCH_yds.json``.
 """
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 import pytest
 
+from record import record_bench
 from repro.scheduling import YdsJob, yds_schedule
+
+LARGEST = 400
 
 
 def _jobs(n: int):
@@ -24,10 +31,26 @@ def _jobs(n: int):
 
 
 @pytest.mark.benchmark(group="yds")
-@pytest.mark.parametrize("num_jobs", [25, 50, 100])
+@pytest.mark.parametrize("num_jobs", [50, 100, 200, LARGEST])
 def test_yds_scaling(benchmark, num_jobs):
     jobs = _jobs(num_jobs)
     result = benchmark.pedantic(
         lambda: yds_schedule(jobs), rounds=3, iterations=1
     )
     assert len(result.speeds) == num_jobs
+
+
+def test_record_largest():
+    jobs = _jobs(LARGEST)
+    t0 = time.perf_counter()
+    result = yds_schedule(jobs)
+    wall = time.perf_counter() - t0
+    assert len(result.speeds) == LARGEST
+    record_bench(
+        "yds",
+        wall_clock_s=wall,
+        flows_per_sec=LARGEST / wall,
+        seed=5,
+        topology="single-link",
+        extra={"num_jobs": LARGEST},
+    )

@@ -1,0 +1,75 @@
+"""Machine-readable benchmark records: ``BENCH_<name>.json``.
+
+Every benchmark that wants its numbers tracked across PRs calls
+:func:`record_bench` with whatever it measured.  The helper adds the
+environment fingerprint (python, platform, peak RSS) and writes one JSON
+file per benchmark into ``$BENCH_RESULTS_DIR`` (default: the current
+working directory), where CI uploads them as workflow artifacts.
+
+The schema is deliberately flat and additive — downstream tooling should
+tolerate unknown keys:
+
+``name``            benchmark identifier (also the filename suffix)
+``wall_clock_s``    headline wall-clock measurement in seconds
+``flows_per_sec``   headline throughput, when the benchmark is flow-based
+``seed``            workload seed, when seeded
+``topology``        topology label, when topology-bound
+``peak_rss_mb``     process peak resident set size when recording
+``python`` / ``platform`` / ``recorded_unix``  environment fingerprint
+``extra``           benchmark-specific measurements (speedups, sizes, ...)
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from typing import Any, Mapping
+
+__all__ = ["record_bench", "peak_rss_mb"]
+
+
+def peak_rss_mb() -> float | None:
+    """Peak resident set size of this process in MiB (None off-POSIX)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return None
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports KiB, macOS reports bytes.
+    if sys.platform == "darwin":  # pragma: no cover
+        return rss / (1024.0 * 1024.0)
+    return rss / 1024.0
+
+
+def record_bench(
+    name: str,
+    *,
+    wall_clock_s: float | None = None,
+    flows_per_sec: float | None = None,
+    seed: int | None = None,
+    topology: str | None = None,
+    extra: Mapping[str, Any] | None = None,
+) -> str:
+    """Write ``BENCH_<name>.json`` and return its path."""
+    payload: dict[str, Any] = {
+        "name": name,
+        "wall_clock_s": wall_clock_s,
+        "flows_per_sec": flows_per_sec,
+        "seed": seed,
+        "topology": topology,
+        "peak_rss_mb": peak_rss_mb(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "recorded_unix": time.time(),
+        "extra": dict(extra or {}),
+    }
+    directory = os.environ.get("BENCH_RESULTS_DIR", ".")
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"BENCH_{name}.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path

@@ -7,7 +7,7 @@ from repro.core.baselines import (
     greedy_marginal_routing,
     sp_mcf,
 )
-from repro.core.dcfs import DcfsResult, solve_dcfs
+from repro.core.dcfs import DcfsResult, solve_dcfs, solve_dcfs_reference
 from repro.core.dcfsr import (
     DcfsrResult,
     round_schedule,
@@ -30,6 +30,7 @@ from repro.core.relaxation import (
 __all__ = [
     "DcfsResult",
     "solve_dcfs",
+    "solve_dcfs_reference",
     "DcfsrResult",
     "solve_dcfsr",
     "round_schedule",

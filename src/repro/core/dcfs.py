@@ -36,8 +36,11 @@ honestly.  See DESIGN.md Section 5, note 6.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 from typing import Mapping, Sequence
+
+import numpy as np
 
 from repro.errors import InfeasibleError, ValidationError
 from repro.flows.flow import Flow, FlowSet
@@ -45,10 +48,18 @@ from repro.power.model import PowerModel
 from repro.scheduling.edf import EdfJob, edf_schedule
 from repro.scheduling.schedule import FlowSchedule, Schedule, Segment
 from repro.scheduling.timeline import BlockedTimeline
-from repro.scheduling.yds import YdsJob, critical_interval
+from repro.scheduling.yds import (
+    YdsJob,
+    critical_interval_arrays,
+    critical_interval_reference,
+)
 from repro.topology.base import Edge, Topology, path_edges
 
-__all__ = ["DcfsResult", "solve_dcfs"]
+__all__ = ["DcfsResult", "solve_dcfs", "solve_dcfs_reference"]
+
+#: The reference implementation's strictly-greater-by tolerance when a
+#: later link challenges the current most-critical candidate.
+_TIE_TOL = 1e-15
 
 
 @dataclass(frozen=True)
@@ -96,6 +107,38 @@ def _virtual_weight(flow: Flow, num_links: int, alpha: float) -> float:
     return flow.size * num_links ** (1.0 / alpha)
 
 
+def _prepare_instance(
+    flows: FlowSet,
+    topology: Topology,
+    paths: Mapping[int | str, Sequence[str]],
+    alpha: float,
+) -> tuple[
+    dict[int | str, tuple[str, ...]],
+    dict[int | str, tuple[Edge, ...]],
+    dict[int | str, float],
+    dict[Edge, set[int | str]],
+]:
+    """Validate paths and build the shared per-flow/per-link indexes."""
+    flow_paths: dict[int | str, tuple[str, ...]] = {}
+    flow_edges: dict[int | str, tuple[Edge, ...]] = {}
+    virtual: dict[int | str, float] = {}
+    for flow in flows:
+        if flow.id not in paths:
+            raise ValidationError(f"no path supplied for flow {flow.id!r}")
+        path = tuple(paths[flow.id])
+        topology.validate_path(path, flow.src, flow.dst)
+        flow_paths[flow.id] = path
+        edges = path_edges(path)
+        flow_edges[flow.id] = edges
+        virtual[flow.id] = _virtual_weight(flow, len(edges), alpha)
+
+    link_flows: dict[Edge, set[int | str]] = {}
+    for flow in flows:
+        for edge in flow_edges[flow.id]:
+            link_flows.setdefault(edge, set()).add(flow.id)
+    return flow_paths, flow_edges, virtual, link_flows
+
+
 def solve_dcfs(
     flows: FlowSet,
     topology: Topology,
@@ -103,6 +146,16 @@ def solve_dcfs(
     power: PowerModel,
 ) -> DcfsResult:
     """Run Most-Critical-First on a routed instance.
+
+    This is the incremental array-native engine (DESIGN.md Section 8): each
+    link keeps its job set as NumPy arrays plus an alive mask, candidate
+    critical intervals live in a lazy max-heap with version-stamp
+    invalidation, and only links whose timelines were touched by the
+    previous round's reservations are re-scored (with the vectorized
+    :func:`repro.scheduling.yds.critical_interval_arrays` kernel).  Output
+    — rates, rounds, segments, tie-breaking included — is identical to
+    :func:`solve_dcfs_reference`, which ``tests/test_perf_kernels.py``
+    pins.
 
     Parameters
     ----------
@@ -127,25 +180,200 @@ def solve_dcfs(
     """
     flows.validate_against(topology)
     alpha = power.alpha
+    flow_paths, flow_edges, virtual, link_flows = _prepare_instance(
+        flows, topology, paths, alpha
+    )
 
-    flow_paths: dict[int | str, tuple[str, ...]] = {}
-    flow_edges: dict[int | str, tuple[Edge, ...]] = {}
-    virtual: dict[int | str, float] = {}
-    for flow in flows:
-        if flow.id not in paths:
-            raise ValidationError(f"no path supplied for flow {flow.id!r}")
-        path = tuple(paths[flow.id])
-        topology.validate_path(path, flow.src, flow.dst)
-        flow_paths[flow.id] = path
-        edges = path_edges(path)
-        flow_edges[flow.id] = edges
-        virtual[flow.id] = _virtual_weight(flow, len(edges), alpha)
+    blocked: dict[Edge, BlockedTimeline] = {
+        edge: BlockedTimeline() for edge in link_flows
+    }
 
-    # Per-link queues of unscheduled flows.
-    link_flows: dict[Edge, set[int | str]] = {}
+    # Per-link job arrays in the reference's deterministic order (flow ids
+    # sorted by str); scheduled flows are cleared in an alive mask and each
+    # re-score views the arrays through it (storage is never shrunk).
+    sorted_edges = sorted(link_flows)
+    rank = {edge: i for i, edge in enumerate(sorted_edges)}
+    edge_fids: dict[Edge, list[int | str]] = {}
+    edge_release: dict[Edge, np.ndarray] = {}
+    edge_deadline: dict[Edge, np.ndarray] = {}
+    edge_work: dict[Edge, np.ndarray] = {}
+    alive: dict[Edge, np.ndarray] = {}
+    position: dict[Edge, dict[int | str, int]] = {}
+    for edge in sorted_edges:
+        fids = sorted(link_flows[edge], key=str)
+        edge_fids[edge] = fids
+        edge_release[edge] = np.array(
+            [flows[f].release for f in fids], dtype=float
+        )
+        edge_deadline[edge] = np.array(
+            [flows[f].deadline for f in fids], dtype=float
+        )
+        edge_work[edge] = np.array([virtual[f] for f in fids], dtype=float)
+        alive[edge] = np.ones(len(fids), dtype=bool)
+        position[edge] = {f: i for i, f in enumerate(fids)}
+
+    # Candidate = (a, b, delta, contained_fids, overlap_mode).
+    Candidate = tuple[float, float, float, list[int | str], bool]
+
+    def link_candidate(edge: Edge) -> Candidate:
+        keep = np.flatnonzero(alive[edge])
+        rel = edge_release[edge][keep]
+        dl = edge_deadline[edge][keep]
+        wk = edge_work[edge][keep]
+        try:
+            a, b, delta, contained = critical_interval_arrays(
+                rel, dl, wk, blocked[edge]
+            )
+            mode = False
+        except InfeasibleError:
+            # Cross-link reservations exhausted some span on this link;
+            # fall back to raw-time accounting (overlap mode).
+            a, b, delta, contained = critical_interval_arrays(rel, dl, wk, None)
+            mode = True
+        fids = [edge_fids[edge][i] for i in keep[contained].tolist()]
+        return (a, b, delta, fids, mode)
+
+    # Lazy max-heap of candidates: entries are (-delta, rank, version,
+    # edge); an entry is stale once the edge's version moved past the one
+    # it was pushed with (its timeline or queue changed) and is discarded
+    # on pop.  Fresh candidates are also mirrored in ``cand`` for the
+    # exact tie-break scan below.
+    cand: dict[Edge, Candidate] = {}
+    version: dict[Edge, int] = {edge: 0 for edge in sorted_edges}
+    heap: list[tuple[float, int, int, Edge]] = []
+    for edge in sorted_edges:
+        candidate = link_candidate(edge)
+        cand[edge] = candidate
+        heap.append((-candidate[2], rank[edge], 0, edge))
+    heapq.heapify(heap)
+
+    rates: dict[int | str, float] = {}
+    segments: dict[int | str, list[tuple[float, float]]] = {}
+    remaining = {flow.id for flow in flows}
+    rounds = 0
+
+    while remaining:
+        rounds += 1
+        # Pop the maximum fresh candidate, then every fresh candidate
+        # within the reference's 1e-15 challenge tolerance of it.
+        top_delta: float | None = None
+        contenders: list[tuple[float, int, int, Edge]] = []
+        while heap:
+            neg_delta, _rk, ver, edge = heap[0]
+            if ver != version[edge] or not link_flows[edge]:
+                heapq.heappop(heap)
+                continue
+            if top_delta is not None and -neg_delta < top_delta - _TIE_TOL:
+                break
+            contenders.append(heapq.heappop(heap))
+            if top_delta is None:
+                top_delta = -neg_delta
+        if top_delta is None:
+            raise AssertionError(
+                "flows remain but no link has queued flows"
+            )  # pragma: no cover
+        if len(contenders) == 1:
+            best_edge = contenders[0][3]
+            best = cand[best_edge]
+        else:
+            # Near-tie: replay the reference's sequential challenge scan
+            # over every queued link so the selected link matches exactly.
+            best_edge = None
+            best = None
+            for edge in sorted_edges:
+                if not link_flows[edge]:
+                    continue
+                candidate = cand[edge]
+                if best is None or candidate[2] > best[2] + _TIE_TOL:
+                    best, best_edge = candidate, edge
+            assert best is not None and best_edge is not None
+        for entry in contenders:
+            if entry[3] != best_edge:
+                heapq.heappush(heap, entry)
+
+        a, b, delta, crit_fids, overlap_mode = best
+        edf_jobs = []
+        for fid in crit_fids:
+            rate = delta / len(flow_edges[fid]) ** (1.0 / alpha)
+            rates[fid] = rate
+            # Execution time w_i / s_i = w'_i / delta.
+            edf_jobs.append(
+                EdfJob(
+                    id=fid,
+                    release=flows[fid].release,
+                    deadline=flows[fid].deadline,
+                    duration=virtual[fid] / delta,
+                )
+            )
+        edf_blocked = () if overlap_mode else blocked[best_edge].segments()
+        try:
+            placed = edf_schedule(edf_jobs, blocked=edf_blocked)
+        except InfeasibleError:
+            # Fragmented availability can defeat EDF even when the total
+            # available time suffices; retry on raw time (overlap mode).
+            try:
+                placed = edf_schedule(edf_jobs, blocked=())
+            except InfeasibleError as exc:
+                raise InfeasibleError(
+                    f"Most-Critical-First: EDF failed inside critical "
+                    f"interval [{a:g}, {b:g}] on link {best_edge!r}: {exc}"
+                ) from exc
+
+        touched: set[Edge] = set()
+        for fid in crit_fids:
+            segments[fid] = placed[fid]
+            remaining.discard(fid)
+            for edge in flow_edges[fid]:
+                link_flows[edge].discard(fid)
+                blocked[edge].add_many(placed[fid])
+                alive[edge][position[edge][fid]] = False
+                touched.add(edge)
+        # Invalidate and eagerly re-score touched links (re-scoring must be
+        # eager: added reservations can *raise* a link's best intensity, so
+        # a purely pop-time refresh would under-estimate the heap top).
+        for edge in touched:
+            version[edge] += 1
+            if link_flows[edge]:
+                candidate = link_candidate(edge)
+                cand[edge] = candidate
+                heapq.heappush(
+                    heap, (-candidate[2], rank[edge], version[edge], edge)
+                )
+            else:
+                cand.pop(edge, None)
+
+    flow_schedules = []
     for flow in flows:
-        for edge in flow_edges[flow.id]:
-            link_flows.setdefault(edge, set()).add(flow.id)
+        fs_segments = tuple(
+            Segment(start=s, end=e, rate=rates[flow.id])
+            for s, e in segments[flow.id]
+        )
+        flow_schedules.append(
+            FlowSchedule(flow=flow, path=flow_paths[flow.id], segments=fs_segments)
+        )
+    return DcfsResult(
+        schedule=Schedule(flow_schedules), rates=rates, rounds=rounds
+    )
+
+
+def solve_dcfs_reference(
+    flows: FlowSet,
+    topology: Topology,
+    paths: Mapping[int | str, Sequence[str]],
+    power: PowerModel,
+) -> DcfsResult:
+    """Pure-Python Most-Critical-First, retained as the pinning reference.
+
+    Re-scores every queued link's critical interval with the brute-force
+    :func:`critical_interval_reference` whenever its cache entry was
+    invalidated and selects the winner with a sequential challenge scan.
+    ``solve_dcfs`` must produce identical output.
+    """
+    flows.validate_against(topology)
+    alpha = power.alpha
+    flow_paths, flow_edges, virtual, link_flows = _prepare_instance(
+        flows, topology, paths, alpha
+    )
 
     blocked: dict[Edge, BlockedTimeline] = {
         edge: BlockedTimeline() for edge in link_flows
@@ -166,12 +394,14 @@ def solve_dcfs(
             for fid in sorted(link_flows[edge], key=str)
         ]
         try:
-            a, b, delta, contained = critical_interval(jobs, blocked[edge])
+            a, b, delta, contained = critical_interval_reference(
+                jobs, blocked[edge]
+            )
             return (a, b, delta, contained, False)
         except InfeasibleError:
             # Cross-link reservations exhausted some span on this link;
             # fall back to raw-time accounting (overlap mode).
-            a, b, delta, contained = critical_interval(jobs, None)
+            a, b, delta, contained = critical_interval_reference(jobs, None)
             return (a, b, delta, contained, True)
 
     rates: dict[int | str, float] = {}

@@ -211,7 +211,7 @@ def solve_dcfsr(
     lower_bound = relaxation.lower_bound
 
     horizon = grid.horizon
-    best: tuple[bool, float, Schedule, dict] | None = None
+    best: tuple[bool, EnergyBreakdown, Schedule, dict] | None = None
     attempts = 0
     draw_budget = 1 if rounding == "deterministic" else max_attempts
     for attempts in range(1, draw_budget + 1):
@@ -219,22 +219,24 @@ def solve_dcfsr(
             schedule, weights = round_schedule_deterministic(flows, relaxation)
         else:
             schedule, weights = round_schedule(flows, relaxation, rng)
+        # max_link_rate and energy share the schedule's cached link-rate
+        # profiles, so each draw compiles its per-edge profiles only once.
         feasible = (
             not math.isfinite(power.capacity)
             or schedule.max_link_rate() <= power.capacity * (1.0 + 1e-9)
         )
-        energy = schedule.energy(power, horizon=horizon).total
-        key = (feasible, -energy)
-        if best is None or key > (best[0], -best[1]):
-            best = (feasible, energy, schedule, weights)
+        breakdown = schedule.energy(power, horizon=horizon)
+        key = (feasible, -breakdown.total)
+        if best is None or key > (best[0], -best[1].total):
+            best = (feasible, breakdown, schedule, weights)
         if feasible:
             break
 
     assert best is not None
-    feasible, _energy, schedule, weights = best
+    feasible, breakdown, schedule, weights = best
     return DcfsrResult(
         schedule=schedule,
-        energy=schedule.energy(power, horizon=horizon),
+        energy=breakdown,
         lower_bound=lower_bound,
         relaxation=relaxation,
         rounding_weights=weights,

@@ -15,6 +15,11 @@ Each function regenerates one ablation series; the corresponding
   DCN fabrics at matched scale.
 * :func:`trace_ablation` — sliding-horizon replay of one generated arrival
   trace under the online policy, per-epoch DCFS, and the greedy baseline.
+
+Every ablation takes a ``jobs`` parameter: its independent
+(sweep-point, run-seed) tasks fan out over a fork-based process pool
+(:mod:`repro.experiments.parallel`) with the existing deterministic
+seeding, so parallel tables are identical to serial ones.
 """
 
 from __future__ import annotations
@@ -28,7 +33,9 @@ from repro.analysis.reporting import Table
 from repro.core.baselines import greedy_marginal_routing, sp_mcf
 from repro.core.dcfsr import round_schedule, solve_dcfsr
 from repro.core.relaxation import default_cost, solve_relaxation
-from repro.experiments.harness import run_comparison
+from repro.errors import ValidationError
+from repro.experiments.harness import single_run
+from repro.experiments.parallel import grouped_map, parallel_map
 from repro.flows.flow import Flow, FlowSet
 from repro.flows.intervals import TimeGrid
 from repro.flows.workloads import paper_workload
@@ -70,6 +77,7 @@ def sigma_ablation(
     fat_tree_k: int = 4,
     runs: int = 3,
     base_seed: int = 0,
+    jobs: int = 1,
 ) -> Table:
     """RS vs SP+MCF normalized energy as idle power sigma grows."""
     topology = fat_tree(fat_tree_k)
@@ -77,19 +85,20 @@ def sigma_ablation(
         title="ABL-SIGMA: idle power vs normalized energy (LB = 1)",
         columns=("sigma", "RS mean", "SP+MCF mean", "RS/SP ratio"),
     )
-    for sigma in sigmas:
-        power = PowerModel(sigma=sigma, mu=1.0, alpha=2.0)
-        point = run_comparison(
+
+    def one(sigma: float, run: int) -> dict[str, float]:
+        return single_run(
             topology,
-            power,
+            PowerModel(sigma=sigma, mu=1.0, alpha=2.0),
             workload_factory=lambda seed: paper_workload(
                 topology, num_flows, seed=seed
             ),
-            label=f"sigma={sigma:g}",
-            runs=runs,
-            base_seed=base_seed,
+            seed=base_seed + 1000 * run,
         )
-        rs, sp = point.mean_ratio("RS"), point.mean_ratio("SP+MCF")
+
+    for sigma, chunk in zip(sigmas, grouped_map(one, sigmas, runs, jobs)):
+        rs = mean(r["RS"] for r in chunk)
+        sp = mean(r["SP+MCF"] for r in chunk)
         table.add_row(sigma, rs, sp, rs / sp)
     return table
 
@@ -124,6 +133,7 @@ def lambda_ablation(
     fat_tree_k: int = 4,
     runs: int = 3,
     base_seed: int = 0,
+    jobs: int = 1,
 ) -> Table:
     """Does a larger lambda (Theorem 6 factor) hurt RS in practice?"""
     topology = fat_tree(fat_tree_k)
@@ -132,17 +142,26 @@ def lambda_ablation(
         title="ABL-LAMBDA: interval skew vs RS quality",
         columns=("skew", "mean lambda", "RS mean", "SP+MCF mean"),
     )
-    for skew in skews:
-        lambdas, rs_ratios, sp_ratios = [], [], []
-        for run in range(runs):
-            seed = base_seed + 1000 * run
-            flows = _skewed_workload(topology, num_flows, skew, seed)
-            lambdas.append(TimeGrid(flows).lam)
-            rs = solve_dcfsr(flows, topology, power, seed=seed)
-            rs_ratios.append(rs.energy.total / rs.lower_bound)
-            sp = sp_mcf(flows, topology, power)
-            sp_ratios.append(sp.energy.total / rs.lower_bound)
-        table.add_row(skew, mean(lambdas), mean(rs_ratios), mean(sp_ratios))
+
+    def one(skew: float, run: int) -> tuple[float, float, float]:
+        seed = base_seed + 1000 * run
+        flows = _skewed_workload(topology, num_flows, skew, seed)
+        lam = TimeGrid(flows).lam
+        rs = solve_dcfsr(flows, topology, power, seed=seed)
+        sp = sp_mcf(flows, topology, power)
+        return (
+            lam,
+            rs.energy.total / rs.lower_bound,
+            sp.energy.total / rs.lower_bound,
+        )
+
+    for skew, chunk in zip(skews, grouped_map(one, skews, runs, jobs)):
+        table.add_row(
+            skew,
+            mean(r[0] for r in chunk),
+            mean(r[1] for r in chunk),
+            mean(r[2] for r in chunk),
+        )
     return table
 
 
@@ -151,12 +170,17 @@ def rounding_ablation(
     fat_tree_k: int = 4,
     draws: int = 30,
     seed: int = 0,
+    jobs: int = 1,
 ) -> Table:
     """Variance of Random-Schedule's energy across rounding draws.
 
     Solves the relaxation once, then redraws the rounding ``draws`` times.
     The spread quantifies how much the "repeat until feasible/lucky" loop
     can buy.
+
+    ``jobs`` is accepted for harness uniformity but unused: the draws
+    deliberately consume one sequential RNG stream, so distributing them
+    would change the sampled sequence.
     """
     topology = fat_tree(fat_tree_k)
     power = PowerModel.quadratic()
@@ -183,6 +207,7 @@ def online_ablation(
     fat_tree_k: int = 4,
     runs: int = 3,
     base_seed: int = 0,
+    jobs: int = 1,
 ) -> Table:
     """The price of being online: Online+Density vs RS vs SP+MCF.
 
@@ -198,27 +223,25 @@ def online_ablation(
         title="ABL-ONLINE: normalized energy, online vs offline (LB = 1)",
         columns=("flows", "Online+Density", "RS (offline)", "SP+MCF"),
     )
-    for n in flow_counts:
-        point = run_comparison(
+    algorithms = {
+        "Online": lambda f, t, p: solve_online_density(f, t, p).energy.total
+    }
+
+    def one(n: int, run: int) -> dict[str, float]:
+        return single_run(
             topology,
             power,
-            workload_factory=lambda seed, n=n: paper_workload(
-                topology, n, seed=seed
-            ),
-            label=str(n),
-            runs=runs,
-            base_seed=base_seed,
-            algorithms={
-                "Online": lambda f, t, p: solve_online_density(
-                    f, t, p
-                ).energy.total
-            },
+            workload_factory=lambda seed: paper_workload(topology, n, seed=seed),
+            seed=base_seed + 1000 * run,
+            algorithms=algorithms,
         )
+
+    for n, chunk in zip(flow_counts, grouped_map(one, flow_counts, runs, jobs)):
         table.add_row(
             n,
-            point.mean_ratio("Online"),
-            point.mean_ratio("RS"),
-            point.mean_ratio("SP+MCF"),
+            mean(r["Online"] for r in chunk),
+            mean(r["RS"] for r in chunk),
+            mean(r["SP+MCF"] for r in chunk),
         )
     return table
 
@@ -229,6 +252,7 @@ def trace_ablation(
     window: float = 8.0,
     fat_tree_k: int = 4,
     seed: int = 0,
+    jobs: int = 1,
 ) -> Table:
     """ABL-TRACE: one Poisson trace replayed under three serving policies.
 
@@ -253,11 +277,14 @@ def trace_ablation(
             "policy", "flows", "windows", "miss rate", "energy", "peak rate",
         ),
     )
-    for policy in (OnlineDensityPolicy(), EpochDcfsPolicy(), GreedyDensityPolicy()):
+    policies = (OnlineDensityPolicy(), EpochDcfsPolicy(), GreedyDensityPolicy())
+
+    def one(index: int):
+        policy = policies[index]
         report = ReplayEngine(topology, power, policy, window=window).run(
             generate_trace(topology, spec)
         )
-        table.add_row(
+        return (
             policy.name,
             report.flows_seen,
             report.windows,
@@ -265,6 +292,9 @@ def trace_ablation(
             report.total_energy,
             report.peak_link_rate,
         )
+
+    for row in parallel_map(one, range(len(policies)), jobs=jobs):
+        table.add_row(*row)
     return table
 
 
@@ -273,19 +303,23 @@ def rounding_mode_ablation(
     fat_tree_k: int = 4,
     runs: int = 5,
     base_seed: int = 0,
+    jobs: int = 1,
 ) -> Table:
     """Random rounding (Algorithm 2) vs argmax-``w_bar`` derandomization.
 
     Both modes share the same relaxation per run; the table reports the
     normalized energies side by side.
     """
+    if runs < 1:
+        raise ValidationError(f"runs must be >= 1, got {runs}")
     topology = fat_tree(fat_tree_k)
     power = PowerModel.quadratic()
     table = Table(
         title="ABL-ROUND-MODE: random vs deterministic rounding (LB = 1)",
         columns=("run", "random", "deterministic"),
     )
-    for run in range(runs):
+
+    def one(run: int) -> tuple[float, float]:
         seed = base_seed + 1000 * run
         flows = paper_workload(topology, num_flows, seed=seed)
         random_result = solve_dcfsr(flows, topology, power, seed=seed)
@@ -293,11 +327,10 @@ def rounding_mode_ablation(
             flows, topology, power, seed=seed, rounding="deterministic"
         )
         lb = random_result.lower_bound
-        table.add_row(
-            run,
-            random_result.energy.total / lb,
-            det_result.energy.total / lb,
-        )
+        return random_result.energy.total / lb, det_result.energy.total / lb
+
+    for run, (rnd, det) in enumerate(parallel_map(one, range(runs), jobs=jobs)):
+        table.add_row(run, rnd, det)
     return table
 
 
@@ -306,6 +339,7 @@ def failure_ablation(
     num_flows: int = 50,
     fat_tree_k: int = 4,
     seed: int = 0,
+    jobs: int = 1,
 ) -> Table:
     """Normalized energy on progressively degraded fabrics.
 
@@ -323,17 +357,20 @@ def failure_ablation(
         title="ABL-FAIL: link failures vs normalized energy (per-fabric LB = 1)",
         columns=("failed links", "surviving links", "RS", "SP+MCF"),
     )
-    for count in failure_counts:
+    def one(count: int) -> tuple[int, int, float, float]:
         topology, _failed = fail_links(base, count, seed=seed + count)
         rs = solve_dcfsr(flows, topology, power, seed=seed)
         sp = sp_mcf(flows, topology, power)
         lb = rs.lower_bound
-        table.add_row(
+        return (
             count,
             topology.num_edges,
             rs.energy.total / lb,
             sp.energy.total / lb,
         )
+
+    for row in parallel_map(one, failure_counts, jobs=jobs):
+        table.add_row(*row)
     return table
 
 
@@ -341,6 +378,7 @@ def topology_ablation(
     num_flows: int = 50,
     runs: int = 3,
     base_seed: int = 0,
+    jobs: int = 1,
 ) -> Table:
     """RS vs SP+MCF vs Greedy+MCF across DCN fabrics of comparable size."""
     fabrics: list[Topology] = [
@@ -355,28 +393,30 @@ def topology_ablation(
         title="ABL-TOPO: normalized energy by fabric (LB = 1)",
         columns=("fabric", "hosts", "links", "RS", "SP+MCF", "Greedy+MCF"),
     )
-    for topology in fabrics:
-        point = run_comparison(
+    algorithms = {
+        "Greedy+MCF": lambda f, t, p: greedy_marginal_routing(f, t, p).energy.total
+    }
+
+    def one(index: int, run: int) -> dict[str, float]:
+        topology = fabrics[index]
+        return single_run(
             topology,
             power,
-            workload_factory=lambda seed, t=topology: paper_workload(
-                t, num_flows, seed=seed
+            workload_factory=lambda seed: paper_workload(
+                topology, num_flows, seed=seed
             ),
-            label=topology.name,
-            runs=runs,
-            base_seed=base_seed,
-            algorithms={
-                "Greedy+MCF": lambda f, t, p: greedy_marginal_routing(
-                    f, t, p
-                ).energy.total
-            },
+            seed=base_seed + 1000 * run,
+            algorithms=algorithms,
         )
+
+    chunks = grouped_map(one, range(len(fabrics)), runs, jobs)
+    for topology, chunk in zip(fabrics, chunks):
         table.add_row(
             topology.name,
             len(topology.hosts),
             topology.num_edges,
-            point.mean_ratio("RS"),
-            point.mean_ratio("SP+MCF"),
-            point.mean_ratio("Greedy+MCF"),
+            mean(r["RS"] for r in chunk),
+            mean(r["SP+MCF"] for r in chunk),
+            mean(r["Greedy+MCF"] for r in chunk),
         )
     return table

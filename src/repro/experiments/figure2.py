@@ -32,7 +32,8 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.analysis.reporting import Table
-from repro.experiments.harness import ComparisonPoint, run_comparison
+from repro.experiments.harness import ComparisonPoint, single_run
+from repro.experiments.parallel import available_parallelism, grouped_map
 from repro.flows.workloads import paper_workload
 from repro.power.model import PowerModel
 from repro.topology.fattree import fat_tree
@@ -64,29 +65,42 @@ def run_figure2(
     base_seed: int = 0,
     fw_max_iterations: int = 40,
     fw_gap_tolerance: float = 3e-3,
+    jobs: int = 1,
 ) -> Figure2Result:
     """Regenerate one panel of Figure 2.
 
     Defaults reproduce the paper's full-scale setting; smaller
-    ``fat_tree_k``/``runs`` give fast smoke versions for CI.
+    ``fat_tree_k``/``runs`` give fast smoke versions for CI.  With
+    ``jobs > 1`` the whole (flow-count, run) grid fans out over a process
+    pool — the deterministic per-task seeding makes the result identical
+    to the serial sweep.
     """
     topology = fat_tree(fat_tree_k)
     power = PowerModel(sigma=0.0, mu=1.0, alpha=alpha)
-    points = []
-    for n in flow_counts:
-        point = run_comparison(
+
+    def one(n: int, run: int) -> dict[str, float]:
+        return single_run(
             topology,
             power,
-            workload_factory=lambda seed, n=n: paper_workload(
+            workload_factory=lambda seed: paper_workload(
                 topology, n, horizon=horizon, seed=seed
             ),
-            label=str(n),
-            runs=runs,
-            base_seed=base_seed,
+            seed=base_seed + 1000 * run,
             fw_max_iterations=fw_max_iterations,
             fw_gap_tolerance=fw_gap_tolerance,
         )
-        points.append(point)
+
+    points = []
+    for n, chunk in zip(flow_counts, grouped_map(one, flow_counts, runs, jobs)):
+        points.append(
+            ComparisonPoint(
+                label=str(n),
+                runs=runs,
+                ratios={
+                    name: tuple(r[name] for r in chunk) for name in chunk[0]
+                },
+            )
+        )
     return Figure2Result(alpha=alpha, points=tuple(points))
 
 
@@ -121,7 +135,15 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--csv", type=str, default=None, help="write CSV here")
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the (point, run) fan-out "
+             "(0 = all cores, 1 = serial)",
+    )
     args = parser.parse_args(argv)
+    if args.jobs < 0:
+        parser.error(f"--jobs must be >= 0, got {args.jobs}")
+    jobs = args.jobs if args.jobs > 0 else available_parallelism()
 
     result = run_figure2(
         alpha=args.alpha,
@@ -129,6 +151,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         runs=args.runs,
         fat_tree_k=args.fat_tree_k,
         base_seed=args.seed,
+        jobs=jobs,
     )
     table = figure2_table(result)
     print(table.render())

@@ -5,6 +5,13 @@ algorithms, normalize energies by the fractional lower bound, aggregate
 over repetitions.  :func:`run_comparison` packages that protocol (the
 paper's Figure 2 protocol) once, so the figure and the ablations stay
 consistent.
+
+Runs are independent and deterministically seeded, so the harness fans
+them out over a process pool (:mod:`repro.experiments.parallel`) when
+``jobs > 1`` — results are identical to the serial sweep, just faster.
+:func:`single_run` is the unit of work; sweeps that want cross-point
+parallelism (e.g. Figure 2) flatten their (point, run) grid onto it
+directly.
 """
 
 from __future__ import annotations
@@ -18,11 +25,12 @@ import numpy as np
 from repro.core.baselines import sp_mcf
 from repro.core.dcfsr import solve_dcfsr
 from repro.errors import ValidationError
+from repro.experiments.parallel import parallel_map
 from repro.flows.flow import FlowSet
 from repro.power.model import PowerModel
 from repro.topology.base import Topology
 
-__all__ = ["ComparisonPoint", "run_comparison"]
+__all__ = ["ComparisonPoint", "run_comparison", "single_run"]
 
 
 @dataclass(frozen=True)
@@ -45,6 +53,38 @@ class ComparisonPoint:
         return stdev(values) if len(values) > 1 else 0.0
 
 
+def single_run(
+    topology: Topology,
+    power: PowerModel,
+    workload_factory: Callable[[int], FlowSet],
+    seed: int,
+    algorithms: Mapping[str, Callable] | None = None,
+    fw_max_iterations: int = 40,
+    fw_gap_tolerance: float = 3e-3,
+) -> dict[str, float]:
+    """One repetition of the Figure-2 protocol: algorithm -> ``Phi_f/LB``.
+
+    Fully determined by its arguments (the rounding RNG is derived from
+    ``seed``), which is what lets repetitions run in any order or process.
+    """
+    flows = workload_factory(seed)
+    rs = solve_dcfsr(
+        flows,
+        topology,
+        power,
+        seed=np.random.default_rng(seed),
+        fw_max_iterations=fw_max_iterations,
+        fw_gap_tolerance=fw_gap_tolerance,
+    )
+    lb = rs.lower_bound
+    ratios = {"RS": rs.energy.total / lb}
+    sp = sp_mcf(flows, topology, power)
+    ratios["SP+MCF"] = sp.energy.total / lb
+    for name, fn in (algorithms or {}).items():
+        ratios[name] = fn(flows, topology, power) / lb
+    return ratios
+
+
 def run_comparison(
     topology: Topology,
     power: PowerModel,
@@ -55,6 +95,7 @@ def run_comparison(
     algorithms: Mapping[str, Callable] | None = None,
     fw_max_iterations: int = 40,
     fw_gap_tolerance: float = 3e-3,
+    jobs: int = 1,
 ) -> ComparisonPoint:
     """Run the Figure-2 protocol at one sweep point.
 
@@ -66,34 +107,32 @@ def run_comparison(
         Extra algorithms beyond the default {RS, SP+MCF}: name ->
         ``fn(flows, topology, power) -> total energy``.  RS is always run
         (it supplies the lower bound).
+    jobs:
+        Worker processes to spread the runs over (1 = serial; results are
+        identical either way).
     """
     if runs < 1:
         raise ValidationError(f"runs must be >= 1, got {runs}")
-    ratio_lists: dict[str, list[float]] = {"RS": [], "SP+MCF": []}
     extra = dict(algorithms or {})
-    for name in extra:
-        ratio_lists[name] = []
 
-    for run in range(runs):
-        seed = base_seed + 1000 * run
-        flows = workload_factory(seed)
-        rs = solve_dcfsr(
-            flows,
+    def one(run: int) -> dict[str, float]:
+        return single_run(
             topology,
             power,
-            seed=np.random.default_rng(seed),
+            workload_factory,
+            seed=base_seed + 1000 * run,
+            algorithms=extra,
             fw_max_iterations=fw_max_iterations,
             fw_gap_tolerance=fw_gap_tolerance,
         )
-        lb = rs.lower_bound
-        ratio_lists["RS"].append(rs.energy.total / lb)
-        sp = sp_mcf(flows, topology, power)
-        ratio_lists["SP+MCF"].append(sp.energy.total / lb)
-        for name, fn in extra.items():
-            ratio_lists[name].append(fn(flows, topology, power) / lb)
 
+    per_run = parallel_map(one, range(runs), jobs=jobs)
+
+    names = ["RS", "SP+MCF", *extra]
     return ComparisonPoint(
         label=label,
         runs=runs,
-        ratios={k: tuple(v) for k, v in ratio_lists.items()},
+        ratios={
+            name: tuple(r[name] for r in per_run) for name in names
+        },
     )

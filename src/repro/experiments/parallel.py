@@ -1,0 +1,118 @@
+"""Process-parallel fan-out for the experiment harness.
+
+Experiment sweeps decompose into independent, deterministically seeded
+(sweep-point, run-seed) tasks, which :func:`parallel_map` distributes over
+a ``fork``-based process pool.  Fork inheritance is what makes this work
+ergonomically: the task callable (typically a closure over a topology, a
+power model and a workload factory) never crosses a pipe — workers inherit
+it through a module-level registry populated in the parent right before
+the pool starts, and only the picklable *items* and *results* are
+serialized.
+
+Fallbacks keep behavior identical everywhere: with ``jobs <= 1``, a single
+item, on platforms whose default start method is not ``fork`` (macOS and
+Windows — fork is technically *available* on macOS but CPython defaults
+away from it because forking after Objective-C/BLAS initialization is
+unsafe there), or when already inside a daemonic pool worker (nested
+parallelism), the map degrades to a plain serial loop.  Results always
+come back in input order, so a parallel sweep is bit-identical to its
+serial counterpart.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing as mp
+from typing import Callable, Iterable, Sequence, TypeVar
+
+from repro.errors import ValidationError
+
+__all__ = ["parallel_map", "grouped_map", "available_parallelism"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Parent-side registry of task callables, inherited by forked workers.
+_WORK: dict[int, Callable] = {}
+_TOKENS = itertools.count()
+
+
+def _invoke(token: int, item):  # pragma: no cover - runs in the worker
+    return _WORK[token](item)
+
+
+def available_parallelism() -> int:
+    """Usable worker count (scheduler affinity when exposed, else cores)."""
+    try:
+        import os
+
+        return max(1, len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):
+        return max(1, mp.cpu_count())
+
+
+def parallel_map(
+    fn: Callable[[T], R], items: Iterable[T], jobs: int = 1
+) -> list[R]:
+    """Apply ``fn`` to every item, fanning out over ``jobs`` processes.
+
+    Parameters
+    ----------
+    fn:
+        Task callable.  May be any callable (closures and lambdas
+        included) — it is inherited via fork, not pickled.  It must not
+        depend on mutable global state changed after the call starts.
+    items:
+        Task inputs; each must be picklable (seeds, labels, small tuples).
+    jobs:
+        Maximum worker processes.  ``1`` (or fewer items than 2, or a
+        platform that does not default to ``fork``) runs serially
+        in-process.
+
+    Returns results in input order.  A worker exception propagates to the
+    caller (remaining tasks may be cancelled), exactly like the serial
+    loop.
+    """
+    if jobs < 1:
+        raise ValidationError(f"jobs must be >= 1, got {jobs}")
+    task_list = list(items)
+    serial = (
+        jobs == 1
+        or len(task_list) <= 1
+        or mp.get_start_method() != "fork"
+        or mp.current_process().daemon
+    )
+    if serial:
+        return [fn(item) for item in task_list]
+    token = next(_TOKENS)
+    _WORK[token] = fn
+    try:
+        ctx = mp.get_context("fork")
+        with ctx.Pool(processes=min(jobs, len(task_list))) as pool:
+            return pool.starmap(_invoke, [(token, item) for item in task_list])
+    finally:
+        del _WORK[token]
+
+
+def grouped_map(
+    fn: Callable[[T, int], R],
+    points: Iterable[T],
+    runs: int,
+    jobs: int = 1,
+) -> list[list[R]]:
+    """Fan ``fn(point, run)`` over the (point, run) grid and regroup.
+
+    The shared shape of every sweep-style experiment: flatten the grid so
+    all cores stay busy even when ``runs`` is smaller than the pool, then
+    return one ``runs``-long result list per point, in point order.
+    Keeping the task order and the chunk stride in one place is what lets
+    the callers' per-point aggregation stay trivially correct.
+    """
+    if runs < 1:
+        raise ValidationError(f"runs must be >= 1, got {runs}")
+    point_list = list(points)
+    tasks = [(point, run) for point in point_list for run in range(runs)]
+    flat = parallel_map(lambda task: fn(*task), tasks, jobs=jobs)
+    return [
+        flat[i * runs : (i + 1) * runs] for i in range(len(point_list))
+    ]

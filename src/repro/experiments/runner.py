@@ -4,6 +4,11 @@ Usage::
 
     python -m repro.experiments.runner --which sigma
     python -m repro.experiments.runner --which all --csv-dir results/
+    python -m repro.experiments.runner --which all --jobs 8
+
+``--jobs N`` fans each ablation's independent (sweep-point, run-seed)
+tasks over ``N`` worker processes (``--jobs 0`` = all cores); tables are
+identical to the serial run thanks to deterministic per-task seeding.
 """
 
 from __future__ import annotations
@@ -13,6 +18,7 @@ import os
 from typing import Callable, Sequence
 
 from repro.analysis.reporting import Table
+from repro.experiments.parallel import available_parallelism
 from repro.experiments.ablations import (
     failure_ablation,
     online_ablation,
@@ -26,7 +32,7 @@ from repro.experiments.ablations import (
 
 __all__ = ["main", "ABLATIONS"]
 
-ABLATIONS: dict[str, Callable[[], Table]] = {
+ABLATIONS: dict[str, Callable[..., Table]] = {
     "sigma": sigma_ablation,
     "lambda": lambda_ablation,
     "rounding": rounding_ablation,
@@ -49,11 +55,20 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument(
         "--csv-dir", type=str, default=None, help="also write CSVs here"
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes per ablation (0 = all cores, 1 = serial)",
+    )
     args = parser.parse_args(argv)
+    if args.jobs < 0:
+        parser.error(f"--jobs must be >= 0, got {args.jobs}")
+    jobs = args.jobs if args.jobs > 0 else available_parallelism()
 
     names = sorted(ABLATIONS) if args.which == "all" else [args.which]
     for name in names:
-        table = ABLATIONS[name]()
+        table = ABLATIONS[name](jobs=jobs)
         print(table.render())
         if args.csv_dir:
             os.makedirs(args.csv_dir, exist_ok=True)

@@ -13,7 +13,14 @@ from repro.scheduling.timeline import (
     merge_segments,
     overlap_length,
 )
-from repro.scheduling.yds import YdsJob, YdsResult, critical_interval, yds_schedule
+from repro.scheduling.yds import (
+    YdsJob,
+    YdsResult,
+    critical_interval,
+    critical_interval_arrays,
+    critical_interval_reference,
+    yds_schedule,
+)
 
 __all__ = [
     "EdfJob",
@@ -30,4 +37,6 @@ __all__ = [
     "YdsResult",
     "yds_schedule",
     "critical_interval",
+    "critical_interval_arrays",
+    "critical_interval_reference",
 ]

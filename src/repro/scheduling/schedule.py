@@ -184,6 +184,7 @@ class Schedule:
             self._by_id[fs.flow.id] = fs
         if not self._by_id:
             raise ValidationError("schedule must cover at least one flow")
+        self._link_rates: dict[Edge, PiecewiseConstant] | None = None
 
     def __iter__(self) -> Iterator[FlowSchedule]:
         return iter(self._by_id.values())
@@ -209,14 +210,21 @@ class Schedule:
         Concurrent flows on a link stack additively (fluid sharing);
         EDF-serialized schedules never overlap on a link, so the sum is
         also correct for virtual-circuit schedules.
+
+        The profiles are built once per :class:`Schedule` (the schedule is
+        immutable) and the same mapping is returned on every call —
+        ``energy``, ``active_links``, ``max_link_rate`` and ``verify``
+        share it.  Treat the result as read-only.
         """
-        rates: dict[Edge, PiecewiseConstant] = {}
-        for fs in self:
-            for edge in fs.edges:
-                profile = rates.setdefault(edge, PiecewiseConstant())
-                for seg in fs.segments:
-                    profile.add(seg.start, seg.end, seg.rate)
-        return rates
+        if self._link_rates is None:
+            rates: dict[Edge, PiecewiseConstant] = {}
+            for fs in self:
+                for edge in fs.edges:
+                    profile = rates.setdefault(edge, PiecewiseConstant())
+                    for seg in fs.segments:
+                        profile.add(seg.start, seg.end, seg.rate)
+            self._link_rates = rates
+        return self._link_rates
 
     def active_links(self) -> tuple[Edge, ...]:
         """Links with nonzero traffic at some time (``E_a`` in the paper)."""
@@ -243,7 +251,7 @@ class Schedule:
         if not t1 >= t0:
             raise ValidationError(f"bad horizon {horizon!r}")
         dynamic = sum(
-            profile.integrate(power.dynamic_power)
+            profile.integrate_power(power.alpha, power.mu)
             for profile in link_rates.values()
         )
         idle = power.sigma * (t1 - t0) * len(link_rates)

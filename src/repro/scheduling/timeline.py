@@ -6,13 +6,19 @@ preemption points, or interval boundaries).  :class:`PiecewiseConstant`
 supports exact construction by summing weighted indicator segments and
 exact integration of arbitrary pointwise transforms — which is how schedule
 energy ``\\int f(x_e(t)) dt`` is computed without numerical quadrature.
+
+Both classes here are array-backed: compilation and measure queries run as
+NumPy breakpoint/prefix-sum operations (see DESIGN.md Section 8), while
+per-slot accumulation uses unbuffered ``np.add.at`` in segment order so the
+compiled values are bit-identical to the historical per-slot Python loop.
 """
 
 from __future__ import annotations
 
-import itertools
 from bisect import bisect_right
 from typing import Callable, Iterable, Sequence
+
+import numpy as np
 
 from repro.errors import ValidationError
 
@@ -79,6 +85,9 @@ class BlockedTimeline:
         self._segments: list[tuple[float, float]] = []
         self._starts: list[float] = []
         self._prefix: list[float] = [0.0]
+        self._starts_arr: np.ndarray = np.empty(0)
+        self._ends_arr: np.ndarray = np.empty(0)
+        self._prefix_arr: np.ndarray = np.zeros(1)
 
     def add_many(self, segments: Iterable[tuple[float, float]]) -> None:
         """Insert segments (merged with the existing reservation set)."""
@@ -88,6 +97,9 @@ class BlockedTimeline:
         for s, e in self._segments:
             prefix.append(prefix[-1] + (e - s))
         self._prefix = prefix
+        self._starts_arr = np.array(self._starts, dtype=float)
+        self._ends_arr = np.array([e for _, e in self._segments], dtype=float)
+        self._prefix_arr = np.array(prefix, dtype=float)
 
     def overlap(self, a: float, b: float) -> float:
         """Measure of blocked time inside ``[a, b]``."""
@@ -108,6 +120,42 @@ class BlockedTimeline:
             s, e = self._segments[hi - 1]
             total += max(0.0, min(e, b) - max(s, a))
         return total
+
+    def overlap_grid(self, a_vals: np.ndarray, b_vals: np.ndarray) -> np.ndarray:
+        """Blocked measure for every ``(a, b)`` pair of two sorted axes.
+
+        Returns a ``len(a_vals) x len(b_vals)`` matrix whose ``[i, j]``
+        entry equals ``overlap(a_vals[i], b_vals[j])`` bit for bit for
+        every pair with ``b > a`` (entries with ``b <= a`` are not
+        meaningful and must be masked by the caller).  This is the
+        availability kernel of the vectorized critical-interval search.
+        """
+        a_vals = np.asarray(a_vals, dtype=float)
+        b_vals = np.asarray(b_vals, dtype=float)
+        if not self._segments:
+            return np.zeros((a_vals.size, b_vals.size))
+        starts, ends, prefix = self._starts_arr, self._ends_arr, self._prefix_arr
+        lo = np.searchsorted(starts, a_vals, side="left")
+        prev = np.maximum(lo, 1) - 1
+        head = np.where(
+            (lo > 0)[:, None],
+            np.maximum(
+                0.0,
+                np.minimum(ends[prev][:, None], b_vals[None, :])
+                - np.maximum(starts[prev], a_vals)[:, None],
+            ),
+            0.0,
+        )
+        his = np.searchsorted(starts, b_vals, side="left")
+        inside = his[None, :] > lo[:, None]
+        last = np.maximum(his, 1) - 1
+        bulk = prefix[last][None, :] - prefix[lo][:, None]
+        tail = np.maximum(
+            0.0,
+            np.minimum(ends[last][None, :], b_vals[None, :])
+            - np.maximum(starts[last][None, :], a_vals[:, None]),
+        )
+        return np.where(inside, (head + bulk) + tail, head)
 
     def available(self, a: float, b: float) -> float:
         """Non-blocked measure of ``[a, b]`` (the paper's ``a ~ b``)."""
@@ -132,6 +180,8 @@ class PiecewiseConstant:
         self._pending: list[Piece] = []
         self._points: list[float] | None = None
         self._values: list[float] | None = None
+        self._points_arr: np.ndarray | None = None
+        self._values_arr: np.ndarray | None = None
 
     def add(self, start: float, end: float, value: float) -> None:
         """Add ``value`` on ``[start, end)``; zero-length segments ignored."""
@@ -140,21 +190,46 @@ class PiecewiseConstant:
         if end > start and value != 0.0:
             self._pending.append((start, end, value))
             self._points = None
+            self._points_arr = None
 
     def _compile(self) -> tuple[list[float], list[float]]:
         if self._points is not None:
             assert self._values is not None
             return self._points, self._values
-        points = sorted(
-            set(itertools.chain.from_iterable((s, e) for s, e, _ in self._pending))
-        )
-        values = [0.0] * max(0, len(points) - 1)
-        index = {p: i for i, p in enumerate(points)}
-        for start, end, value in self._pending:
-            for i in range(index[start], index[end]):
-                values[i] += value
-        self._points = points
-        self._values = values
+        points_arr, values_arr = self._compile_arrays()
+        self._points = points_arr.tolist()
+        self._values = values_arr.tolist()
+        return self._points, self._values
+
+    def _compile_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Breakpoints and per-slot values as float64 arrays.
+
+        Slot values accumulate via unbuffered ``np.add.at`` with indices
+        emitted in segment order, reproducing the historical per-slot
+        Python loop bit for bit (float addition order is preserved).
+        """
+        if self._points_arr is not None:
+            assert self._values_arr is not None
+            return self._points_arr, self._values_arr
+        if not self._pending:
+            self._points_arr = np.empty(0)
+            self._values_arr = np.empty(0)
+            return self._points_arr, self._values_arr
+        starts = np.array([s for s, _, _ in self._pending], dtype=float)
+        ends = np.array([e for _, e, _ in self._pending], dtype=float)
+        vals = np.array([v for _, _, v in self._pending], dtype=float)
+        points = np.unique(np.concatenate((starts, ends)))
+        values = np.zeros(max(0, points.size - 1))
+        first = np.searchsorted(points, starts)
+        last = np.searchsorted(points, ends)
+        counts = last - first
+        # Concatenated ranges first[i]..last[i] for every segment i.
+        reps = np.repeat(np.arange(starts.size), counts)
+        slot_base = np.concatenate(([0], np.cumsum(counts)[:-1]))
+        slots = first[reps] + (np.arange(counts.sum()) - slot_base[reps])
+        np.add.at(values, slots, vals[reps])
+        self._points_arr = points
+        self._values_arr = values
         return points, values
 
     @property
@@ -213,24 +288,47 @@ class PiecewiseConstant:
         callers must ensure ``transform(0) == 0`` semantics are handled
         separately (all power functions here satisfy ``f(0) = 0``).
         """
-        points, values = self._compile()
+        points, values = self._compile_arrays()
+        if values.size == 0:
+            return 0.0
+        if transform is None:
+            return float(np.dot(values, np.diff(points)))
         total = 0.0
-        for a, b, v in zip(points, points[1:], values):
-            y = transform(v) if transform is not None else v
-            total += y * (b - a)
+        for a, b, v in zip(points.tolist(), points[1:].tolist(), values.tolist()):
+            total += transform(v) * (b - a)
         return total
+
+    def integrate_power(self, alpha: float, mu: float = 1.0) -> float:
+        """``\\int mu * x(t)**alpha dt`` as one vectorized pass.
+
+        Equivalent to ``integrate(power.dynamic_power)`` for the power-law
+        cost (which maps non-positive rates to 0), without the per-piece
+        Python callback — the hot path of :meth:`Schedule.energy`.
+        """
+        points, values = self._compile_arrays()
+        if values.size == 0:
+            return 0.0
+        positive = values > 0.0
+        if not positive.any():
+            return 0.0
+        v = values[positive]
+        w = np.diff(points)[positive]
+        return float(np.dot(mu * np.power(v, alpha), w))
 
     def maximum(self) -> float:
         """Largest value attained (0 for the empty function)."""
-        _, values = self._compile()
-        return max(values, default=0.0)
+        _, values = self._compile_arrays()
+        if values.size == 0:
+            return 0.0
+        return float(values.max())
 
     def support_length(self, tol: float = 0.0) -> float:
         """Total time where the function exceeds ``tol``."""
-        points, values = self._compile()
-        return sum(
-            b - a for a, b, v in zip(points, points[1:], values) if v > tol
-        )
+        points, values = self._compile_arrays()
+        if values.size == 0:
+            return 0.0
+        mask = values > tol
+        return float(np.diff(points)[mask].sum())
 
     def is_empty(self) -> bool:
         return self.support_length() == 0.0

@@ -16,6 +16,12 @@ spans" bookkeeping we keep a *blocked-time* mask in original time; interval
 intensity divides by the non-blocked measure.  Both formulations are
 equivalent (the blocked measure equals the collapsed length), and the mask
 formulation shares its EDF core with Most-Critical-First.
+
+The production :func:`critical_interval` evaluates all candidate intervals
+for one release point at a time with NumPy breakpoint arrays and prefix
+sums (DESIGN.md Section 8); :func:`critical_interval_reference` retains the
+per-(release, deadline)-pair Python enumeration and is pinned bit-equal by
+``tests/test_perf_kernels.py``.
 """
 
 from __future__ import annotations
@@ -24,13 +30,30 @@ from bisect import bisect_left
 from dataclasses import dataclass
 from typing import Iterable, Mapping
 
+import numpy as np
+
 from repro.errors import InfeasibleError, ValidationError
 from repro.scheduling.edf import EdfJob, edf_schedule
 from repro.scheduling.timeline import BlockedTimeline
 
-__all__ = ["YdsJob", "YdsResult", "yds_schedule", "critical_interval"]
+__all__ = [
+    "YdsJob",
+    "YdsResult",
+    "yds_schedule",
+    "critical_interval",
+    "critical_interval_arrays",
+    "critical_interval_reference",
+]
 
 _EPS = 1e-12
+
+#: Cell budget per chunk of the vectorized (release x deadline) candidate
+#: grid; bounds peak memory at a few MB without hurting one-shot batching
+#: for realistic per-link job counts.
+_GRID_CHUNK_CELLS = 1 << 18
+
+#: Below this many jobs the scalar enumeration beats NumPy call overhead.
+_SCALAR_CUTOFF = 12
 
 
 @dataclass(frozen=True)
@@ -89,6 +112,183 @@ def critical_interval(
 
     Intensity of ``[a, b]`` is ``sum(work of jobs with span inside [a,b])``
     divided by the *available* (non-blocked) measure of ``[a, b]``.
+
+    This is the vectorized kernel; results (values, tie-breaking and
+    infeasibility behavior) are bit-identical to
+    :func:`critical_interval_reference`.
+    """
+    if not jobs:
+        raise ValidationError("critical_interval requires at least one job")
+    release = np.array([j.release for j in jobs], dtype=float)
+    deadline = np.array([j.deadline for j in jobs], dtype=float)
+    work = np.array([j.work for j in jobs], dtype=float)
+    a, b, intensity, contained = critical_interval_arrays(
+        release, deadline, work, blocked
+    )
+    return a, b, intensity, [jobs[i] for i in contained.tolist()]
+
+
+def critical_interval_arrays(
+    release: np.ndarray,
+    deadline: np.ndarray,
+    work: np.ndarray,
+    blocked: BlockedTimeline | None = None,
+) -> tuple[float, float, float, np.ndarray]:
+    """Array-native critical-interval search.
+
+    ``release``/``deadline``/``work`` are parallel float arrays, one entry
+    per job, in the caller's job order (Most-Critical-First feeds per-link
+    arrays directly to skip rebuilding :class:`YdsJob` lists every round).
+    Returns ``(a, b, intensity, contained_indices)`` where the indices
+    select the contained jobs sorted by deadline (stable in input order),
+    exactly as the reference returns them.
+
+    The whole ``(release, deadline)`` candidate grid is scored in one
+    batched pass (row-chunked so memory stays bounded): contained work
+    via an eligibility-masked prefix sum indexed by ``searchsorted``
+    counts, available time via :meth:`BlockedTimeline.overlap_grid`.  The
+    float operations replicate the reference's per-pair arithmetic, so
+    ties and near-ties resolve identically.
+    """
+    n = release.size
+    if n == 0:
+        raise ValidationError("critical_interval requires at least one job")
+    if n <= _SCALAR_CUTOFF:
+        # Tiny job sets (most links, most rounds): NumPy per-call overhead
+        # exceeds the whole quadratic enumeration; run the reference
+        # arithmetic directly on scalars.
+        return _critical_interval_scalar(release, deadline, work, blocked)
+    order = np.argsort(deadline, kind="stable")
+    dl_sorted = deadline[order]
+    wk_sorted = work[order]
+    rel_sorted = release[order]
+    releases = np.unique(release)
+    deadlines = np.unique(deadline)
+    # Jobs (in deadline order) with deadline < b + eps, per candidate b.
+    cnt_idx = np.searchsorted(dl_sorted, deadlines + _EPS, side="left")
+
+    best_key: tuple[float, float, float] | None = None
+    best: tuple[float, float, float, int] | None = None
+    # Row-chunk the (release x deadline) grid: candidate release points are
+    # scanned in ascending order, which together with row-major argmax
+    # reproduces the reference's first-strictly-greater update rule.
+    rows_per_chunk = max(1, _GRID_CHUNK_CELLS // max(1, n))
+    for row0 in range(0, releases.size, rows_per_chunk):
+        a_vals = releases[row0 : row0 + rows_per_chunk]
+        eligible = rel_sorted[None, :] >= (a_vals[:, None] - _EPS)
+        # Zeros for ineligible jobs leave the eligible prefix sums exactly
+        # equal to the reference's (x + 0.0 == x in IEEE754).
+        cumw = np.concatenate(
+            (
+                np.zeros((a_vals.size, 1)),
+                np.cumsum(np.where(eligible, wk_sorted[None, :], 0.0), axis=1),
+            ),
+            axis=1,
+        )
+        cumn = np.concatenate(
+            (
+                np.zeros((a_vals.size, 1), dtype=np.int64),
+                np.cumsum(eligible, axis=1),
+            ),
+            axis=1,
+        )
+        total_work = cumw[:, cnt_idx]
+        counts = cumn[:, cnt_idx]
+        valid = (counts > 0) & (deadlines[None, :] > a_vals[:, None])
+        if not valid.any():
+            continue
+        available = deadlines[None, :] - a_vals[:, None]
+        if blocked is not None:
+            available = available - blocked.overlap_grid(a_vals, deadlines)
+        exhausted = valid & (available <= 1e-12)
+        if exhausted.any():
+            i, j = np.unravel_index(
+                int(np.argmax(exhausted)), exhausted.shape
+            )
+            raise InfeasibleError(
+                f"no available time in [{a_vals[i]:g}, {deadlines[j]:g}] "
+                f"but jobs remain"
+            )
+        intensity = np.where(
+            valid, total_work / np.where(valid, available, 1.0), -np.inf
+        )
+        flat = int(np.argmax(intensity))
+        i, j = divmod(flat, deadlines.size)
+        inten = float(intensity[i, j])
+        if inten == -np.inf:
+            continue
+        a = float(a_vals[i])
+        b = float(deadlines[j])
+        key = (inten, -a, -(b - a))
+        if best_key is None or key > best_key:
+            best_key = key
+            best = (a, b, inten, int(counts[i, j]))
+    assert best is not None
+    a, b, inten, count = best
+    contained = order[rel_sorted >= a - _EPS][:count]
+    return a, b, inten, contained
+
+
+def _critical_interval_scalar(
+    release: np.ndarray,
+    deadline: np.ndarray,
+    work: np.ndarray,
+    blocked: BlockedTimeline | None,
+) -> tuple[float, float, float, np.ndarray]:
+    """Reference enumeration on raw scalars for tiny job sets.
+
+    Bit-identical to both the vectorized grid above and
+    :func:`critical_interval_reference` (same operations in the same
+    order); exists purely to dodge NumPy call overhead when a link queues
+    only a handful of flows.
+    """
+    rel = release.tolist()
+    dl = deadline.tolist()
+    wk = work.tolist()
+    order = sorted(range(len(dl)), key=lambda i: dl[i])
+    releases = sorted(set(rel))
+    deadlines = sorted(set(dl))
+    best: tuple[float, float, float, list[int]] | None = None
+    best_key: tuple[float, float, float] | None = None
+    for a in releases:
+        eligible = [i for i in order if rel[i] >= a - _EPS]
+        if not eligible:
+            continue
+        elig_dl = [dl[i] for i in eligible]
+        prefix = [0.0]
+        for i in eligible:
+            prefix.append(prefix[-1] + wk[i])
+        for b in deadlines:
+            if b <= a:
+                continue
+            count = bisect_left(elig_dl, b + _EPS)
+            if count == 0:
+                continue
+            total_work = prefix[count]
+            available = b - a
+            if blocked is not None:
+                available -= blocked.overlap(a, b)
+            if available <= 1e-12:
+                raise InfeasibleError(
+                    f"no available time in [{a:g}, {b:g}] but jobs remain"
+                )
+            intensity = total_work / available
+            key = (intensity, -a, -(b - a))
+            if best_key is None or key > best_key:
+                best_key = key
+                best = (a, b, intensity, eligible[:count])
+    assert best is not None
+    a, b, inten, contained = best
+    return a, b, inten, np.array(contained, dtype=np.int64)
+
+
+def critical_interval_reference(
+    jobs: list[YdsJob], blocked: BlockedTimeline | None = None
+) -> tuple[float, float, float, list[YdsJob]]:
+    """Pure-Python brute-force enumeration of all (release, deadline) pairs.
+
+    Retained as the pinning reference for the vectorized
+    :func:`critical_interval`; semantics are identical.
     """
     if not jobs:
         raise ValidationError("critical_interval requires at least one job")

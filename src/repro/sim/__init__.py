@@ -1,13 +1,19 @@
 """Simulators: fluid replay and store-and-forward packet validation."""
 
 from repro.sim.failures import fail_links
-from repro.sim.fluid import LinkStats, SimulationReport, simulate_fluid
+from repro.sim.fluid import (
+    LinkStats,
+    SimulationReport,
+    simulate_fluid,
+    simulate_fluid_reference,
+)
 from repro.sim.packet import PacketReport, simulate_packets
 
 __all__ = [
     "LinkStats",
     "SimulationReport",
     "simulate_fluid",
+    "simulate_fluid_reference",
     "PacketReport",
     "simulate_packets",
     "fail_links",

@@ -1,0 +1,386 @@
+"""Pinning suites for the vectorized offline kernels (DESIGN.md Section 8).
+
+Every fast path introduced by the array-native offline core keeps its
+pure-Python predecessor as a ``*_reference`` sibling; these tests prove
+the pairs interchangeable:
+
+* ``critical_interval`` (grid + scalar cutoff) vs the brute-force
+  enumeration ``critical_interval_reference``, including infeasibility
+  behavior, on Hypothesis-generated job sets with random blocked time;
+* ``BlockedTimeline.overlap_grid`` vs the scalar ``overlap``;
+* the ``np.add.at`` compile of ``PiecewiseConstant`` vs a per-slot
+  Python reference, and ``integrate_power`` vs
+  ``integrate(dynamic_power)``;
+* incremental ``solve_dcfs`` vs ``solve_dcfs_reference`` (identical
+  rates, rounds, segments, energy);
+* event-diff ``simulate_fluid`` vs ``simulate_fluid_reference`` and the
+  analytical ``Schedule.energy``;
+* the fork-pool experiment harness vs its serial counterpart.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.conftest import random_flows_on
+from repro.core import solve_dcfs, solve_dcfs_reference, solve_dcfsr, sp_mcf
+from repro.errors import InfeasibleError, ValidationError
+from repro.experiments.harness import run_comparison
+from repro.experiments.parallel import parallel_map
+from repro.flows.workloads import paper_workload
+from repro.power import PowerModel
+from repro.scheduling import (
+    PiecewiseConstant,
+    YdsJob,
+    critical_interval,
+    critical_interval_reference,
+)
+from repro.scheduling.timeline import BlockedTimeline
+from repro.sim.fluid import simulate_fluid, simulate_fluid_reference
+
+
+# ----------------------------------------------------------------------
+# Strategies.
+# ----------------------------------------------------------------------
+@st.composite
+def job_sets(draw, max_jobs: int = 18):
+    n = draw(st.integers(1, max_jobs))
+    jobs = []
+    for i in range(n):
+        r = draw(st.floats(0, 10, allow_nan=False, allow_infinity=False))
+        length = draw(st.floats(0.3, 5, allow_nan=False))
+        w = draw(st.floats(0.1, 10, allow_nan=False))
+        jobs.append(YdsJob(i, r, r + length, w))
+    return jobs
+
+
+@st.composite
+def blocked_timelines(draw):
+    segments = draw(
+        st.lists(
+            st.tuples(
+                st.floats(0, 11, allow_nan=False), st.floats(0.05, 3.0)
+            ).map(lambda p: (p[0], p[0] + p[1])),
+            max_size=6,
+        )
+    )
+    if segments is None or not segments:
+        return None
+    timeline = BlockedTimeline()
+    timeline.add_many(segments)
+    return timeline
+
+
+def _outcome(fn, *args):
+    """(result, exception-string) pair for exact comparison."""
+    try:
+        return fn(*args), None
+    except InfeasibleError as exc:
+        return None, str(exc)
+
+
+@contextmanager
+def _kernel_tuning(scalar_cutoff=None, chunk_cells=None):
+    """Temporarily retune the vectorized kernel's dispatch thresholds."""
+    import repro.scheduling.yds as yds_module
+
+    saved = (yds_module._SCALAR_CUTOFF, yds_module._GRID_CHUNK_CELLS)
+    try:
+        if scalar_cutoff is not None:
+            yds_module._SCALAR_CUTOFF = scalar_cutoff
+        if chunk_cells is not None:
+            yds_module._GRID_CHUNK_CELLS = chunk_cells
+        yield
+    finally:
+        yds_module._SCALAR_CUTOFF, yds_module._GRID_CHUNK_CELLS = saved
+
+
+# ----------------------------------------------------------------------
+# critical_interval: vectorized grid vs brute-force reference.
+# ----------------------------------------------------------------------
+class TestCriticalIntervalPinning:
+    @settings(max_examples=60, deadline=None)
+    @given(job_sets(), blocked_timelines())
+    def test_matches_reference_exactly(self, jobs, blocked):
+        ref, ref_exc = _outcome(critical_interval_reference, jobs, blocked)
+        fast, fast_exc = _outcome(critical_interval, jobs, blocked)
+        assert ref_exc == fast_exc
+        if ref is None:
+            return
+        assert ref[:3] == fast[:3]
+        assert [j.id for j in ref[3]] == [j.id for j in fast[3]]
+
+    @settings(max_examples=40, deadline=None)
+    @given(job_sets(max_jobs=8), blocked_timelines())
+    def test_grid_path_matches_on_small_inputs(self, jobs, blocked):
+        """Force the 2D grid kernel (bypassing the scalar cutoff)."""
+        with _kernel_tuning(scalar_cutoff=0):
+            ref, ref_exc = _outcome(critical_interval_reference, jobs, blocked)
+            fast, fast_exc = _outcome(critical_interval, jobs, blocked)
+        assert ref_exc == fast_exc
+        if ref is not None:
+            assert ref[:3] == fast[:3]
+            assert [j.id for j in ref[3]] == [j.id for j in fast[3]]
+
+    @settings(max_examples=25, deadline=None)
+    @given(job_sets(max_jobs=10), blocked_timelines())
+    def test_chunked_grid_matches(self, jobs, blocked):
+        """Tiny chunk budget exercises the cross-chunk tie-breaking."""
+        with _kernel_tuning(scalar_cutoff=0, chunk_cells=4):
+            ref, ref_exc = _outcome(critical_interval_reference, jobs, blocked)
+            fast, fast_exc = _outcome(critical_interval, jobs, blocked)
+        assert ref_exc == fast_exc
+        if ref is not None:
+            assert ref[:3] == fast[:3]
+            assert [j.id for j in ref[3]] == [j.id for j in fast[3]]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            critical_interval([])
+
+
+# ----------------------------------------------------------------------
+# BlockedTimeline: vectorized measure queries vs the scalar one.
+# ----------------------------------------------------------------------
+class TestBlockedTimelineVectorized:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.floats(0, 20, allow_nan=False), st.floats(0.1, 5)),
+            min_size=1,
+            max_size=8,
+        ),
+        st.lists(st.floats(0, 18, allow_nan=False), min_size=1, max_size=4),
+        st.lists(st.floats(0.05, 8, allow_nan=False), min_size=1, max_size=4),
+    )
+    def test_overlap_grid_bitwise(self, raw, starts, lengths):
+        timeline = BlockedTimeline()
+        timeline.add_many([(s, s + l) for s, l in raw])
+        a_vals = np.array(sorted(set(starts)))
+        b_vals = np.array(sorted({a + l for a in starts for l in lengths}))
+        grid = timeline.overlap_grid(a_vals, b_vals)
+        for i, a in enumerate(a_vals.tolist()):
+            for j, b in enumerate(b_vals.tolist()):
+                if b > a:
+                    assert grid[i, j] == timeline.overlap(a, b)
+
+
+# ----------------------------------------------------------------------
+# PiecewiseConstant: vectorized compile and power integral.
+# ----------------------------------------------------------------------
+def _compile_reference(pending):
+    """The historical per-slot Python compile."""
+    import itertools
+
+    points = sorted(
+        set(itertools.chain.from_iterable((s, e) for s, e, _ in pending))
+    )
+    values = [0.0] * max(0, len(points) - 1)
+    index = {p: i for i, p in enumerate(points)}
+    for start, end, value in pending:
+        for i in range(index[start], index[end]):
+            values[i] += value
+    return points, values
+
+
+segments_strategy = st.lists(
+    st.tuples(
+        st.floats(0, 10, allow_nan=False),
+        st.floats(0.1, 5, allow_nan=False),
+        st.floats(0.1, 4, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=10,
+)
+
+
+class TestPiecewiseConstantVectorized:
+    @settings(max_examples=60, deadline=None)
+    @given(segments_strategy)
+    def test_compile_matches_per_slot_reference(self, raw):
+        pc = PiecewiseConstant()
+        pending = []
+        for start, length, value in raw:
+            pc.add(start, start + length, value)
+            pending.append((start, start + length, value))
+        ref_points, ref_values = _compile_reference(pending)
+        assert list(pc.breakpoints) == ref_points
+        got_values = [v for _, _, v in pc.pieces()]
+        assert got_values == ref_values
+
+    @settings(max_examples=40, deadline=None)
+    @given(segments_strategy, st.sampled_from([2.0, 3.0, 4.0]))
+    def test_integrate_power_matches_callback(self, raw, alpha):
+        power = PowerModel(sigma=0.0, mu=1.5, alpha=alpha)
+        pc = PiecewiseConstant()
+        for start, length, value in raw:
+            pc.add(start, start + length, value)
+        fast = pc.integrate_power(power.alpha, power.mu)
+        slow = sum(
+            power.dynamic_power(v) * (b - a) for a, b, v in pc.pieces()
+        )
+        assert fast == pytest.approx(slow, rel=1e-12, abs=1e-15)
+
+
+# ----------------------------------------------------------------------
+# Incremental Most-Critical-First vs the reference.
+# ----------------------------------------------------------------------
+class TestSolveDcfsPinning:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_identical_on_fat_tree(self, ft4, quadratic, seed):
+        flows = random_flows_on(ft4, 12, seed=seed)
+        paths = {f.id: ft4.shortest_path(f.src, f.dst) for f in flows}
+        ref = solve_dcfs_reference(flows, ft4, paths, quadratic)
+        fast = solve_dcfs(flows, ft4, paths, quadratic)
+        assert fast.rounds == ref.rounds
+        assert fast.rates == ref.rates
+        for fid in ref.rates:
+            assert fast.schedule[fid].segments == ref.schedule[fid].segments
+        ref_energy = ref.schedule.energy(quadratic).total
+        fast_energy = fast.schedule.energy(quadratic).total
+        assert fast_energy == pytest.approx(ref_energy, rel=1e-9)
+
+    @pytest.mark.parametrize("alpha", [2.0, 4.0])
+    def test_identical_under_quartic_and_sharing(self, ft4, alpha):
+        """Shared-path congestion exercises the overlap-mode fallback."""
+        power = PowerModel(sigma=0.0, mu=1.0, alpha=alpha)
+        flows = random_flows_on(ft4, 20, seed=11, horizon=(0.0, 8.0))
+        paths = {f.id: ft4.shortest_path(f.src, f.dst) for f in flows}
+        ref = solve_dcfs_reference(flows, ft4, paths, power)
+        fast = solve_dcfs(flows, ft4, paths, power)
+        assert fast.rounds == ref.rounds
+        assert fast.rates == ref.rates
+        for fid in ref.rates:
+            assert fast.schedule[fid].segments == ref.schedule[fid].segments
+
+    def test_identical_on_line_instance(self, line3, example1_flows, quadratic):
+        paths = {1: ("n0", "n1", "n2"), 2: ("n0", "n1")}
+        ref = solve_dcfs_reference(example1_flows, line3, paths, quadratic)
+        fast = solve_dcfs(example1_flows, line3, paths, quadratic)
+        assert fast.rates == ref.rates
+        assert fast.rounds == ref.rounds
+
+
+# ----------------------------------------------------------------------
+# Event-diff fluid replay vs the global-epoch reference.
+# ----------------------------------------------------------------------
+class TestFluidPinning:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_rs_schedules(self, ft4, quadratic, seed):
+        flows = random_flows_on(ft4, 10, seed=seed)
+        rs = solve_dcfsr(flows, ft4, quadratic, seed=seed)
+        self._assert_reports_match(rs.schedule, flows, ft4, quadratic)
+
+    def test_mcf_schedule_with_idle_power_and_capacity(self, ft4):
+        power = PowerModel(sigma=1.0, mu=1.0, alpha=4.0, capacity=4.0)
+        flows = random_flows_on(ft4, 10, seed=3)
+        sp = sp_mcf(flows, ft4, power)
+        self._assert_reports_match(sp.schedule, flows, ft4, power)
+
+    def test_truncated_horizon(self, ft4, quadratic):
+        flows = random_flows_on(ft4, 8, seed=5)
+        sp = sp_mcf(flows, ft4, quadratic)
+        self._assert_reports_match(
+            sp.schedule, flows, ft4, quadratic, horizon=(2.0, 12.0)
+        )
+
+    def test_agrees_with_analytic_energy(self, ft4, quadratic):
+        flows = random_flows_on(ft4, 10, seed=9)
+        sp = sp_mcf(flows, ft4, quadratic)
+        report = simulate_fluid(sp.schedule, flows, ft4, quadratic)
+        analytic = sp.schedule.energy(quadratic, horizon=flows.horizon)
+        assert report.total_energy == pytest.approx(analytic.total, rel=1e-9)
+
+    @staticmethod
+    def _assert_reports_match(schedule, flows, topology, power, horizon=None):
+        ref = simulate_fluid_reference(
+            schedule, flows, topology, power, horizon=horizon
+        )
+        fast = simulate_fluid(
+            schedule, flows, topology, power, horizon=horizon
+        )
+        assert fast.total_energy == pytest.approx(ref.total_energy, rel=1e-9)
+        assert fast.idle_energy == pytest.approx(ref.idle_energy, rel=1e-9)
+        assert fast.epochs == ref.epochs
+        assert fast.active_links == ref.active_links
+        assert fast.deadlines_met == ref.deadlines_met
+        assert dict(fast.completion_times) == dict(ref.completion_times)
+        assert set(fast.link_stats) == set(ref.link_stats)
+        for edge, ref_stats in ref.link_stats.items():
+            got = fast.link_stats[edge]
+            assert got.peak_rate == pytest.approx(ref_stats.peak_rate, rel=1e-12)
+            assert got.busy_time == pytest.approx(
+                ref_stats.busy_time, rel=1e-9, abs=1e-12
+            )
+            assert got.volume_carried == pytest.approx(
+                ref_stats.volume_carried, rel=1e-9
+            )
+            assert got.dynamic_energy == pytest.approx(
+                ref_stats.dynamic_energy, rel=1e-9, abs=1e-15
+            )
+        assert bool(fast.capacity_violations) == bool(ref.capacity_violations)
+
+
+# ----------------------------------------------------------------------
+# Schedule.link_rates caching.
+# ----------------------------------------------------------------------
+class TestLinkRatesCache:
+    def test_profiles_computed_once(self, ft4, quadratic):
+        flows = random_flows_on(ft4, 6, seed=2)
+        sp = sp_mcf(flows, ft4, quadratic)
+        schedule = sp.schedule
+        first = schedule.link_rates()
+        assert schedule.link_rates() is first
+        # Consumers that used to rebuild the profiles all agree.
+        energy_a = schedule.energy(quadratic).total
+        schedule.verify(flows, ft4, quadratic)
+        schedule.max_link_rate()
+        energy_b = schedule.energy(quadratic).total
+        assert energy_a == energy_b
+
+
+# ----------------------------------------------------------------------
+# Process-parallel harness.
+# ----------------------------------------------------------------------
+class TestParallelHarness:
+    def test_parallel_map_order_and_results(self):
+        items = list(range(17))
+        assert parallel_map(lambda x: x * x, items, jobs=1) == [
+            x * x for x in items
+        ]
+        assert parallel_map(lambda x: x * x, items, jobs=3) == [
+            x * x for x in items
+        ]
+
+    def test_parallel_map_closure_capture(self):
+        base = {"offset": 100}
+        got = parallel_map(lambda x: x + base["offset"], [1, 2, 3], jobs=2)
+        assert got == [101, 102, 103]
+
+    def test_parallel_map_propagates_exceptions(self):
+        def boom(x):
+            raise RuntimeError(f"task {x}")
+
+        with pytest.raises(RuntimeError):
+            parallel_map(boom, [1, 2], jobs=2)
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ValidationError):
+            parallel_map(lambda x: x, [1], jobs=0)
+
+    def test_run_comparison_parallel_is_deterministic(self, ft4, quadratic):
+        def factory(seed):
+            return paper_workload(ft4, 8, seed=seed)
+
+        serial = run_comparison(
+            ft4, quadratic, factory, label="p", runs=2, jobs=1
+        )
+        parallel = run_comparison(
+            ft4, quadratic, factory, label="p", runs=2, jobs=2
+        )
+        assert serial.ratios == parallel.ratios

@@ -42,7 +42,7 @@ class TestRunnerCli:
         # Swap in a tiny stand-in so the CLI test stays fast.
         from repro.analysis.reporting import Table
 
-        def tiny():
+        def tiny(jobs: int = 1):
             table = Table(title="tiny", columns=("a",))
             table.add_row(1)
             return table
