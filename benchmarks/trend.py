@@ -1,0 +1,139 @@
+"""Aggregate ``BENCH_*.json`` records into a ``BENCH_TREND.md`` table.
+
+Every benchmark that calls :func:`record.record_bench` drops one flat
+JSON record per run; CI uploads them as artifacts.  This script collects
+any number of such records (one directory per run, or one directory
+accumulating many runs) and renders a per-benchmark trend table — wall
+clock, throughput, peak RSS across runs — so perf regressions show up as
+a row-to-row jump instead of an archaeology project.
+
+Usage::
+
+    python benchmarks/trend.py                       # scan cwd
+    python benchmarks/trend.py --dir bench-records --out BENCH_TREND.md
+    python benchmarks/trend.py --dir runA --dir runB # compare two runs
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import time
+from typing import Any, Iterable, Sequence
+
+__all__ = ["load_records", "render_trend", "main"]
+
+
+def load_records(directories: Sequence[str]) -> list[dict[str, Any]]:
+    """Read every ``BENCH_*.json`` under the given directories."""
+    records: list[dict[str, Any]] = []
+    for directory in directories:
+        for path in sorted(glob.glob(os.path.join(directory, "BENCH_*.json"))):
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    payload = json.load(handle)
+            except (OSError, ValueError):
+                continue
+            if isinstance(payload, dict) and payload.get("name"):
+                payload["_source"] = path
+                records.append(payload)
+    return records
+
+
+def _fmt(value: Any, spec: str = "{:.4g}") -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return spec.format(value)
+    return str(value)
+
+
+def _fmt_time(unix: Any) -> str:
+    if not isinstance(unix, (int, float)):
+        return "-"
+    return time.strftime("%Y-%m-%d %H:%M", time.gmtime(unix))
+
+
+def _extra_summary(extra: Any) -> str:
+    if not isinstance(extra, dict) or not extra:
+        return "-"
+    parts = []
+    for key in sorted(extra):
+        value = extra[key]
+        if isinstance(value, (int, float, str)):
+            parts.append(f"{key}={_fmt(value)}")
+        if len(parts) >= 4:
+            break
+    return ", ".join(parts) if parts else "-"
+
+
+def render_trend(records: Iterable[dict[str, Any]]) -> str:
+    """Render the markdown trend report."""
+    by_name: dict[str, list[dict[str, Any]]] = {}
+    for record in records:
+        by_name.setdefault(str(record["name"]), []).append(record)
+    lines = [
+        "# Benchmark trend",
+        "",
+        "One row per recorded run (oldest first); `extra` shows up to "
+        "four benchmark-specific measurements.",
+        "",
+    ]
+    if not by_name:
+        lines.append("_No BENCH_*.json records found._")
+        return "\n".join(lines) + "\n"
+    for name in sorted(by_name):
+        rows = sorted(
+            by_name[name], key=lambda r: r.get("recorded_unix") or 0.0
+        )
+        lines.append(f"## {name}")
+        lines.append("")
+        lines.append(
+            "| recorded (UTC) | wall clock (s) | flows/s | peak RSS (MB) "
+            "| topology | extra |"
+        )
+        lines.append("|---|---|---|---|---|---|")
+        for row in rows:
+            lines.append(
+                "| {} | {} | {} | {} | {} | {} |".format(
+                    _fmt_time(row.get("recorded_unix")),
+                    _fmt(row.get("wall_clock_s")),
+                    _fmt(row.get("flows_per_sec")),
+                    _fmt(row.get("peak_rss_mb"), "{:.1f}"),
+                    row.get("topology") or "-",
+                    _extra_summary(row.get("extra")),
+                )
+            )
+        lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--dir",
+        action="append",
+        default=None,
+        help="directory holding BENCH_*.json records (repeatable; "
+        "default: current directory)",
+    )
+    parser.add_argument(
+        "--out",
+        default="BENCH_TREND.md",
+        help="output markdown path (default: BENCH_TREND.md)",
+    )
+    args = parser.parse_args(argv)
+    directories = args.dir or ["."]
+    records = load_records(directories)
+    report = render_trend(records)
+    os.makedirs(os.path.dirname(args.out) or ".", exist_ok=True)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        handle.write(report)
+    print(f"wrote {args.out} ({len(records)} records)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -207,6 +207,9 @@ def solve_dcfsr(
         max_iterations=fw_max_iterations,
         gap_tolerance=fw_gap_tolerance,
     )
+    # solve_relaxation drives the sweep through a persistent
+    # RelaxationSession: the path registry and flow arrays carry across
+    # intervals (commodity-set diffs, no dict rebuilds).
     relaxation = solve_relaxation(flows, solver, grid)
     lower_bound = relaxation.lower_bound
 

@@ -38,6 +38,12 @@ def fractional_lower_bound(
     Runs the same per-interval Frank–Wolfe sweep as Random-Schedule; use
     :func:`repro.core.solve_dcfsr` instead when you also need the rounded
     schedule (it exposes its ``lower_bound`` without re-solving).
+
+    The sweep runs through a persistent
+    :class:`~repro.routing.mcflow.RelaxationSession` (created by
+    :func:`solve_relaxation`), so consecutive intervals reuse the
+    solver's path registry and flow arrays; the bound itself never
+    materializes any per-path dictionaries.
     """
     flows.validate_against(topology)
     solver = FrankWolfeSolver(

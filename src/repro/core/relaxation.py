@@ -16,11 +16,18 @@ sweep stays fast even for the paper's full-scale Figure 2 instances.
 from __future__ import annotations
 
 from dataclasses import dataclass
+
+from repro.errors import ValidationError
 from repro.flows.flow import FlowSet
 from repro.flows.intervals import Interval, TimeGrid
 from repro.power.model import PowerModel
 from repro.routing.costs import EdgeCost, envelope_cost
-from repro.routing.mcflow import Commodity, FrankWolfeSolver, MCFSolution
+from repro.routing.mcflow import (
+    Commodity,
+    FrankWolfeSolver,
+    MCFSolution,
+    RelaxationSession,
+)
 
 __all__ = ["IntervalSolution", "RelaxationResult", "solve_relaxation"]
 
@@ -89,10 +96,25 @@ def solve_relaxation(
     flows: FlowSet,
     solver: FrankWolfeSolver,
     grid: TimeGrid | None = None,
+    session: RelaxationSession | None = None,
 ) -> RelaxationResult:
-    """Solve the per-interval F-MCF problems left to right with warm starts."""
+    """Solve the per-interval F-MCF problems left to right with warm starts.
+
+    With the array-native :class:`FrankWolfeSolver` the sweep runs through
+    a persistent :class:`RelaxationSession` (created on the fly when the
+    caller does not pass one): consecutive intervals share the path
+    registry and flow arrays, and each interval applies only its
+    commodity-set diff.  Solvers without session support (the retained
+    reference) fall back to dict-based warm starts.
+    """
     if grid is None:
         grid = TimeGrid(flows)
+    if session is not None and session.solver is not solver:
+        raise ValidationError(
+            "session belongs to a different solver than the one passed"
+        )
+    if session is None and isinstance(solver, FrankWolfeSolver):
+        session = RelaxationSession(solver)
     interval_solutions: list[IntervalSolution] = []
     previous: MCFSolution | None = None
     for interval in grid.intervals:
@@ -103,7 +125,11 @@ def solve_relaxation(
             Commodity(id=f.id, src=f.src, dst=f.dst, demand=f.density)
             for f in active
         ]
-        solution = solver.solve(commodities, warm_start=previous)
+        if session is not None:
+            solution = session.solve(commodities)
+        else:
+            solution = solver.solve(commodities, warm_start=previous)
+            previous = solution
         interval_solutions.append(
             IntervalSolution(
                 interval=interval,
@@ -111,7 +137,6 @@ def solve_relaxation(
                 active_flow_ids=tuple(f.id for f in active),
             )
         )
-        previous = solution
     return RelaxationResult(grid=grid, intervals=tuple(interval_solutions))
 
 

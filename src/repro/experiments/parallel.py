@@ -17,17 +17,31 @@ unsafe there), or when already inside a daemonic pool worker (nested
 parallelism), the map degrades to a plain serial loop.  Results always
 come back in input order, so a parallel sweep is bit-identical to its
 serial counterpart.
+
+:func:`worker_slots` extends the model across *simultaneous* maps: the
+``--which all`` runner drives every ablation from its own thread, each
+``parallel_map`` call still forks its own (closure-inheriting) pool, and
+a fork-inherited semaphore caps the number of tasks *executing* at once
+— one shared pool of execution slots, so tail ablations queue work the
+moment a slot frees instead of idling behind earlier ablations.
 """
 
 from __future__ import annotations
 
 import itertools
 import multiprocessing as mp
-from typing import Callable, Iterable, Sequence, TypeVar
+import threading
+from contextlib import contextmanager
+from typing import Callable, Iterable, Iterator, Sequence, TypeVar
 
 from repro.errors import ValidationError
 
-__all__ = ["parallel_map", "grouped_map", "available_parallelism"]
+__all__ = [
+    "parallel_map",
+    "grouped_map",
+    "available_parallelism",
+    "worker_slots",
+]
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -36,9 +50,48 @@ R = TypeVar("R")
 _WORK: dict[int, Callable] = {}
 _TOKENS = itertools.count()
 
+#: Fork-inherited execution-slot semaphore (see :func:`worker_slots`).
+_SLOTS = None
+
+#: Serializes pool construction when maps run on several threads, so the
+#: fork happens while no sibling map is mid-fork.
+_POOL_CREATE_LOCK = threading.Lock()
+
 
 def _invoke(token: int, item):  # pragma: no cover - runs in the worker
-    return _WORK[token](item)
+    slots = _SLOTS
+    if slots is None:
+        return _WORK[token](item)
+    with slots:
+        return _WORK[token](item)
+
+
+@contextmanager
+def worker_slots(jobs: int) -> Iterator[None]:
+    """Cap concurrently *executing* tasks across simultaneous maps.
+
+    Inside the context every :func:`parallel_map` worker acquires one of
+    ``jobs`` shared slots around each task, so any number of concurrent
+    maps (e.g. one per ablation, driven from threads) together behave
+    like one shared ``jobs``-wide pool.  Idle workers beyond the cap just
+    sleep on the semaphore.  The semaphore must exist before the pools
+    fork — enter this context before starting the threads.  No-op on
+    platforms whose default start method is not ``fork`` (the maps run
+    serially there anyway).
+    """
+    global _SLOTS
+    if jobs < 1:
+        raise ValidationError(f"jobs must be >= 1, got {jobs}")
+    if _SLOTS is not None:
+        raise ValidationError("worker_slots does not nest")
+    if mp.get_start_method() != "fork":
+        yield
+        return
+    _SLOTS = mp.get_context("fork").BoundedSemaphore(jobs)
+    try:
+        yield
+    finally:
+        _SLOTS = None
 
 
 def available_parallelism() -> int:
@@ -88,8 +141,12 @@ def parallel_map(
     _WORK[token] = fn
     try:
         ctx = mp.get_context("fork")
-        with ctx.Pool(processes=min(jobs, len(task_list))) as pool:
+        with _POOL_CREATE_LOCK:
+            pool = ctx.Pool(processes=min(jobs, len(task_list)))
+        try:
             return pool.starmap(_invoke, [(token, item) for item in task_list])
+        finally:
+            pool.terminate()
     finally:
         del _WORK[token]
 

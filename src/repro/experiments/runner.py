@@ -9,16 +9,25 @@ Usage::
 ``--jobs N`` fans each ablation's independent (sweep-point, run-seed)
 tasks over ``N`` worker processes (``--jobs 0`` = all cores); tables are
 identical to the serial run thanks to deterministic per-task seeding.
+
+With ``--which all`` the ablations share **one pool of N execution
+slots** (:func:`repro.experiments.parallel.worker_slots`): every ablation
+runs concurrently from its own thread and its tasks queue the moment a
+slot frees, so tail ablations no longer idle the workers while earlier
+ablations finish their stragglers.  Tables print in the same name order
+as the serial run.
 """
 
 from __future__ import annotations
 
 import argparse
+import multiprocessing as mp
 import os
+from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Sequence
 
 from repro.analysis.reporting import Table
-from repro.experiments.parallel import available_parallelism
+from repro.experiments.parallel import available_parallelism, worker_slots
 from repro.experiments.ablations import (
     failure_ablation,
     online_ablation,
@@ -30,7 +39,7 @@ from repro.experiments.ablations import (
     trace_ablation,
 )
 
-__all__ = ["main", "ABLATIONS"]
+__all__ = ["main", "ABLATIONS", "run_ablations"]
 
 ABLATIONS: dict[str, Callable[..., Table]] = {
     "sigma": sigma_ablation,
@@ -42,6 +51,30 @@ ABLATIONS: dict[str, Callable[..., Table]] = {
     "online": online_ablation,
     "traces": trace_ablation,
 }
+
+
+def run_ablations(names: Sequence[str], jobs: int) -> dict[str, Table]:
+    """Run the named ablations, sharing one slot pool when possible.
+
+    With more than one ablation and ``jobs > 1`` on a fork platform, each
+    ablation runs on its own thread while a fork-inherited semaphore caps
+    concurrently executing tasks at ``jobs`` — the shared pool that keeps
+    every worker busy across ablation boundaries.  Results are keyed by
+    name; tables are identical to a serial run (deterministic per-task
+    seeding, in-order result collection per map).
+    """
+    shared = (
+        len(names) > 1 and jobs > 1 and mp.get_start_method() == "fork"
+    )
+    if not shared:
+        return {name: ABLATIONS[name](jobs=jobs) for name in names}
+    with worker_slots(jobs):
+        with ThreadPoolExecutor(max_workers=len(names)) as executor:
+            futures = {
+                name: executor.submit(ABLATIONS[name], jobs=jobs)
+                for name in names
+            }
+            return {name: future.result() for name, future in futures.items()}
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -59,7 +92,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "--jobs",
         type=int,
         default=1,
-        help="worker processes per ablation (0 = all cores, 1 = serial)",
+        help="shared worker slots (0 = all cores, 1 = serial)",
     )
     args = parser.parse_args(argv)
     if args.jobs < 0:
@@ -67,8 +100,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     jobs = args.jobs if args.jobs > 0 else available_parallelism()
 
     names = sorted(ABLATIONS) if args.which == "all" else [args.which]
+    tables = run_ablations(names, jobs)
     for name in names:
-        table = ABLATIONS[name](jobs=jobs)
+        table = tables[name]
         print(table.render())
         if args.csv_dir:
             os.makedirs(args.csv_dir, exist_ok=True)

@@ -1,10 +1,19 @@
-"""Routing: fractional MCF, path decomposition, randomized rounding, and
-the array-native fast path (CSR Dijkstra + load ledger)."""
+"""Routing: fractional MCF (array-native Frank–Wolfe engine + retained
+reference), path decomposition, randomized rounding, and the array-native
+fast path (CSR Dijkstra + load ledger)."""
 
 from repro.routing.costs import EdgeCost, envelope_cost
-from repro.routing.decomposition import decompose_flow
+from repro.routing.decomposition import decompose_flow, decompose_solution
 from repro.routing.fastpath import FastRouter, LoadLedger, csr_dijkstra
-from repro.routing.mcflow import Commodity, FrankWolfeSolver, MCFSolution
+from repro.routing.mcflow import (
+    ArrayPathFlows,
+    Commodity,
+    FrankWolfeSolver,
+    FrankWolfeSolverReference,
+    MCFSolution,
+    PathRegistry,
+    RelaxationSession,
+)
 from repro.routing.paths import (
     ecmp_paths,
     ecmp_route,
@@ -17,10 +26,15 @@ from repro.routing.rounding import aggregate_path_weights, sample_path
 __all__ = [
     "EdgeCost",
     "envelope_cost",
+    "ArrayPathFlows",
     "Commodity",
     "FrankWolfeSolver",
+    "FrankWolfeSolverReference",
     "MCFSolution",
+    "PathRegistry",
+    "RelaxationSession",
     "decompose_flow",
+    "decompose_solution",
     "aggregate_path_weights",
     "sample_path",
     "k_shortest_paths",

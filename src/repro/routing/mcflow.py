@@ -22,17 +22,40 @@ Frank–Wolfe (the classical traffic-assignment algorithm) fits perfectly:
   Raghavan–Tompson extraction in :mod:`repro.routing.decomposition` is
   kept for edge-flow inputs and for cross-checking).
 
+Two implementations live here (DESIGN.md Section 9):
+
+* :class:`FrankWolfeSolver` — the array-native engine.  Path-flow state is
+  a :class:`PathRegistry` (interned path id -> CSR edge-id row) plus flat
+  ``(flow, owner, path id)`` row arrays, so the per-iteration rescaling,
+  load scatters and final pruning are single vectorized operations; the
+  exact line search bisects over the direction's nonzero support only; and
+  a **pairwise (away-step) variant** — the default — follows each classic
+  step with Newton-sized sweeps that drain every commodity's worst active
+  path into its cheapest one (normally the freshly added all-or-nothing
+  path), cutting iteration counts on ill-conditioned envelope costs while
+  still emitting the certified Frank–Wolfe dual bound each iteration.
+* :class:`FrankWolfeSolverReference` — the dict-of-paths predecessor,
+  retained verbatim as the pinning oracle (``tests/test_fw_engine.py``).
+
+:class:`RelaxationSession` carries the registry, CSR scratch and flow rows
+across *consecutive* F-MCF solves (Random-Schedule's interval sweep) and
+applies commodity-set diffs — enter/leave/rescale — instead of rebuilding
+per-interval dictionaries, which is what makes the full sweep array-native
+end to end.
+
 Shortest paths are batched per distinct source through
 :func:`scipy.sparse.csgraph.dijkstra` (C speed) over a CSR matrix whose
-weight array is updated in place, and per-path edge ids are cached as
-integer arrays — this is what makes the full 80-switch Figure-2 experiment
-tractable in pure Python.
+weight array is updated in place, and reconstructed predecessor walks are
+interned by their integer id sequence — this is what makes the full
+80-switch Figure-2 experiment tractable in pure Python.
 """
 
 from __future__ import annotations
 
+from collections.abc import Mapping
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from math import comb
+from typing import NamedTuple, Sequence
 
 import numpy as np
 from scipy.sparse import csr_matrix
@@ -42,7 +65,15 @@ from repro.errors import SolverError, ValidationError
 from repro.routing.costs import EdgeCost
 from repro.topology.base import Topology, path_edges
 
-__all__ = ["Commodity", "MCFSolution", "FrankWolfeSolver"]
+__all__ = [
+    "Commodity",
+    "MCFSolution",
+    "ArrayPathFlows",
+    "PathRegistry",
+    "FrankWolfeSolver",
+    "FrankWolfeSolverReference",
+    "RelaxationSession",
+]
 
 #: Uniform tiny edge weight ensuring shortest-path = fewest hops when all
 #: marginal costs vanish (e.g. sigma = 0 at zero load).
@@ -50,6 +81,18 @@ _WEIGHT_FLOOR = 1e-12
 
 #: Path-flow entries below this fraction of the demand are pruned.
 _PRUNE_FRACTION = 1e-9
+
+#: Line-search steps at or below this are treated as a numerical stall.
+_STALL_STEP = 1e-12
+
+#: Cap on the pairwise (away-step) equilibration sweeps appended to each
+#: classic iteration when the solver runs its default ``"pairwise"``
+#: variant.  Sweeps are cheap relative to the shortest-path batch, and
+#: deep equilibration keeps iteration counts stable on fabrics with heavy
+#: equal-cost path degeneracy; sweeping stops early once a sweep improves
+#: the objective by less than ``_PAIRWISE_STOP`` relatively.
+_PAIRWISE_ROUNDS = 8
+_PAIRWISE_STOP = 1e-7
 
 
 @dataclass(frozen=True)
@@ -68,6 +111,202 @@ class Commodity:
             raise ValidationError(
                 f"commodity {self.id!r}: demand must be > 0, got {self.demand}"
             )
+
+
+class PathRegistry:
+    """Interned node paths with CSR edge-id rows.
+
+    Paths recur massively across Frank–Wolfe iterations and intervals; the
+    registry assigns each distinct path a dense integer id and stores its
+    edge ids in one concatenated array indexed by ``indptr`` rows, so any
+    set of paths can be scattered onto the per-edge load vector (or have
+    its marginal costs summed) with a handful of vectorized operations.
+    Registries only grow; ids stay valid for the registry's lifetime.
+    """
+
+    def __init__(self, topology: Topology) -> None:
+        self._topology = topology
+        self._index: dict[tuple[str, ...], int] = {}
+        self._paths: list[tuple[str, ...] | None] = []
+        self._id_paths: list[tuple[int, ...] | None] = []
+        self._eids = np.empty(1024, dtype=np.int64)
+        self._indptr = np.zeros(257, dtype=np.int64)
+        self._n_paths = 0
+        self._n_eids = 0
+
+    def __len__(self) -> int:
+        return self._n_paths
+
+    def path(self, pid: int) -> tuple[str, ...]:
+        """The node path of a registered id (named lazily, then cached)."""
+        path = self._paths[pid]
+        if path is None:
+            node_at = self._topology.node_at
+            ids = self._id_paths[pid]
+            assert ids is not None
+            path = tuple(map(node_at, ids))
+            self._paths[pid] = path
+        return path
+
+    def edge_ids(self, pid: int) -> np.ndarray:
+        """Edge-id row of one path (a read-only view)."""
+        return self._eids[self._indptr[pid] : self._indptr[pid + 1]]
+
+    def _append(
+        self,
+        path: tuple[str, ...] | None,
+        ids: tuple[int, ...] | None,
+        eids: np.ndarray,
+    ) -> int:
+        pid = self._n_paths
+        k = eids.size
+        if self._n_paths + 1 >= self._indptr.size:
+            self._indptr = np.resize(self._indptr, self._indptr.size * 2)
+        while self._n_eids + k > self._eids.size:
+            self._eids = np.resize(self._eids, self._eids.size * 2)
+        self._eids[self._n_eids : self._n_eids + k] = eids
+        self._n_eids += k
+        self._indptr[pid + 1] = self._n_eids
+        self._n_paths = pid + 1
+        self._paths.append(path)
+        self._id_paths.append(ids)
+        return pid
+
+    def intern(
+        self, path: tuple[str, ...], eids: np.ndarray | None = None
+    ) -> int:
+        """Return the id of ``path``, registering it on first sight.
+
+        Name-keyed interning can duplicate a path first registered via
+        :meth:`intern_ids` (whose names are lazy); consumers accumulate
+        per-path amounts, so duplicate ids are benign.
+        """
+        pid = self._index.get(path)
+        if pid is not None:
+            return pid
+        if eids is None:
+            topo = self._topology
+            eids = np.fromiter(
+                (topo.edge_id(e) for e in path_edges(path)),
+                dtype=np.int64,
+                count=len(path) - 1,
+            )
+        pid = self._append(path, None, eids)
+        self._index[path] = pid
+        return pid
+
+    def intern_ids(self, ids: tuple[int, ...], eids: np.ndarray) -> int:
+        """Register a node-id path without building its name tuple.
+
+        Callers are expected to dedupe (the solver keys reconstructed
+        walks by their bytes); names materialize on first :meth:`path`.
+        """
+        return self._append(None, ids, eids)
+
+    def gather(
+        self, pids: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Concatenated edge ids of ``pids``: ``(flat_eids, lens, starts)``.
+
+        ``starts`` gives each path's offset into ``flat_eids`` (the
+        ``np.add.reduceat`` row boundaries).
+        """
+        pids = np.asarray(pids, dtype=np.int64)
+        indptr = self._indptr
+        row_starts = indptr[pids]
+        lens = indptr[pids + 1] - row_starts
+        total = int(lens.sum())
+        if total == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, lens, empty
+        cum = np.cumsum(lens)
+        starts = cum - lens
+        offsets = np.repeat(starts, lens)
+        flat = np.repeat(row_starts, lens) + (np.arange(total) - offsets)
+        return self._eids[flat], lens, starts
+
+    def scatter(
+        self, pids: np.ndarray, amounts: np.ndarray, num_edges: int
+    ) -> np.ndarray:
+        """Per-edge load vector of ``amounts[i]`` routed along ``pids[i]``."""
+        flat, lens, _ = self.gather(pids)
+        if flat.size == 0:
+            return np.zeros(num_edges)
+        return np.bincount(
+            flat, weights=np.repeat(amounts, lens), minlength=num_edges
+        )
+
+
+@dataclass(frozen=True)
+class ArrayPathFlows:
+    """Array view of a solution's path flows (one row per active path).
+
+    ``registry`` maps ``path_ids`` rows back to node paths and edge ids;
+    ``owner_slots[i]`` indexes ``commodity_ids``.  Consumers that stay in
+    id space (decomposition cross-checks, per-commodity load rebuilds)
+    avoid the nested-dict representation entirely.
+    """
+
+    registry: PathRegistry
+    path_ids: np.ndarray
+    amounts: np.ndarray
+    owner_slots: np.ndarray
+    commodity_ids: tuple[int | str, ...]
+
+    def rows_for(self, commodity_id: int | str) -> np.ndarray:
+        """Row indices belonging to one commodity."""
+        slot = self.commodity_ids.index(commodity_id)
+        return np.flatnonzero(self.owner_slots == slot)
+
+    def edge_loads(self, num_edges: int) -> np.ndarray:
+        """Aggregate per-edge loads of all rows (all commodities)."""
+        return self.registry.scatter(self.path_ids, self.amounts, num_edges)
+
+
+class _LazyPathFlows(Mapping):
+    """Commodity id -> {node path -> amount}, materialized on demand.
+
+    Many consumers of :class:`MCFSolution` (the lower bound, the interval
+    sweep's aggregate accounting) never touch the nested-dict path flows;
+    building them lazily keeps those callers fully array-native.  The
+    materialization accumulates amounts per name path, so duplicate
+    registry ids for one physical path are benign.
+    """
+
+    __slots__ = ("_arrays", "_dict")
+
+    def __init__(self, arrays: ArrayPathFlows) -> None:
+        self._arrays = arrays
+        self._dict: dict[
+            int | str, dict[tuple[str, ...], float]
+        ] | None = None
+
+    def _materialize(self) -> dict[int | str, dict[tuple[str, ...], float]]:
+        flows = self._dict
+        if flows is None:
+            arrays = self._arrays
+            registry = arrays.registry
+            ids = arrays.commodity_ids
+            flows = {cid: {} for cid in ids}
+            for owner, pid, amount in zip(
+                arrays.owner_slots.tolist(),
+                arrays.path_ids.tolist(),
+                arrays.amounts.tolist(),
+            ):
+                per_path = flows[ids[owner]]
+                path = registry.path(pid)
+                per_path[path] = per_path.get(path, 0.0) + amount
+            self._dict = flows
+        return flows
+
+    def __getitem__(self, key: int | str) -> dict[tuple[str, ...], float]:
+        return self._materialize()[key]
+
+    def __iter__(self):
+        return iter(self._arrays.commodity_ids)
+
+    def __len__(self) -> int:
+        return len(self._arrays.commodity_ids)
 
 
 @dataclass(frozen=True)
@@ -90,6 +329,9 @@ class MCFSolution:
         ``(objective - lower_bound) / max(|objective|, tiny)`` at exit.
     iterations:
         Iterations performed (including the initial all-or-nothing).
+    arrays:
+        Array view of the path flows (None for solutions produced by the
+        reference solver).
     """
 
     objective: float
@@ -98,6 +340,7 @@ class MCFSolution:
     path_flows: Mapping[int | str, Mapping[tuple[str, ...], float]]
     relative_gap: float
     iterations: int
+    arrays: ArrayPathFlows | None = None
 
     def path_fractions(
         self, commodity_id: int | str
@@ -122,13 +365,926 @@ class MCFSolution:
         return vec
 
 
-class FrankWolfeSolver:
-    """Reusable Frank–Wolfe solver bound to one topology and edge cost.
+class _Prep(NamedTuple):
+    """Per-solve commodity geometry shared by every iteration.
 
-    Instances cache the CSR adjacency and per-path edge-id arrays across
-    calls, so reusing one solver for many related instances (as
-    Random-Schedule's interval sweep does) is much faster than constructing
-    fresh solvers.
+    When the topology is leaf-contractible (every degree-1 node hangs off
+    a higher-degree *core* node), both endpoints are contracted: a leaf's
+    single incident edge is a forced first/last hop, so Dijkstra runs on
+    the core subgraph between the attachment points and the leaf hops are
+    re-attached during reconstruction.  On host-heavy fabrics this
+    collapses both the node count and the distinct-source count (e.g. 64
+    fat-tree hosts share 16 edge switches).
+    """
+
+    demands: np.ndarray
+    demand_list: list[float]
+    src_rows: np.ndarray
+    src_ids: np.ndarray
+    dst_ids: np.ndarray
+    src_contracted: list[bool]
+    dst_contracted: list[bool]
+    start_core: np.ndarray
+    target_core: np.ndarray
+    source_ids: np.ndarray
+    srcs: list[str]
+    dsts: list[str]
+
+
+class _FlowState:
+    """Flat active path-flow rows: ``(owner slot, path id, amount)``.
+
+    Rows are append-only between compactions, with the concatenated edge
+    ids of every row cached alongside (``eids``/``lens``/``starts``), so
+    rescaling is one vectorized multiply, the load rebuild is one weighted
+    ``bincount``, and per-row marginal path costs are one ``reduceat``.
+    """
+
+    __slots__ = (
+        "registry", "n", "owner", "pid", "flow",
+        "m", "eids", "lens", "starts", "row_of",
+        "_keys_sorted", "_rows_sorted", "_index_dirty",
+    )
+
+    def __init__(self, registry: PathRegistry) -> None:
+        self.registry = registry
+        self.n = 0
+        self.owner = np.empty(64, dtype=np.int64)
+        self.pid = np.empty(64, dtype=np.int64)
+        self.flow = np.empty(64)
+        self.m = 0
+        self.eids = np.empty(256, dtype=np.int64)
+        self.lens = np.empty(64, dtype=np.int64)
+        self.starts = np.empty(64, dtype=np.int64)
+        self.row_of: dict[tuple[int, int], int] | None = {}
+        self._keys_sorted = np.empty(0, dtype=np.int64)
+        self._rows_sorted = np.empty(0, dtype=np.int64)
+        self._index_dirty = True
+
+    def add(self, owner: int, pid: int, amount: float) -> None:
+        """Add ``amount`` to row ``(owner, pid)``, appending it if new."""
+        if self.row_of is None:
+            self.row_of = {
+                (o, p): i
+                for i, (o, p) in enumerate(
+                    zip(self.owner[: self.n].tolist(),
+                        self.pid[: self.n].tolist())
+                )
+            }
+        row = self.row_of.get((owner, pid))
+        if row is not None:
+            self.flow[row] += amount
+            return
+        n = self.n
+        if n == self.owner.size:
+            self.owner = np.resize(self.owner, n * 2)
+            self.pid = np.resize(self.pid, n * 2)
+            self.flow = np.resize(self.flow, n * 2)
+            self.lens = np.resize(self.lens, n * 2)
+            self.starts = np.resize(self.starts, n * 2)
+        eids = self.registry.edge_ids(pid)
+        k = eids.size
+        while self.m + k > self.eids.size:
+            self.eids = np.resize(self.eids, self.eids.size * 2)
+        self.eids[self.m : self.m + k] = eids
+        self.owner[n] = owner
+        self.pid[n] = pid
+        self.flow[n] = amount
+        self.starts[n] = self.m
+        self.lens[n] = k
+        self.m += k
+        self.n = n + 1
+        self.row_of[(owner, pid)] = n
+        self._index_dirty = True
+
+    def _row_index(self) -> tuple[np.ndarray, np.ndarray]:
+        """Sorted ``(owner << 32 | pid)`` keys with their row numbers."""
+        if self._index_dirty:
+            keys = (self.owner[: self.n] << 32) | self.pid[: self.n]
+            order = np.argsort(keys)
+            self._keys_sorted = keys[order]
+            self._rows_sorted = order
+            self._index_dirty = False
+        return self._keys_sorted, self._rows_sorted
+
+    def add_batch(
+        self, owners: np.ndarray, pids: np.ndarray, amounts: np.ndarray
+    ) -> None:
+        """Add ``amounts[i]`` to each row ``(owners[i], pids[i])``.
+
+        The (owner, pid) pairs must be distinct within one call.  Existing
+        rows update in one vectorized scatter; only genuinely new rows
+        fall back to the append path.
+        """
+        keys, rows = self._row_index()
+        queries = (owners << 32) | pids
+        if keys.size:
+            pos = np.minimum(np.searchsorted(keys, queries), keys.size - 1)
+            found = keys[pos] == queries
+        else:
+            pos = np.zeros(queries.size, dtype=np.int64)
+            found = np.zeros(queries.size, dtype=bool)
+        if found.any():
+            self.flow[rows[pos[found]]] += amounts[found]
+        missing = np.flatnonzero(~found)
+        if missing.size:
+            self._append_batch(
+                owners[missing], pids[missing], amounts[missing]
+            )
+
+    def _append_batch(
+        self, owners: np.ndarray, pids: np.ndarray, amounts: np.ndarray
+    ) -> None:
+        """Append brand-new rows in bulk (no existing-row check)."""
+        k = owners.size
+        n = self.n
+        need = n + k
+        if need > self.owner.size:
+            grow = max(need, self.owner.size * 2)
+            self.owner = np.resize(self.owner, grow)
+            self.pid = np.resize(self.pid, grow)
+            self.flow = np.resize(self.flow, grow)
+            self.lens = np.resize(self.lens, grow)
+            self.starts = np.resize(self.starts, grow)
+        flat, lens, starts = self.registry.gather(pids)
+        while self.m + flat.size > self.eids.size:
+            self.eids = np.resize(self.eids, self.eids.size * 2)
+        self.eids[self.m : self.m + flat.size] = flat
+        self.starts[n:need] = self.m + starts
+        self.lens[n:need] = lens
+        self.owner[n:need] = owners
+        self.pid[n:need] = pids
+        self.flow[n:need] = amounts
+        self.m += flat.size
+        self.n = need
+        row_of = self.row_of
+        if row_of is not None:
+            for i, (o, p) in enumerate(zip(owners.tolist(), pids.tolist())):
+                row_of[(o, p)] = n + i
+        self._index_dirty = True
+
+    def scale(self, factor: float) -> None:
+        self.flow[: self.n] *= factor
+
+    def loads(self, num_edges: int) -> np.ndarray:
+        """Aggregate per-edge loads of all rows."""
+        if self.n == 0:
+            return np.zeros(num_edges)
+        return np.bincount(
+            self.eids[: self.m],
+            weights=np.repeat(self.flow[: self.n], self.lens[: self.n]),
+            minlength=num_edges,
+        )
+
+    def path_costs(self, weights: np.ndarray) -> np.ndarray:
+        """Per-row sum of ``weights`` over the row's edges."""
+        if self.n == 0:
+            return np.empty(0)
+        return np.add.reduceat(
+            weights[self.eids[: self.m]], self.starts[: self.n]
+        )
+
+    def compact(
+        self, keep: np.ndarray, new_owner: np.ndarray | None = None
+    ) -> None:
+        """Drop rows where ``keep`` is False, optionally remapping owners.
+
+        ``new_owner`` maps old owner slots to new ones; rows must only be
+        kept where the mapping is defined (>= 0).
+        """
+        n = self.n
+        owner = self.owner[:n][keep]
+        if new_owner is not None:
+            owner = new_owner[owner]
+        pid = self.pid[:n][keep]
+        flow = self.flow[:n][keep]
+        flat, lens, starts = self.registry.gather(pid)
+        k = owner.size
+        if k > self.owner.size:  # pragma: no cover - keep never grows rows
+            self.owner = np.resize(self.owner, k)
+            self.pid = np.resize(self.pid, k)
+            self.flow = np.resize(self.flow, k)
+            self.lens = np.resize(self.lens, k)
+            self.starts = np.resize(self.starts, k)
+        self.owner[:k] = owner
+        self.pid[:k] = pid
+        self.flow[:k] = flow
+        self.n = k
+        if flat.size > self.eids.size:
+            self.eids = np.resize(self.eids, flat.size)
+        self.eids[: flat.size] = flat
+        self.lens[:k] = lens
+        self.starts[:k] = starts
+        self.m = flat.size
+        # Rebuilt lazily by add(); the batched paths never consult it.
+        self.row_of = None
+        self._index_dirty = True
+
+
+class FrankWolfeSolver:
+    """Array-native Frank–Wolfe solver bound to one topology and edge cost.
+
+    Instances cache the CSR adjacency, the path registry and the interned
+    predecessor walks across calls, so reusing one solver for many related
+    instances (as Random-Schedule's interval sweep does) is much faster
+    than constructing fresh solvers.
+
+    Parameters
+    ----------
+    topology, cost:
+        The network and the convex per-edge cost.
+    max_iterations, gap_tolerance:
+        Stopping criteria (iteration budget / relative duality gap).
+    variant:
+        ``"pairwise"`` (default) follows every classic Frank–Wolfe step
+        with up to ``_PAIRWISE_ROUNDS`` pairwise (away-step) sweeps: per
+        commodity, mass moves from the worst active path to the cheapest
+        active one (normally the all-or-nothing path the step just
+        brought in), Newton-sized from the cost curvature and scaled by
+        one joint exact line search.  ``"classic"`` takes only the
+        textbook step toward the all-or-nothing point.  Both variants
+        emit the identical certified dual lower bound each iteration.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        cost: EdgeCost,
+        max_iterations: int = 60,
+        gap_tolerance: float = 1e-3,
+        variant: str = "pairwise",
+    ) -> None:
+        if max_iterations < 1:
+            raise ValidationError("max_iterations must be >= 1")
+        if gap_tolerance <= 0:
+            raise ValidationError("gap_tolerance must be > 0")
+        if variant not in ("classic", "pairwise"):
+            raise ValidationError(f"unknown Frank-Wolfe variant {variant!r}")
+        self._topology = topology
+        self._cost = cost
+        self._max_iterations = max_iterations
+        self._gap_tolerance = gap_tolerance
+        self._variant = variant
+        self._poly_degree = cost.polynomial_degree
+
+        n = len(topology.nodes)
+        self._registry = PathRegistry(topology)
+        # Cache: (src id, dst id, padded reversed core walk) key bytes ->
+        # registered path id.  Hits stay integer-only; name paths are
+        # built on first sight only.
+        self._walk_pid: dict[bytes, int] = {}
+        # (prep, walk matrix, pids) of the previous _aon_pids call.
+        self._last_walks: tuple | None = None
+
+        # --- Search graph: the core subgraph when every leaf hangs off a
+        # core node, else the full graph. ---
+        indptr_a, neighbors_a, edge_ids_a = topology.csr_adjacency
+        leaf = np.array(topology.leaf_mask, dtype=bool)
+        arc_u = np.repeat(
+            np.arange(n, dtype=np.int64), np.diff(indptr_a)
+        )
+        leaf_ids = np.flatnonzero(leaf)
+        attach = neighbors_a[indptr_a[leaf_ids]]
+        self._contract = bool(
+            (~leaf).any() and (leaf_ids.size == 0 or not leaf[attach].any())
+        )
+        core_mask = ~leaf if self._contract else np.ones(n, dtype=bool)
+        core_nodes = np.flatnonzero(core_mask)
+        nc = core_nodes.size
+        core_of = np.full(n, -1, dtype=np.int64)
+        core_of[core_nodes] = np.arange(nc)
+        keep = core_mask[arc_u] & core_mask[neighbors_a]
+        cu = core_of[arc_u[keep]]
+        cv = core_of[neighbors_a[keep]]
+        self._search_arc_edge = edge_ids_a[keep]
+        core_indptr = np.zeros(nc + 1, dtype=np.int64)
+        np.add.at(core_indptr, cu + 1, 1)
+        core_indptr = np.cumsum(core_indptr)
+        self._graph = csr_matrix(
+            (np.ones(cu.size), cv.copy(), core_indptr), shape=(nc, nc)
+        )
+        self._core_of = core_of
+        self._core_nodes = core_nodes
+        self._leaf = leaf
+        # Core arcs are CSR-sorted by (u, v), so `u * nc + v` keys decode
+        # whole walk batches to undirected edge ids via one searchsorted;
+        # the dict covers the contracted leaf hops (one lookup per miss).
+        self._num_core = nc
+        self._arc_keys = cu * nc + cv
+        self._arc_vals = edge_ids_a[keep]
+        ip = indptr_a.tolist()
+        nb = neighbors_a.tolist()
+        ei = edge_ids_a.tolist()
+        self._arc_eid: dict[tuple[int, int], int] = {
+            (u, nb[t]): ei[t]
+            for u in range(n)
+            for t in range(ip[u], ip[u + 1])
+        }
+        self._attach_of = {
+            int(l): int(a) for l, a in zip(leaf_ids.tolist(), attach.tolist())
+        }
+
+    @property
+    def registry(self) -> PathRegistry:
+        """The solver's path registry (shared by its sessions)."""
+        return self._registry
+
+    @property
+    def variant(self) -> str:
+        return self._variant
+
+    # ------------------------------------------------------------------
+    # Per-solve commodity plumbing.
+    # ------------------------------------------------------------------
+    def _prep(self, commodities: Sequence[Commodity]) -> _Prep:
+        topo = self._topology
+        node_id = topo.node_id
+        srcs = [c.src for c in commodities]
+        dsts = [c.dst for c in commodities]
+        demands = np.array([c.demand for c in commodities])
+        src_ids = np.array([node_id(s) for s in srcs], dtype=np.int64)
+        dst_ids = np.array([node_id(d) for d in dsts], dtype=np.int64)
+        if self._contract:
+            leaf = self._leaf
+            attach = self._attach_of
+            src_contracted = leaf[src_ids].tolist()
+            dst_contracted = leaf[dst_ids].tolist()
+            eff_src = np.array(
+                [
+                    attach[s] if is_leaf else s
+                    for s, is_leaf in zip(src_ids.tolist(), src_contracted)
+                ],
+                dtype=np.int64,
+            )
+            eff_dst = np.array(
+                [
+                    attach[d] if is_leaf else d
+                    for d, is_leaf in zip(dst_ids.tolist(), dst_contracted)
+                ],
+                dtype=np.int64,
+            )
+        else:
+            src_contracted = [False] * len(srcs)
+            dst_contracted = [False] * len(dsts)
+            eff_src = src_ids
+            eff_dst = dst_ids
+        core_of = self._core_of
+        target_core = core_of[eff_src]
+        start_core = core_of[eff_dst]
+        source_ids = np.unique(target_core)
+        return _Prep(
+            demands=demands,
+            demand_list=demands.tolist(),
+            src_rows=np.searchsorted(source_ids, target_core),
+            src_ids=src_ids,
+            dst_ids=dst_ids,
+            src_contracted=src_contracted,
+            dst_contracted=dst_contracted,
+            start_core=start_core,
+            target_core=target_core,
+            source_ids=source_ids,
+            srcs=srcs,
+            dsts=dsts,
+        )
+
+    def _aon_pids(self, prep: _Prep, weights: np.ndarray) -> np.ndarray:
+        """All-or-nothing assignment: each commodity's shortest path id.
+
+        One Dijkstra per *distinct (contracted) source*, batched in C over
+        the search graph.  Predecessor walks for every commodity advance
+        in lock-step as vectorized gathers (commodities already at their
+        target hold still), walk arcs decode to edge ids in one bulk
+        ``searchsorted``, and each ``(src, dst, padded walk)`` row keys
+        the path-id cache by its raw bytes.
+        """
+        self._graph.data = np.maximum(weights, _WEIGHT_FLOOR)[
+            self._search_arc_edge
+        ]
+        _dist, predecessors = dijkstra(
+            self._graph, directed=True, indices=prep.source_ids,
+            return_predecessors=True,
+        )
+        src_rows = prep.src_rows
+        targets = prep.target_core
+        cur = prep.start_core.copy()
+        walks = [prep.src_ids, prep.dst_ids, cur.copy()]
+        active = cur != targets
+        while active.any():
+            nxt = predecessors[src_rows, cur]
+            bad = active & (nxt < 0)
+            if bad.any():
+                j = int(np.flatnonzero(bad)[0])
+                raise SolverError(
+                    f"no path from {prep.srcs[j]!r} to {prep.dsts[j]!r}"
+                )
+            cur = np.where(active, nxt.astype(np.int64), cur)
+            walks.append(cur.copy())
+            active = cur != targets
+        # Rows: [src id, dst id, reversed core walk..., target padding].
+        walk_matrix = np.column_stack(walks)
+        core_walks = walk_matrix[:, 2:]
+        hops = np.argmax(core_walks == targets[:, None], axis=1)
+        if core_walks.shape[1] > 1:
+            # Undirected edge ids of every core walk arc, in bulk (padding
+            # columns produce garbage positions that are never sliced).
+            arc_query = (
+                core_walks[:, :-1] * self._num_core + core_walks[:, 1:]
+            )
+            positions = np.minimum(
+                np.searchsorted(self._arc_keys, arc_query.ravel()),
+                self._arc_keys.size - 1,
+            )
+            walk_eids = self._arc_vals[positions].reshape(arc_query.shape)
+        else:
+            walk_eids = None
+
+        walk_pid = self._walk_pid
+        registry = self._registry
+        arc_eid = self._arc_eid
+        core_nodes = self._core_nodes
+        src_list = prep.src_ids.tolist()
+        dst_list = prep.dst_ids.tolist()
+        src_contracted = prep.src_contracted
+        dst_contracted = prep.dst_contracted
+        out = np.empty(len(prep.srcs), dtype=np.int64)
+        # Consecutive iterations of one solve mostly repeat their walks;
+        # one vector compare against the previous iteration's matrix
+        # carries those path ids over without touching the cache.
+        last = self._last_walks
+        if (
+            last is not None
+            and last[0] is prep
+            and last[1].shape == walk_matrix.shape
+        ):
+            unchanged = (last[1] == walk_matrix).all(axis=1)
+            out[unchanged] = last[2][unchanged]
+            todo = np.flatnonzero(~unchanged).tolist()
+        else:
+            todo = range(out.size)
+        stride = walk_matrix.shape[1] * walk_matrix.itemsize
+        buffer = walk_matrix.tobytes()
+        hop_list = hops.tolist()
+        for j in todo:
+            key = buffer[j * stride : (j + 1) * stride]
+            pid = walk_pid.get(key)
+            if pid is None:
+                h = hop_list[j]
+                ids = core_nodes[core_walks[j, : h + 1][::-1]].tolist()
+                src_c = src_contracted[j]
+                dst_c = dst_contracted[j]
+                eids = np.empty(h + src_c + dst_c, dtype=np.int64)
+                if h:
+                    eids[src_c : src_c + h] = walk_eids[j, :h][::-1]
+                if src_c:
+                    eids[0] = arc_eid[(src_list[j], ids[0])]
+                    ids = [src_list[j]] + ids
+                if dst_c:
+                    eids[-1] = arc_eid[(ids[-1], dst_list[j])]
+                    ids = ids + [dst_list[j]]
+                pid = registry.intern_ids(tuple(ids), eids)
+                walk_pid[key] = pid
+            out[j] = pid
+        self._last_walks = (prep, walk_matrix, out)
+        return out
+
+    # ------------------------------------------------------------------
+    # Exact line search: bisection on the convex directional derivative,
+    # restricted to the direction's nonzero support.
+    # ------------------------------------------------------------------
+    def _line_search(
+        self, loads: np.ndarray, direction: np.ndarray, tol: float = 1e-6
+    ) -> float:
+        support = np.flatnonzero(direction)
+        if support.size == 0:
+            return 0.0
+        d = direction[support]
+        base = loads[support]
+        if self._poly_degree is not None:
+            return _polynomial_step(base, d, self._poly_degree)
+        derivative = self._cost.derivative
+
+        def slope(gamma: float) -> float:
+            return float(d @ derivative(base + gamma * d))
+
+        if slope(0.0) >= 0.0:
+            return 0.0
+        if slope(1.0) <= 0.0:
+            return 1.0
+        lo, hi = 0.0, 1.0
+        while hi - lo > tol:
+            mid = 0.5 * (lo + hi)
+            if slope(mid) < 0.0:
+                lo = mid
+            else:
+                hi = mid
+        return 0.5 * (lo + hi)
+
+    # ------------------------------------------------------------------
+    # Steps.
+    # ------------------------------------------------------------------
+    def _pairwise_step(
+        self,
+        state: _FlowState,
+        loads: np.ndarray,
+        prep: _Prep,
+    ) -> tuple[np.ndarray, bool]:
+        """One pairwise (away-step) equilibration sweep over all rows.
+
+        A batched generalization of pairwise Frank–Wolfe: within each
+        commodity, mass drains out of expensive active paths (the away
+        atoms, worst first by construction) into cheap ones — normally
+        the all-or-nothing path the preceding classic step just brought
+        in.  Per-row moves are projected-Newton sized: against the
+        curvature-weighted mean marginal cost ``lambda`` of the
+        commodity's active set (so moves sum to zero per commodity),
+        clipped at zero flow (an uncapped negative move is a drop step
+        that empties its atom) with the clipped deficit rebalanced onto
+        the receiving paths, and one joint exact line search scales the
+        whole sweep.  Every endpoint is an existing row, so the sweep is
+        pure array arithmetic; returns ``(new_loads, stepped)``.
+        """
+        n = state.n
+        k = prep.demands.size
+        weights = self._cost.derivative(loads)
+        costs = state.path_costs(weights)
+        flow = state.flow[:n]
+        owner = state.owner[:n]
+        quadratic = self._poly_degree == 2
+        if quadratic:
+            # Constant curvature 2 mu: the row Hessian is just the hop
+            # count, no per-edge gather needed.
+            inv_h = 1.0 / (
+                (2.0 * self._cost.power.mu) * state.lens[:n]
+            )
+        else:
+            curvature = self._cost.curvature(loads)
+            inv_h = 1.0 / np.maximum(
+                np.add.reduceat(curvature[state.eids[: state.m]],
+                                state.starts[:n]),
+                1e-30,
+            )
+        lam_den = np.bincount(owner, weights=inv_h, minlength=k)
+        lam = np.bincount(owner, weights=costs * inv_h, minlength=k)
+        lam /= np.maximum(lam_den, 1e-30)
+        # Newton move per row, kept feasible (>= -flow).
+        delta = np.maximum((lam[owner] - costs) * inv_h, -flow)
+        if not quadratic:
+            # On the envelope's zero-curvature segments the Newton step is
+            # unbounded; cap it at the demand and let the line search
+            # decide (the cap would only distort well-conditioned cases).
+            delta = np.minimum(delta, prep.demands[owner])
+        negative = np.minimum(delta, 0.0)
+        positive = delta - negative
+        pos_sum = np.bincount(owner, weights=positive, minlength=k)
+        neg_sum = np.bincount(owner, weights=-negative, minlength=k)
+        # Demand conservation: scale the receiving rows to absorb exactly
+        # the clipped outflow.  A commodity with no receiving row cannot
+        # rebalance — dropping only its negatives would *lose* mass, so
+        # it must not move at all.
+        can_move = pos_sum > 0.0
+        factor = np.where(
+            can_move, neg_sum / np.maximum(pos_sum, 1e-30), 0.0
+        )
+        delta = np.where(
+            can_move[owner], negative + positive * factor[owner], 0.0
+        )
+        if not np.any(delta):
+            return loads, False
+        direction = np.bincount(
+            state.eids[: state.m],
+            weights=np.repeat(delta, state.lens[:n]),
+            minlength=loads.size,
+        )
+        gamma = self._line_search(loads, direction, tol=1e-4)
+        if gamma <= _STALL_STEP:
+            return loads, False
+        state.flow[:n] += gamma * delta
+        return loads + gamma * direction, True
+
+    def _classic_step(
+        self,
+        state: _FlowState,
+        loads: np.ndarray,
+        aon_loads: np.ndarray,
+        aon_pids: np.ndarray,
+        prep: _Prep,
+    ) -> tuple[np.ndarray, bool]:
+        """Textbook Frank–Wolfe step toward the all-or-nothing point."""
+        direction = aon_loads - loads
+        gamma = self._line_search(loads, direction)
+        if gamma <= _STALL_STEP:
+            return loads, False
+        state.scale(1.0 - gamma)
+        state.add_batch(
+            np.arange(prep.demands.size, dtype=np.int64),
+            aon_pids,
+            gamma * prep.demands,
+        )
+        return loads + gamma * direction, True
+
+    # ------------------------------------------------------------------
+    # Main solve.
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        commodities: Sequence[Commodity],
+        warm_start: MCFSolution | None = None,
+    ) -> MCFSolution:
+        """Solve the F-MCF instance to the configured duality gap.
+
+        ``warm_start`` reuses a previous solution's path flows for the
+        commodities that persist (rescaled if demands changed) — across
+        consecutive intervals of Random-Schedule most flows persist, which
+        cuts iterations dramatically.  (The interval sweep itself should
+        prefer :class:`RelaxationSession`, which diffs commodity sets
+        without round-tripping through the dict representation.)
+        """
+        _validate_commodities(commodities)
+        prep = self._prep(commodities)
+        state = _FlowState(self._registry)
+        num_edges = self._topology.num_edges
+
+        fresh = list(range(len(commodities)))
+        if warm_start is not None:
+            fresh = []
+            registry = self._registry
+            for slot, commodity in enumerate(commodities):
+                prior = warm_start.path_flows.get(commodity.id)
+                if not prior:
+                    fresh.append(slot)
+                    continue
+                total = sum(prior.values())
+                scale = commodity.demand / total
+                for path, amount in prior.items():
+                    state.add(slot, registry.intern(path), amount * scale)
+        loads = state.loads(num_edges)
+        self._seed_fresh(state, commodities, prep, fresh, loads)
+        return self._run(state, commodities, prep, state.loads(num_edges))
+
+    def _seed_fresh(
+        self,
+        state: _FlowState,
+        commodities: Sequence[Commodity],
+        prep: _Prep,
+        fresh: list[int],
+        loads: np.ndarray,
+    ) -> None:
+        """All-or-nothing seed for commodities without prior flows."""
+        if not fresh:
+            return
+        sub_prep = self._prep([commodities[s] for s in fresh])
+        pids = self._aon_pids(sub_prep, self._cost.derivative(loads))
+        fresh_arr = np.array(fresh, dtype=np.int64)
+        state.add_batch(fresh_arr, pids, prep.demands[fresh_arr])
+
+    def _run(
+        self,
+        state: _FlowState,
+        commodities: Sequence[Commodity],
+        prep: _Prep,
+        loads: np.ndarray,
+    ) -> MCFSolution:
+        cost = self._cost
+        objective = cost.total(loads)
+        best_lower = -np.inf
+        gap = np.inf
+        iteration = 1
+        pairwise = self._variant == "pairwise"
+        num_edges = loads.size
+
+        while iteration < self._max_iterations:
+            # The steps only lower the objective, so the previous
+            # iteration's certified bound may already close the gap —
+            # checked first, before paying another shortest-path batch.
+            if np.isfinite(best_lower):
+                gap = (objective - best_lower) / max(abs(objective), 1e-30)
+                if gap <= self._gap_tolerance:
+                    break
+            weights = cost.derivative(loads)
+            aon_pids = self._aon_pids(prep, weights)
+            aon_loads = self._registry.scatter(
+                aon_pids, prep.demands, num_edges
+            )
+
+            # Dual bound from the linearization:
+            # f(x) + f'(x)·(y - x) <= f(y) for all feasible y, minimized at
+            # the all-or-nothing point, so this is a valid lower bound.
+            slack = float(weights @ (loads - aon_loads))
+            best_lower = max(best_lower, objective - slack)
+            gap = (objective - best_lower) / max(abs(objective), 1e-30)
+            if gap <= self._gap_tolerance:
+                break
+
+            loads, stepped = self._classic_step(
+                state, loads, aon_loads, aon_pids, prep
+            )
+            if not stepped:
+                # Numerical stall: the gap bound says we are not optimal
+                # but no step can move; accept the current point.
+                break
+            objective = cost.total(loads)
+            if pairwise:
+                for _ in range(_PAIRWISE_ROUNDS):
+                    previous = objective
+                    loads, moved = self._pairwise_step(state, loads, prep)
+                    if not moved:
+                        break
+                    objective = cost.total(loads)
+                    if previous - objective < _PAIRWISE_STOP * abs(objective):
+                        break
+            iteration += 1
+
+        # Prune vanishing path-flow entries once, after convergence.
+        n = state.n
+        keep = state.flow[:n] >= (
+            _PRUNE_FRACTION * prep.demands[state.owner[:n]]
+        )
+        if not keep.all():
+            state.compact(keep)
+
+        if not np.isfinite(best_lower):
+            # Zero iterations of the dual bound (max_iterations == 1).
+            best_lower = 0.0
+        return self._finish(
+            state, commodities, loads, objective, best_lower, gap, iteration
+        )
+
+    def _finish(
+        self,
+        state: _FlowState,
+        commodities: Sequence[Commodity],
+        loads: np.ndarray,
+        objective: float,
+        best_lower: float,
+        gap: float,
+        iteration: int,
+    ) -> MCFSolution:
+        n = state.n
+        arrays = ArrayPathFlows(
+            registry=self._registry,
+            path_ids=state.pid[:n].copy(),
+            amounts=state.flow[:n].copy(),
+            owner_slots=state.owner[:n].copy(),
+            commodity_ids=tuple(c.id for c in commodities),
+        )
+        return MCFSolution(
+            objective=objective,
+            lower_bound=min(best_lower, objective),
+            link_loads=loads,
+            path_flows=_LazyPathFlows(arrays),
+            relative_gap=float(max(gap, 0.0)) if np.isfinite(gap) else 1.0,
+            iterations=iteration,
+            arrays=arrays,
+        )
+
+
+class RelaxationSession:
+    """Persistent F-MCF state across consecutive related solves.
+
+    Random-Schedule's interval sweep solves a sequence of instances whose
+    commodity sets overlap heavily.  A session keeps the solver's path
+    registry, CSR scratch and the flat flow rows alive between calls and
+    applies the commodity-set *diff* per interval — departing commodities
+    drop their rows, persisting ones rescale to their new demand in one
+    vectorized multiply, and only entering commodities pay an
+    all-or-nothing seed — instead of round-tripping the previous solution
+    through its nested-dict representation.
+    """
+
+    def __init__(self, solver: FrankWolfeSolver) -> None:
+        if not isinstance(solver, FrankWolfeSolver):
+            raise ValidationError(
+                "RelaxationSession requires the array-native FrankWolfeSolver"
+            )
+        self._solver = solver
+        self._state: _FlowState | None = None
+        self._ids: list[int | str] = []
+
+    @property
+    def solver(self) -> FrankWolfeSolver:
+        return self._solver
+
+    def reset(self) -> None:
+        """Forget the carried state (the next solve is cold)."""
+        self._state = None
+        self._ids = []
+
+    def solve(self, commodities: Sequence[Commodity]) -> MCFSolution:
+        """Solve one instance, warm-started from the previous call.
+
+        If the solve raises (e.g. an entering commodity has no route),
+        the session resets: the carried state was already remapped to
+        the new commodity slots, so continuing from it against the old
+        id list would mis-attribute flows.  The next call is cold.
+        """
+        _validate_commodities(commodities)
+        try:
+            return self._solve(commodities)
+        except BaseException:
+            self.reset()
+            raise
+
+    def _solve(self, commodities: Sequence[Commodity]) -> MCFSolution:
+        solver = self._solver
+        prep = solver._prep(commodities)
+        num_edges = solver._topology.num_edges
+        ids = [c.id for c in commodities]
+
+        state = self._state
+        if state is None:
+            state = _FlowState(solver._registry)
+            fresh = list(range(len(commodities)))
+        else:
+            new_slot = {cid: i for i, cid in enumerate(ids)}
+            remap = np.array(
+                [new_slot.get(cid, -1) for cid in self._ids], dtype=np.int64
+            )
+            n = state.n
+            state.compact(remap[state.owner[:n]] >= 0, new_owner=remap)
+            k = len(ids)
+            totals = np.bincount(
+                state.owner[: state.n],
+                weights=state.flow[: state.n],
+                minlength=k,
+            )
+            persisting = totals > 0.0
+            scale = np.ones(k)
+            scale[persisting] = prep.demands[persisting] / totals[persisting]
+            state.flow[: state.n] *= scale[state.owner[: state.n]]
+            fresh = np.flatnonzero(~persisting).tolist()
+
+        solver._seed_fresh(
+            state, commodities, prep, fresh, state.loads(num_edges)
+        )
+        solution = solver._run(
+            state, commodities, prep, state.loads(num_edges)
+        )
+        self._state = state
+        self._ids = ids
+        return solution
+
+
+def _polynomial_step(base: np.ndarray, d: np.ndarray, degree: int) -> float:
+    """Exact line-search step for a pure power-law cost ``mu * x**alpha``.
+
+    Along ``x + gamma d`` the directional derivative is a degree
+    ``alpha - 1`` polynomial in ``gamma``; its coefficients (up to the
+    irrelevant positive factor ``mu * alpha``) are binomial-weighted
+    moment sums ``M_k = sum d**(k+1) * x**(alpha-1-k)``.  One vector pass
+    builds the moments; the root is then bracketed on the scalar
+    polynomial — no repeated vector derivative evaluations.
+    """
+    if degree == 2:
+        # slope(gamma) is affine: d.x + gamma d.d (up to 2 mu).
+        c0 = float(d @ base)
+        if c0 >= 0.0:
+            return 0.0
+        c1 = float(d @ d)
+        if c0 + c1 <= 0.0:
+            return 1.0
+        return -c0 / c1
+    n = degree - 1
+    x_pows = [np.ones_like(base)]
+    for _ in range(n):
+        x_pows.append(x_pows[-1] * base)
+    coeffs = []
+    d_pow = d
+    for k in range(degree):
+        coeffs.append(comb(n, k) * float(d_pow @ x_pows[n - k]))
+        if k < n:
+            d_pow = d_pow * d
+    if coeffs[0] >= 0.0:
+        return 0.0
+    if sum(coeffs) <= 0.0:
+        return 1.0
+    lo, hi = 0.0, 1.0
+    for _ in range(60):
+        mid = 0.5 * (lo + hi)
+        slope = 0.0
+        for c in reversed(coeffs):
+            slope = slope * mid + c
+        if slope < 0.0:
+            lo = mid
+        else:
+            hi = mid
+    return 0.5 * (lo + hi)
+
+
+def _validate_commodities(commodities: Sequence[Commodity]) -> None:
+    if not commodities:
+        raise ValidationError("solve requires at least one commodity")
+    ids = [c.id for c in commodities]
+    if len(set(ids)) != len(ids):
+        raise ValidationError("commodity ids must be unique")
+
+
+class FrankWolfeSolverReference:
+    """Dict-of-paths Frank–Wolfe solver, retained as the pinning oracle.
+
+    This is the pre-array implementation of :class:`FrankWolfeSolver`,
+    kept verbatim (repo convention for every fast path — see DESIGN.md
+    Sections 7–9).  ``tests/test_fw_engine.py`` pins the array engine to
+    it; ``benchmarks/bench_mcflow.py`` measures the gap.
     """
 
     def __init__(

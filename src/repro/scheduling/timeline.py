@@ -77,8 +77,12 @@ class BlockedTimeline:
 
     Used by the YDS-family algorithms to mark time already committed to
     earlier critical intervals.  Supports O(log n) overlap-measure queries
-    via prefix sums; insertions re-merge the segment list (amortized fine
-    for the algorithms' usage pattern of one batch per round).
+    via prefix sums.  Insertion is a batched per-round merge: only the
+    incoming blocks are sorted, and :func:`merge_segments` then coalesces
+    the two pre-sorted runs (timsort detects them, so the pass is
+    O(existing + new) rather than a full re-sort per call).  Bit-identical
+    to re-merging the whole raw list — pinned by the Hypothesis suite in
+    ``tests/test_timeline.py``.
     """
 
     def __init__(self) -> None:
@@ -89,17 +93,30 @@ class BlockedTimeline:
         self._ends_arr: np.ndarray = np.empty(0)
         self._prefix_arr: np.ndarray = np.zeros(1)
 
-    def add_many(self, segments: Iterable[tuple[float, float]]) -> None:
+    def add_many(
+        self, segments: Iterable[tuple[float, float]], tol: float = 1e-12
+    ) -> None:
         """Insert segments (merged with the existing reservation set)."""
-        self._segments = merge_segments(list(self._segments) + list(segments))
-        self._starts = [s for s, _ in self._segments]
-        prefix = [0.0]
-        for s, e in self._segments:
-            prefix.append(prefix[-1] + (e - s))
-        self._prefix = prefix
-        self._starts_arr = np.array(self._starts, dtype=float)
-        self._ends_arr = np.array([e for _, e in self._segments], dtype=float)
-        self._prefix_arr = np.array(prefix, dtype=float)
+        incoming = sorted((a, b) for a, b in segments if b > a)
+        if not incoming and not self._segments:
+            return
+        # One batched merge per round: only the incoming blocks need
+        # sorting; timsort's run detection merges the two pre-sorted runs
+        # in linear time inside merge_segments, which keeps the single
+        # copy of the tolerance-coalescing logic.
+        merged = merge_segments(self._segments + incoming, tol)
+        self._segments = merged
+        starts_arr = np.array([s for s, _ in merged], dtype=float)
+        ends_arr = np.array([e for _, e in merged], dtype=float)
+        prefix_arr = np.zeros(len(merged) + 1)
+        # add.accumulate is strictly sequential, matching the historical
+        # running-sum loop bit for bit.
+        np.add.accumulate(ends_arr - starts_arr, out=prefix_arr[1:])
+        self._starts = starts_arr.tolist()
+        self._prefix = prefix_arr.tolist()
+        self._starts_arr = starts_arr
+        self._ends_arr = ends_arr
+        self._prefix_arr = prefix_arr
 
     def overlap(self, a: float, b: float) -> float:
         """Measure of blocked time inside ``[a, b]``."""

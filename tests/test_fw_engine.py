@@ -1,0 +1,346 @@
+"""Pinning suite for the array-native Frank–Wolfe engine (DESIGN.md §9).
+
+The array engine (`FrankWolfeSolver`: path registry + flat flow rows +
+pairwise/away-step equilibration) keeps its dict-of-paths predecessor as
+``FrankWolfeSolverReference``; this suite proves the pair interchangeable
+across random jellyfish/fat-tree instances, cold and warm, classic and
+pairwise variants:
+
+* objectives agree within the shared gap tolerance and the engine's
+  certified ``lower_bound`` never exceeds the reference's objective;
+* path flows sum to each commodity's demand and rebuild ``link_loads``;
+* infeasible instances raise the identical ``SolverError``;
+* the :class:`RelaxationSession` interval sweep (commodity-set diffs)
+  matches the reference's dict warm-start chain;
+* the array path-flow consumers (``ArrayPathFlows``,
+  ``decompose_solution``) agree with the nested-dict representation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SolverError, ValidationError
+from repro.power import PowerModel
+from repro.routing import (
+    Commodity,
+    FrankWolfeSolver,
+    FrankWolfeSolverReference,
+    RelaxationSession,
+    decompose_solution,
+    envelope_cost,
+)
+from repro.topology import build_topology, fat_tree
+from repro.topology.random_graphs import jellyfish
+
+GAP = 1e-4
+
+
+def make_topology(kind: str, seed: int):
+    if kind == "fat_tree":
+        return fat_tree(4)
+    return jellyfish(10, 3, hosts_per_switch=2, seed=seed)
+
+
+def make_commodities(topology, n: int, seed: int, id_offset: int = 0):
+    rng = np.random.default_rng(seed)
+    hosts = topology.hosts
+    out = []
+    for i in range(n):
+        src_i, dst_i = rng.choice(len(hosts), size=2, replace=False)
+        out.append(
+            Commodity(
+                id=id_offset + i,
+                src=hosts[int(src_i)],
+                dst=hosts[int(dst_i)],
+                demand=float(rng.uniform(0.2, 3.0)),
+            )
+        )
+    return out
+
+
+def make_pair(topology, power, variant):
+    cost = envelope_cost(power)
+    new = FrankWolfeSolver(
+        topology, cost, max_iterations=500, gap_tolerance=GAP, variant=variant
+    )
+    ref = FrankWolfeSolverReference(
+        topology, cost, max_iterations=500, gap_tolerance=GAP
+    )
+    return new, ref
+
+
+def assert_objectives_agree(a, b):
+    """Certified agreement: each solution's dual bound must bracket the
+    other's objective, and the objectives agree within the *reported*
+    gaps (a budget-capped run may legitimately stop above GAP)."""
+    assert a.lower_bound <= b.objective + 1e-9
+    assert b.lower_bound <= a.objective + 1e-9
+    rel = 1.5 * (max(a.relative_gap, GAP) + max(b.relative_gap, GAP))
+    assert a.objective == pytest.approx(b.objective, rel=rel)
+
+
+def assert_solution_consistent(solution, commodities, topology):
+    for commodity in commodities:
+        flows = solution.path_flows[commodity.id]
+        assert sum(flows.values()) == pytest.approx(commodity.demand)
+        for path in flows:
+            topology.validate_path(path, commodity.src, commodity.dst)
+    rebuilt = np.zeros(topology.num_edges)
+    for commodity in commodities:
+        rebuilt += solution.edge_flows(topology, commodity.id)
+    assert rebuilt == pytest.approx(solution.link_loads, abs=1e-8)
+    assert solution.lower_bound <= solution.objective + 1e-12
+    arrays = solution.arrays
+    assert arrays is not None
+    assert arrays.edge_loads(topology.num_edges) == pytest.approx(
+        rebuilt, abs=1e-8
+    )
+
+
+@pytest.mark.parametrize("variant", ["classic", "pairwise"])
+@pytest.mark.parametrize(
+    "kind,seed", [("fat_tree", 0), ("fat_tree", 1), ("jellyfish", 2),
+                  ("jellyfish", 3)]
+)
+class TestColdAgainstReference:
+    def test_cold_solve_matches(self, variant, kind, seed):
+        topology = make_topology(kind, seed)
+        new, ref = make_pair(topology, PowerModel.quadratic(), variant)
+        commodities = make_commodities(topology, 8, seed)
+        a = new.solve(commodities)
+        b = ref.solve(commodities)
+        assert_objectives_agree(a, b)
+        assert_solution_consistent(a, commodities, topology)
+
+    def test_warm_solve_matches(self, variant, kind, seed):
+        topology = make_topology(kind, seed)
+        new, ref = make_pair(topology, PowerModel.quadratic(), variant)
+        base = make_commodities(topology, 8, seed)
+        cold_new = new.solve(base)
+        cold_ref = ref.solve(base)
+        # Perturb: drop one commodity, rescale another, add a fresh one.
+        changed = base[1:]
+        changed[0] = Commodity(
+            id=changed[0].id, src=changed[0].src, dst=changed[0].dst,
+            demand=changed[0].demand * 2.5,
+        )
+        changed.append(make_commodities(topology, 1, seed + 77,
+                                        id_offset=1000)[0])
+        a = new.solve(changed, warm_start=cold_new)
+        b = ref.solve(changed, warm_start=cold_ref)
+        assert_objectives_agree(a, b)
+        assert_solution_consistent(a, changed, topology)
+
+
+@pytest.mark.parametrize("variant", ["classic", "pairwise"])
+class TestPowerdownEnvelope:
+    """sigma > 0 exercises the piecewise envelope (bisection line search)."""
+
+    def test_envelope_cost_matches(self, variant):
+        topology = make_topology("jellyfish", 5)
+        power = PowerModel(sigma=2.0, mu=1.0, alpha=2.0)
+        new, ref = make_pair(topology, power, variant)
+        commodities = make_commodities(topology, 6, 5)
+        a = new.solve(commodities)
+        b = ref.solve(commodities)
+        assert_objectives_agree(a, b)
+        assert_solution_consistent(a, commodities, topology)
+
+    def test_powerdown_sweep_conserves_demand(self, variant):
+        """Regression: on the envelope's zero-curvature segment the
+        pairwise sweep once leaked commodity mass (clipped negative moves
+        with no receiving row), draining flows to zero over the interval
+        sweep.  Every interval solution must keep per-commodity sums."""
+        topology = fat_tree(4)
+        power = PowerModel(sigma=1.0, mu=1.0, alpha=2.0)
+        cost = envelope_cost(power)
+        solver = FrankWolfeSolver(
+            topology, cost, max_iterations=40, gap_tolerance=3e-3,
+            variant=variant,
+        )
+        session = RelaxationSession(solver)
+        commodities = make_commodities(topology, 20, 31)
+        for _ in range(4):
+            solution = session.solve(commodities)
+            for commodity in commodities:
+                assert sum(
+                    solution.path_flows[commodity.id].values()
+                ) == pytest.approx(commodity.demand)
+
+    def test_quartic_cost_matches(self, variant):
+        topology = make_topology("fat_tree", 0)
+        new, ref = make_pair(topology, PowerModel.quartic(), variant)
+        commodities = make_commodities(topology, 6, 9)
+        a = new.solve(commodities)
+        b = ref.solve(commodities)
+        assert_objectives_agree(a, b)
+        assert_solution_consistent(a, commodities, topology)
+
+
+@pytest.mark.parametrize("variant", ["classic", "pairwise"])
+class TestSessionSweep:
+    """Session diffs (enter/leave/rescale) vs the dict warm-start chain."""
+
+    def test_interval_sweep_matches_reference_chain(self, variant):
+        topology = make_topology("jellyfish", 11)
+        new, ref = make_pair(topology, PowerModel.quadratic(), variant)
+        session = RelaxationSession(new)
+        base = make_commodities(topology, 8, 11)
+        fresh = make_commodities(topology, 3, 12, id_offset=100)
+        sweeps = [
+            base,
+            base[2:] + fresh[:1],                       # leave x2, enter x1
+            [Commodity(c.id, c.src, c.dst, c.demand * 1.7)
+             for c in base[2:]] + fresh[:1],            # rescale persisting
+            fresh,                                      # near-total turnover
+        ]
+        previous = None
+        for commodities in sweeps:
+            a = session.solve(commodities)
+            b = ref.solve(commodities, warm_start=previous)
+            previous = b
+            assert_objectives_agree(a, b)
+            assert_solution_consistent(a, commodities, topology)
+
+    def test_session_reset_forgets_state(self, variant):
+        topology = make_topology("fat_tree", 0)
+        new, _ = make_pair(topology, PowerModel.quadratic(), variant)
+        session = RelaxationSession(new)
+        commodities = make_commodities(topology, 5, 3)
+        first = session.solve(commodities)
+        session.reset()
+        cold = session.solve(commodities)
+        assert cold.objective == pytest.approx(first.objective, rel=4 * GAP)
+
+    def test_session_requires_array_solver(self, variant):
+        topology = make_topology("fat_tree", 0)
+        _, ref = make_pair(topology, PowerModel.quadratic(), variant)
+        with pytest.raises(ValidationError):
+            RelaxationSession(ref)
+
+
+class TestInfeasibility:
+    def setup_method(self):
+        self.topology = build_topology(
+            [("a", "s1"), ("b", "s1"), ("c", "s2"), ("d", "s2")],
+            hosts=["a", "b", "c", "d"],
+        )
+
+    def _message(self, solver, commodities):
+        with pytest.raises(SolverError) as excinfo:
+            solver.solve(commodities)
+        return str(excinfo.value)
+
+    @pytest.mark.parametrize("variant", ["classic", "pairwise"])
+    def test_identical_infeasibility_errors(self, variant):
+        cost = envelope_cost(PowerModel.quadratic())
+        new = FrankWolfeSolver(self.topology, cost, variant=variant)
+        ref = FrankWolfeSolverReference(self.topology, cost)
+        bad = [Commodity(0, "a", "c", 1.0)]
+        assert self._message(new, bad) == self._message(ref, bad)
+
+    def test_session_raises_mid_sweep_then_resets(self):
+        cost = envelope_cost(PowerModel.quadratic())
+        session = RelaxationSession(FrankWolfeSolver(self.topology, cost))
+        session.solve([Commodity(0, "a", "b", 1.0)])
+        with pytest.raises(SolverError, match="no path from 'a' to 'c'"):
+            session.solve(
+                [Commodity(0, "a", "b", 1.0), Commodity(1, "a", "c", 1.0)]
+            )
+        # A failed solve mutates the carried state mid-diff; the session
+        # must reset so the next call restarts cold instead of
+        # mis-attributing rows against a stale slot map.
+        recovered = session.solve(
+            [Commodity(0, "a", "b", 1.0), Commodity(2, "c", "d", 2.0)]
+        )
+        assert sum(recovered.path_flows[0].values()) == pytest.approx(1.0)
+        assert sum(recovered.path_flows[2].values()) == pytest.approx(2.0)
+
+    def test_validation_matches_reference(self):
+        cost = envelope_cost(PowerModel.quadratic())
+        new = FrankWolfeSolver(self.topology, cost)
+        session = RelaxationSession(new)
+        for solve in (new.solve, session.solve):
+            with pytest.raises(ValidationError):
+                solve([])
+            with pytest.raises(ValidationError):
+                solve([Commodity(0, "a", "b", 1.0),
+                       Commodity(0, "a", "c", 1.0)])
+        with pytest.raises(ValidationError):
+            FrankWolfeSolver(self.topology, cost, variant="bogus")
+
+
+class TestArrayConsumers:
+    def test_decompose_solution_array_and_dict_agree(self):
+        topology = make_topology("fat_tree", 0)
+        new, ref = make_pair(topology, PowerModel.quadratic(), "pairwise")
+        commodities = make_commodities(topology, 5, 21)
+        a = new.solve(commodities)
+        b = ref.solve(commodities)
+        for commodity in commodities:
+            array_paths = decompose_solution(a, commodity.id)
+            dict_paths = decompose_solution(b, commodity.id)
+            assert sum(w for _, w in array_paths) == pytest.approx(
+                commodity.demand
+            )
+            assert sum(w for _, w in dict_paths) == pytest.approx(
+                commodity.demand
+            )
+            for path, _ in array_paths:
+                topology.validate_path(path, commodity.src, commodity.dst)
+
+    def test_rows_for_and_path_fractions(self):
+        topology = make_topology("jellyfish", 4)
+        new, _ = make_pair(topology, PowerModel.quadratic(), "pairwise")
+        commodities = make_commodities(topology, 4, 4)
+        solution = new.solve(commodities)
+        arrays = solution.arrays
+        for commodity in commodities:
+            rows = arrays.rows_for(commodity.id)
+            assert float(arrays.amounts[rows].sum()) == pytest.approx(
+                commodity.demand
+            )
+            fractions = solution.path_fractions(commodity.id)
+            assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_lazy_path_flows_mapping_protocol(self):
+        topology = make_topology("fat_tree", 0)
+        new, _ = make_pair(topology, PowerModel.quadratic(), "pairwise")
+        commodities = make_commodities(topology, 3, 8)
+        solution = new.solve(commodities)
+        mapping = solution.path_flows
+        assert len(mapping) == 3
+        assert set(mapping) == {c.id for c in commodities}
+        assert commodities[0].id in mapping
+        assert mapping.get("missing") is None
+        total = sum(
+            sum(flows.values()) for flows in mapping.values()
+        )
+        assert total == pytest.approx(sum(c.demand for c in commodities))
+
+
+class TestCurvature:
+    @pytest.mark.parametrize(
+        "power",
+        [
+            PowerModel.quadratic(),
+            PowerModel.quartic(),
+            PowerModel(sigma=2.0, mu=1.0, alpha=2.0),
+            PowerModel(sigma=0.0, mu=2.0, alpha=3.0, capacity=5.0),
+        ],
+    )
+    def test_matches_numeric_second_derivative(self, power):
+        cost = envelope_cost(power)
+        xs = np.array([0.7, 1.3, 2.9, 4.0, 6.5])
+        h = 1e-5
+        numeric = (cost.derivative(xs + h) - cost.derivative(xs - h)) / (2 * h)
+        analytic = cost.curvature(xs)
+        # Skip points within h of an envelope/penalty kink.
+        kink = np.zeros_like(xs, dtype=bool)
+        if power.sigma > 0:
+            kink |= np.abs(xs - power.best_operating_rate) < 10 * h
+        if np.isfinite(power.capacity):
+            kink |= np.abs(xs - power.capacity) < 10 * h
+        assert analytic[~kink] == pytest.approx(numeric[~kink], rel=1e-4)

@@ -225,3 +225,36 @@ class TestBlockedTimeline:
         b = a + length
         expected = overlap_length(list(bt.segments()), a, b)
         assert bt.overlap(a, b) == pytest.approx(expected, abs=1e-9)
+
+    @given(
+        st.lists(
+            st.lists(
+                st.tuples(
+                    st.floats(0, 20, allow_nan=False),
+                    st.floats(-0.1, 5, allow_nan=False),
+                ),
+                max_size=8,
+            ),
+            max_size=6,
+        )
+    )
+    def test_incremental_add_many_pins_full_remerge(self, rounds):
+        """The batched per-round merge must be bit-identical to the
+        reference behavior of re-merging the full segment list each call
+        (including tolerance coalescing order and degenerate segments)."""
+        bt = BlockedTimeline()
+        reference: list[tuple[float, float]] = []
+        for batch in rounds:
+            segments = [(s, s + l) for s, l in batch]
+            bt.add_many(segments)
+            reference = merge_segments(reference + segments)
+            assert bt.segments() == tuple(reference)
+
+    def test_add_many_empty_batch_is_noop(self):
+        bt = BlockedTimeline()
+        bt.add_many([(0.0, 1.0), (2.0, 3.0)])
+        before = bt.segments()
+        bt.add_many([])
+        bt.add_many([(5.0, 4.0)])  # inverted segments are dropped
+        assert bt.segments() == before
+        assert bt.overlap(0.0, 3.0) == pytest.approx(2.0)
