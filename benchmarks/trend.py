@@ -7,11 +7,21 @@ accumulating many runs) and renders a per-benchmark trend table — wall
 clock, throughput, peak RSS across runs — so perf regressions show up as
 a row-to-row jump instead of an archaeology project.
 
+``--history FILE`` makes the trend *longitudinal*: the JSONL file's
+records (accumulated by previous runs) merge with the current
+directories' records, the combined set is **appended back** to the same
+file (deduplicated, never overwritten away), and the table renders the
+whole history.  CI downloads the previous run's uploaded history
+artifact, passes it here, and re-uploads the grown file — so every CI
+run adds one row per benchmark instead of replacing the table.
+
 Usage::
 
     python benchmarks/trend.py                       # scan cwd
     python benchmarks/trend.py --dir bench-records --out BENCH_TREND.md
     python benchmarks/trend.py --dir runA --dir runB # compare two runs
+    python benchmarks/trend.py --dir bench-records \\
+        --history bench-records/BENCH_HISTORY.jsonl  # accumulate
 """
 
 from __future__ import annotations
@@ -23,7 +33,14 @@ import os
 import time
 from typing import Any, Iterable, Sequence
 
-__all__ = ["load_records", "render_trend", "main"]
+__all__ = [
+    "load_records",
+    "load_history",
+    "merge_history",
+    "save_history",
+    "render_trend",
+    "main",
+]
 
 
 def load_records(directories: Sequence[str]) -> list[dict[str, Any]]:
@@ -40,6 +57,59 @@ def load_records(directories: Sequence[str]) -> list[dict[str, Any]]:
                 payload["_source"] = path
                 records.append(payload)
     return records
+
+
+def load_history(path: str) -> list[dict[str, Any]]:
+    """Read the JSONL history file (one record per line; tolerant)."""
+    records: list[dict[str, Any]] = []
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    payload = json.loads(line)
+                except ValueError:
+                    continue
+                if isinstance(payload, dict) and payload.get("name"):
+                    records.append(payload)
+    except OSError:
+        return []
+    return records
+
+
+def _record_key(record: dict[str, Any]) -> tuple:
+    return (
+        str(record.get("name")),
+        record.get("recorded_unix"),
+        record.get("platform"),
+    )
+
+
+def merge_history(
+    history: Iterable[dict[str, Any]], current: Iterable[dict[str, Any]]
+) -> list[dict[str, Any]]:
+    """History plus current records, deduplicated by (name, time, host)."""
+    merged: list[dict[str, Any]] = []
+    seen: set[tuple] = set()
+    for record in list(history) + list(current):
+        key = _record_key(record)
+        if key in seen:
+            continue
+        seen.add(key)
+        merged.append(record)
+    return merged
+
+
+def save_history(path: str, records: Iterable[dict[str, Any]]) -> None:
+    """Write the merged history back as JSONL (``_source`` paths from the
+    current run are transient and dropped)."""
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in records:
+            payload = {k: v for k, v in record.items() if k != "_source"}
+            handle.write(json.dumps(payload, sort_keys=True) + "\n")
 
 
 def _fmt(value: Any, spec: str = "{:.4g}") -> str:
@@ -124,9 +194,24 @@ def main(argv: Sequence[str] | None = None) -> int:
         default="BENCH_TREND.md",
         help="output markdown path (default: BENCH_TREND.md)",
     )
+    parser.add_argument(
+        "--history",
+        default=None,
+        help="JSONL history file: prior runs' records are merged in, the "
+        "combined history is appended back to this file, and the trend "
+        "renders the whole history (cross-run accumulation)",
+    )
     args = parser.parse_args(argv)
     directories = args.dir or ["."]
     records = load_records(directories)
+    if args.history:
+        history = load_history(args.history)
+        records = merge_history(history, records)
+        save_history(args.history, records)
+        print(
+            f"history {args.history}: {len(history)} prior + "
+            f"{len(records) - len(history)} new records"
+        )
     report = render_trend(records)
     os.makedirs(os.path.dirname(args.out) or ".", exist_ok=True)
     with open(args.out, "w", encoding="utf-8") as handle:

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Algorithm 2 as a streaming policy: relaxation + rounding per window.
+
+The offline Random-Schedule sees every flow up front.  This example runs
+the same pipeline — F-MCF relaxation over the elementary intervals,
+``w_bar`` aggregation, one randomized-rounding draw per flow — *window by
+window* against a live arrival stream: each epoch's flows solve their
+relaxation with the traffic committed by earlier windows as fixed
+background loads, and one persistent Frank–Wolfe session carries the path
+registry and flow rows across every interval and window (flows entering
+and leaving the horizon are commodity-set diffs, never cold solves).
+
+Run:  python examples/relaxation_replay.py
+"""
+
+from repro.analysis import Table
+from repro.power import PowerModel
+from repro.topology import fat_tree
+from repro.traces import (
+    GreedyDensityPolicy,
+    OnlineDensityPolicy,
+    PoissonProcess,
+    RelaxationRoundingPolicy,
+    ReplayEngine,
+    TraceSpec,
+    generate_trace,
+    lognormal_sizes,
+    proportional_slack,
+)
+
+
+def main() -> None:
+    topology = fat_tree(4)
+    power = PowerModel.quadratic()
+    spec = TraceSpec(
+        arrivals=PoissonProcess(4.0),
+        duration=30.0,
+        size_sampler=lognormal_sizes(1.0, 0.6),
+        slack_model=proportional_slack(3.0, 1.0),
+        seed=42,
+    )
+
+    table = Table(
+        title="streaming replay: Algorithm 2 per window vs the heuristics",
+        columns=("policy", "flows", "windows", "energy", "peak link rate"),
+    )
+    reports = {}
+    for policy in (
+        RelaxationRoundingPolicy(seed=0),
+        OnlineDensityPolicy(),
+        GreedyDensityPolicy(),
+    ):
+        engine = ReplayEngine(topology, power, policy, window=5.0)
+        report = engine.run(generate_trace(topology, spec))
+        reports[policy.name] = report
+        table.add_row(
+            policy.name,
+            report.flows_seen,
+            report.windows,
+            report.total_energy,
+            report.peak_link_rate,
+        )
+    print(table.render())
+
+    relax = reports["Relax+Round"]
+    greedy = reports["Greedy+Density"]
+    assert relax.miss_rate == 0.0, "density over the span meets every deadline"
+    assert relax.total_energy < greedy.total_energy
+    print(
+        "Relax+Round runs the paper's strongest algorithm per window:\n"
+        f"it spends {relax.total_energy / greedy.total_energy:.0%} of the "
+        "greedy energy by spreading each window's flows across the\n"
+        "fractional-optimal paths (and around the committed background), "
+        "while still meeting every deadline by construction.\n"
+        f"Worst w_bar drift absorbed by the rounding: "
+        f"{relax.max_weight_drift:.2e}."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -10,8 +10,12 @@ from repro.core.baselines import (
 from repro.core.dcfs import DcfsResult, solve_dcfs, solve_dcfs_reference
 from repro.core.dcfsr import (
     DcfsrResult,
+    RelaxationPipeline,
+    relaxation_weights,
     round_schedule,
     round_schedule_deterministic,
+    round_schedule_deterministic_reference,
+    round_schedule_reference,
     solve_dcfsr,
 )
 from repro.core.exact import (
@@ -32,9 +36,13 @@ __all__ = [
     "solve_dcfs",
     "solve_dcfs_reference",
     "DcfsrResult",
+    "RelaxationPipeline",
     "solve_dcfsr",
+    "relaxation_weights",
     "round_schedule",
     "round_schedule_deterministic",
+    "round_schedule_reference",
+    "round_schedule_deterministic_reference",
     "fractional_lower_bound",
     "solve_online_density",
     "BaselineResult",

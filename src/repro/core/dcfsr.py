@@ -21,13 +21,24 @@ paper we re-draw until the realized schedule is capacity-feasible (or a
 retry budget is exhausted, in which case the best attempt is returned and
 flagged).  The relaxation objective is also a certified lower bound on the
 optimum, which is the normalization used throughout Figure 2.
+
+The rounding loop is array-native end to end (DESIGN.md Section 10): the
+per-interval :class:`~repro.routing.mcflow.ArrayPathFlows` rows feed
+:func:`~repro.routing.rounding.aggregate_path_weights_array` once, and
+every subsequent draw is one batched
+:func:`~repro.routing.rounding.sample_paths` pass.  Solutions produced by
+the dict reference solver (no array view) fall back to the retained
+:func:`round_schedule_reference` loop.  :class:`RelaxationPipeline`
+packages the whole relax → aggregate → draw chain around one persistent
+:class:`~repro.routing.mcflow.RelaxationSession` for callers that feed it
+a *sequence* of related instances (the streaming replay policy).
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Mapping
+from typing import Mapping, Sequence
 
 import numpy as np
 
@@ -37,11 +48,19 @@ from repro.core.relaxation import (
     solve_relaxation,
 )
 from repro.errors import ValidationError
-from repro.flows.flow import FlowSet
+from repro.flows.flow import Flow, FlowSet
 from repro.flows.intervals import TimeGrid
 from repro.power.model import PowerModel
-from repro.routing.mcflow import FrankWolfeSolver
-from repro.routing.rounding import aggregate_path_weights, sample_path
+from repro.routing.costs import EdgeCost
+from repro.routing.mcflow import FrankWolfeSolver, RelaxationSession
+from repro.routing.rounding import (
+    ArrayPathWeights,
+    aggregate_path_weights,
+    aggregate_path_weights_array,
+    argmax_paths,
+    sample_path,
+    sample_paths,
+)
 from repro.scheduling.schedule import (
     EnergyBreakdown,
     FlowSchedule,
@@ -52,9 +71,13 @@ from repro.topology.base import Topology
 
 __all__ = [
     "DcfsrResult",
+    "RelaxationPipeline",
     "solve_dcfsr",
+    "relaxation_weights",
     "round_schedule",
     "round_schedule_deterministic",
+    "round_schedule_reference",
+    "round_schedule_deterministic_reference",
 ]
 
 Path = tuple[str, ...]
@@ -99,40 +122,63 @@ class DcfsrResult:
         return self.energy.total / self.lower_bound
 
 
+def _density_schedule(flow: Flow, path: Path) -> FlowSchedule:
+    """The Algorithm-2 service profile: density rate over the whole span."""
+    return FlowSchedule(
+        flow=flow,
+        path=path,
+        segments=(
+            Segment(start=flow.release, end=flow.deadline, rate=flow.density),
+        ),
+    )
+
+
+def relaxation_weights(
+    flows: Sequence[Flow], relaxation: RelaxationResult
+) -> ArrayPathWeights | None:
+    """Aggregate every flow's ``w_bar`` straight from the solver rows.
+
+    Returns None when any interval solution lacks the array view (dict
+    reference solver) — callers then take the nested-dict path.
+    """
+    contributions = []
+    for iv in relaxation.intervals:
+        arrays = iv.solution.arrays
+        if arrays is None:
+            return None
+        contributions.append((iv.interval.length, arrays))
+    return aggregate_path_weights_array(list(flows), contributions)
+
+
 def round_schedule(
     flows: FlowSet,
     relaxation: RelaxationResult,
     rng: np.random.Generator,
-) -> tuple[Schedule, dict[int | str, dict[Path, float]]]:
+) -> tuple[Schedule, Mapping[int | str, Mapping[Path, float]]]:
     """One randomized-rounding draw: a single path and density-rate profile
-    per flow.  Returns the schedule and the ``w_bar`` distributions used."""
-    weights: dict[int | str, dict[Path, float]] = {}
-    flow_schedules = []
-    for flow in flows:
-        fractions = relaxation.fractions_for_flow(flow.id)
-        w_bar = aggregate_path_weights(flow, fractions)
-        weights[flow.id] = w_bar
-        path = sample_path(w_bar, rng)
-        flow_schedules.append(
-            FlowSchedule(
-                flow=flow,
-                path=path,
-                segments=(
-                    Segment(
-                        start=flow.release,
-                        end=flow.deadline,
-                        rate=flow.density,
-                    ),
-                ),
-            )
-        )
-    return Schedule(flow_schedules), weights
+    per flow.  Returns the schedule and the ``w_bar`` distributions used.
+
+    Array-native: one registry-space aggregation plus one batched sampling
+    pass; consumes the same generator stream (one uniform per flow, in
+    flow order) as :func:`round_schedule_reference`.
+    """
+    weights = relaxation_weights(list(flows), relaxation)
+    if weights is None:
+        return round_schedule_reference(flows, relaxation, rng)
+    paths = sample_paths(weights, rng)
+    return (
+        Schedule(
+            _density_schedule(flow, path)
+            for flow, path in zip(flows, paths)
+        ),
+        weights,
+    )
 
 
 def round_schedule_deterministic(
     flows: FlowSet,
     relaxation: RelaxationResult,
-) -> tuple[Schedule, dict[int | str, dict[Path, float]]]:
+) -> tuple[Schedule, Mapping[int | str, Mapping[Path, float]]]:
     """Derandomized rounding: every flow takes its maximum-``w_bar`` path.
 
     A cheap stand-in for the method of conditional expectations: instead of
@@ -141,6 +187,44 @@ def round_schedule_deterministic(
     correlated flows on a popular path; the rounding ablation quantifies
     the trade-off against random draws.
     """
+    weights = relaxation_weights(list(flows), relaxation)
+    if weights is None:
+        return round_schedule_deterministic_reference(flows, relaxation)
+    paths = argmax_paths(weights)
+    return (
+        Schedule(
+            _density_schedule(flow, path)
+            for flow, path in zip(flows, paths)
+        ),
+        weights,
+    )
+
+
+def round_schedule_reference(
+    flows: FlowSet,
+    relaxation: RelaxationResult,
+    rng: np.random.Generator,
+) -> tuple[Schedule, dict[int | str, dict[Path, float]]]:
+    """The nested-dict rounding loop, retained as the pinning oracle for
+    the array engine (one :func:`aggregate_path_weights` +
+    :func:`sample_path` per flow)."""
+    weights: dict[int | str, dict[Path, float]] = {}
+    flow_schedules = []
+    for flow in flows:
+        fractions = relaxation.fractions_for_flow(flow.id)
+        w_bar = aggregate_path_weights(flow, fractions)
+        weights[flow.id] = w_bar
+        flow_schedules.append(
+            _density_schedule(flow, sample_path(w_bar, rng))
+        )
+    return Schedule(flow_schedules), weights
+
+
+def round_schedule_deterministic_reference(
+    flows: FlowSet,
+    relaxation: RelaxationResult,
+) -> tuple[Schedule, dict[int | str, dict[Path, float]]]:
+    """Dict-loop derandomized rounding (argmax of each ``w_bar``)."""
     weights: dict[int | str, dict[Path, float]] = {}
     flow_schedules = []
     for flow in flows:
@@ -148,20 +232,84 @@ def round_schedule_deterministic(
         w_bar = aggregate_path_weights(flow, fractions)
         weights[flow.id] = w_bar
         path = max(sorted(w_bar), key=lambda p: w_bar[p])
-        flow_schedules.append(
-            FlowSchedule(
-                flow=flow,
-                path=path,
-                segments=(
-                    Segment(
-                        start=flow.release,
-                        end=flow.deadline,
-                        rate=flow.density,
-                    ),
-                ),
-            )
-        )
+        flow_schedules.append(_density_schedule(flow, path))
     return Schedule(flow_schedules), weights
+
+
+class RelaxationPipeline:
+    """Relax → aggregate → round, around one persistent session.
+
+    The pipeline owns a :class:`FrankWolfeSolver` and its
+    :class:`RelaxationSession`, so a caller feeding it consecutive related
+    instances (the sliding-horizon replay policy, an interval sweep
+    harness) pays commodity-set diffs instead of cold F-MCF solves, and
+    every hand-off between stages stays in registry-id space: interval
+    rows aggregate via :func:`aggregate_path_weights_array`, draws run
+    through batched :func:`sample_paths`.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        power: PowerModel,
+        max_iterations: int = 60,
+        gap_tolerance: float = 1e-3,
+        cost: EdgeCost | None = None,
+    ) -> None:
+        self.topology = topology
+        self.power = power
+        self.solver = FrankWolfeSolver(
+            topology,
+            cost if cost is not None else default_cost(power),
+            max_iterations=max_iterations,
+            gap_tolerance=gap_tolerance,
+        )
+        self.session = RelaxationSession(self.solver)
+
+    def solve(
+        self,
+        flows: FlowSet,
+        grid: TimeGrid | None = None,
+        background: np.ndarray | None = None,
+        warm: bool = True,
+    ) -> RelaxationResult:
+        """Solve the instance's interval relaxation through the session.
+
+        ``background`` fixes committed per-edge loads every interval
+        routes around; ``warm=False`` bypasses the session entirely and
+        solves every interval cold (the benchmark baseline).
+        """
+        return solve_relaxation(
+            flows,
+            self.solver,
+            grid,
+            session=self.session if warm else None,
+            background=background,
+            warm=warm,
+        )
+
+    def weights(
+        self, flows: FlowSet, relaxation: RelaxationResult
+    ) -> ArrayPathWeights:
+        """Aggregated ``w_bar`` distributions for ``flows`` (array rows)."""
+        weights = relaxation_weights(list(flows), relaxation)
+        if weights is None:
+            raise ValidationError(
+                "relaxation has no array path flows (reference-solver "
+                "output?); RelaxationPipeline requires solutions from the "
+                "array-native FrankWolfeSolver"
+            )
+        return weights
+
+    def draw(
+        self, weights: ArrayPathWeights, rng: np.random.Generator
+    ) -> list[Path]:
+        """One batched randomized-rounding draw (one route per flow)."""
+        return sample_paths(weights, rng)
+
+    def reset(self) -> None:
+        """Forget carried session state (the next solve is cold)."""
+        self.session.reset()
 
 
 def solve_dcfsr(
@@ -213,15 +361,24 @@ def solve_dcfsr(
     relaxation = solve_relaxation(flows, solver, grid)
     lower_bound = relaxation.lower_bound
 
+    # The aggregation is draw-independent: build the w_bar rows once and
+    # let every retry pay only its batched sampling pass.
+    weights = relaxation_weights(list(flows), relaxation)
+    assert weights is not None  # the array solver always yields rows
+
     horizon = grid.horizon
-    best: tuple[bool, EnergyBreakdown, Schedule, dict] | None = None
+    best: tuple[bool, EnergyBreakdown, Schedule] | None = None
     attempts = 0
     draw_budget = 1 if rounding == "deterministic" else max_attempts
     for attempts in range(1, draw_budget + 1):
         if rounding == "deterministic":
-            schedule, weights = round_schedule_deterministic(flows, relaxation)
+            paths = argmax_paths(weights)
         else:
-            schedule, weights = round_schedule(flows, relaxation, rng)
+            paths = sample_paths(weights, rng)
+        schedule = Schedule(
+            _density_schedule(flow, path)
+            for flow, path in zip(flows, paths)
+        )
         # max_link_rate and energy share the schedule's cached link-rate
         # profiles, so each draw compiles its per-edge profiles only once.
         feasible = (
@@ -231,12 +388,12 @@ def solve_dcfsr(
         breakdown = schedule.energy(power, horizon=horizon)
         key = (feasible, -breakdown.total)
         if best is None or key > (best[0], -best[1].total):
-            best = (feasible, breakdown, schedule, weights)
+            best = (feasible, breakdown, schedule)
         if feasible:
             break
 
     assert best is not None
-    feasible, breakdown, schedule, weights = best
+    feasible, breakdown, schedule = best
     return DcfsrResult(
         schedule=schedule,
         energy=breakdown,

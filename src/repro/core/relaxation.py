@@ -97,6 +97,8 @@ def solve_relaxation(
     solver: FrankWolfeSolver,
     grid: TimeGrid | None = None,
     session: RelaxationSession | None = None,
+    background=None,
+    warm: bool = True,
 ) -> RelaxationResult:
     """Solve the per-interval F-MCF problems left to right with warm starts.
 
@@ -106,6 +108,12 @@ def solve_relaxation(
     registry and flow arrays, and each interval applies only its
     commodity-set diff.  Solvers without session support (the retained
     reference) fall back to dict-based warm starts.
+
+    ``background`` fixes per-edge committed loads every interval routes
+    around (array solvers only; see :meth:`FrankWolfeSolver.solve`).
+    ``warm=False`` forces every interval to a cold F-MCF solve — no
+    session, no dict warm start — which is what the streaming replay
+    benchmarks compare the persistent-session policy against.
     """
     if grid is None:
         grid = TimeGrid(flows)
@@ -113,20 +121,43 @@ def solve_relaxation(
         raise ValidationError(
             "session belongs to a different solver than the one passed"
         )
-    if session is None and isinstance(solver, FrankWolfeSolver):
+    array_solver = isinstance(solver, FrankWolfeSolver)
+    if background is not None and not array_solver:
+        raise ValidationError(
+            "background loads require the array-native FrankWolfeSolver"
+        )
+    if not warm:
+        if session is not None:
+            raise ValidationError("warm=False cannot use a session")
+    elif session is None and array_solver:
         session = RelaxationSession(solver)
     interval_solutions: list[IntervalSolution] = []
     previous: MCFSolution | None = None
+    # One Commodity per flow for the whole sweep: a flow's demand is its
+    # density, constant across every interval it is active in, so the
+    # per-interval commodity lists are views into this cache (building
+    # fresh dataclasses per interval dominated dense streaming windows).
+    commodity_of: dict[int | str, Commodity] = {}
     for interval in grid.intervals:
         active = grid.active_flows(interval)
         if not active:
             continue
-        commodities = [
-            Commodity(id=f.id, src=f.src, dst=f.dst, demand=f.density)
-            for f in active
-        ]
+        commodities = []
+        for f in active:
+            commodity = commodity_of.get(f.id)
+            if commodity is None:
+                commodity = Commodity(
+                    id=f.id, src=f.src, dst=f.dst, demand=f.density
+                )
+                commodity_of[f.id] = commodity
+            commodities.append(commodity)
         if session is not None:
-            solution = session.solve(commodities)
+            solution = session.solve(commodities, background=background)
+        elif not warm:
+            if array_solver:
+                solution = solver.solve(commodities, background=background)
+            else:
+                solution = solver.solve(commodities)
         else:
             solution = solver.solve(commodities, warm_start=previous)
             previous = solution

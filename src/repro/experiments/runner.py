@@ -32,6 +32,7 @@ from repro.experiments.ablations import (
     failure_ablation,
     online_ablation,
     lambda_ablation,
+    relax_replay_ablation,
     rounding_ablation,
     rounding_mode_ablation,
     sigma_ablation,
@@ -50,6 +51,7 @@ ABLATIONS: dict[str, Callable[..., Table]] = {
     "failures": failure_ablation,
     "online": online_ablation,
     "traces": trace_ablation,
+    "relax-replay": relax_replay_ablation,
 }
 
 

@@ -21,7 +21,16 @@ from repro.routing.paths import (
     marginal_route,
     marginal_route_reference,
 )
-from repro.routing.rounding import aggregate_path_weights, sample_path
+from repro.routing.rounding import (
+    ArrayPathWeights,
+    aggregate_path_weights,
+    aggregate_path_weights_array,
+    aggregate_path_weights_reference,
+    argmax_paths,
+    sample_path,
+    sample_path_reference,
+    sample_paths,
+)
 
 __all__ = [
     "EdgeCost",
@@ -35,8 +44,14 @@ __all__ = [
     "RelaxationSession",
     "decompose_flow",
     "decompose_solution",
+    "ArrayPathWeights",
     "aggregate_path_weights",
+    "aggregate_path_weights_array",
+    "aggregate_path_weights_reference",
+    "argmax_paths",
     "sample_path",
+    "sample_path_reference",
+    "sample_paths",
     "k_shortest_paths",
     "ecmp_paths",
     "ecmp_route",

@@ -1,6 +1,11 @@
 """Scheduling substrate: timelines, schedules, YDS, EDF."""
 
-from repro.scheduling.edf import EdfJob, edf_schedule
+from repro.scheduling.edf import (
+    EdfJob,
+    edf_schedule,
+    edf_schedule_arrays,
+    edf_schedule_reference,
+)
 from repro.scheduling.schedule import (
     EnergyBreakdown,
     FeasibilityReport,
@@ -25,6 +30,8 @@ from repro.scheduling.yds import (
 __all__ = [
     "EdfJob",
     "edf_schedule",
+    "edf_schedule_arrays",
+    "edf_schedule_reference",
     "Segment",
     "FlowSchedule",
     "Schedule",

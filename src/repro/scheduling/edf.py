@@ -12,6 +12,22 @@ intervals).
 EDF with preemption is optimal for feasibility on one resource, so if EDF
 misses a deadline the job set is genuinely infeasible and
 :class:`~repro.errors.InfeasibleError` is raised.
+
+Two engines live here.  :func:`edf_schedule_arrays` is the array-backed
+event sweep: the merged blocked segments compile once into sorted
+start/end/cumulative-measure arrays, every release and deadline maps into
+*available-time* coordinates in one vectorized pass (inside those
+coordinates the blocked segments vanish, so the sweep's only event axis
+is the sorted release array), and the executed runs map back to real
+time — splitting at the blocks they straddle — in one batched
+``searchsorted`` pass at the end.  :func:`edf_schedule_reference` is the
+retained scalar predecessor, which advances slice by slice through every
+block boundary; the dispatcher :func:`edf_schedule` keeps it for the
+small per-link queues that dominate Most-Critical-First rounds (NumPy
+call overhead would swamp them) and switches to the array engine above
+``_SCALAR_CUTOFF`` jobs.  ``tests/test_edf.py`` pins the pair on a
+dyadic-rational grid where both arithmetics are exact, so the engines
+must agree bit for bit.
 """
 
 from __future__ import annotations
@@ -22,12 +38,24 @@ from bisect import bisect_right
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
+import numpy as np
+
 from repro.errors import InfeasibleError, ValidationError
 from repro.scheduling.timeline import merge_segments
 
-__all__ = ["EdfJob", "edf_schedule"]
+__all__ = [
+    "EdfJob",
+    "edf_schedule",
+    "edf_schedule_arrays",
+    "edf_schedule_reference",
+]
 
 _EPS = 1e-9
+
+#: Job counts at or below this take the scalar reference engine: the
+#: array engine's fixed transform overhead (~a few numpy calls) would
+#: dominate the tiny per-link queues Most-Critical-First feeds it.
+_SCALAR_CUTOFF = 48
 
 
 @dataclass(frozen=True)
@@ -51,6 +79,244 @@ class EdfJob:
             )
 
 
+def edf_schedule(
+    jobs: Iterable[EdfJob],
+    blocked: Iterable[tuple[float, float]] = (),
+    tol: float = 1e-7,
+) -> dict[int | str, list[tuple[float, float]]]:
+    """Preemptive EDF over available (non-blocked) time.
+
+    Parameters
+    ----------
+    jobs:
+        Jobs to place; ids must be unique.
+    blocked:
+        Time segments unavailable to every job (need not be disjoint).
+    tol:
+        Deadline slack tolerated before declaring infeasibility; guards
+        against floating-point dust from upstream rate computations.
+
+    Returns
+    -------
+    dict
+        Job id -> list of disjoint ``(start, end)`` execution segments in
+        increasing order, with adjacent segments coalesced.
+
+    Raises
+    ------
+    InfeasibleError
+        If some job cannot finish by its deadline (EDF optimality makes
+        this a certificate of infeasibility).
+    """
+    job_list = list(jobs)
+    if len(job_list) <= _SCALAR_CUTOFF:
+        return edf_schedule_reference(job_list, blocked, tol)
+    return edf_schedule_arrays(job_list, blocked, tol)
+
+
+# ----------------------------------------------------------------------
+# Array engine: the sweep runs in available-time coordinates.
+# ----------------------------------------------------------------------
+def _to_available(
+    t: np.ndarray, bs: np.ndarray, be: np.ndarray, cum: np.ndarray
+) -> np.ndarray:
+    """Map real times to available-time coordinates (vectorized).
+
+    ``A(t)`` is the measure of unblocked time in ``[-inf, t]`` anchored so
+    ``A`` is the identity before the first block; times inside a block
+    collapse to the block start's coordinate.
+    """
+    if bs.size == 0:
+        return t
+    i = np.searchsorted(be, t, side="right")
+    upper = np.append(bs, np.inf)[i]
+    return np.minimum(t, upper) - cum[i]
+
+
+def edf_schedule_arrays(
+    jobs: Iterable[EdfJob],
+    blocked: Iterable[tuple[float, float]] = (),
+    tol: float = 1e-7,
+) -> dict[int | str, list[tuple[float, float]]]:
+    """The array-backed event sweep behind :func:`edf_schedule`.
+
+    Blocked time is removed up front: releases and deadlines transform
+    into available-time coordinates in one vectorized pass, the
+    preemptive sweep runs with the sorted release array as its only
+    boundary axis (no per-block slicing), and the executed runs transform
+    back — splitting at straddled blocks — in one batched pass.
+    """
+    job_list = list(jobs)
+    ids = [j.id for j in job_list]
+    if len(set(ids)) != len(ids):
+        raise ValidationError("EDF job ids must be unique")
+    if not job_list:
+        return {}
+
+    blocked_merged = merge_segments(blocked)
+    nb = len(blocked_merged)
+    bs = np.array([s for s, _ in blocked_merged])
+    be = np.array([e for _, e in blocked_merged])
+    # cum[i]: blocked measure strictly before block i; ab[i]: block i's
+    # start in available coordinates.
+    cum = np.zeros(nb + 1)
+    np.cumsum(be - bs, out=cum[1:])
+    ab = bs - cum[:-1]
+
+    # Reference admission order: (release, deadline, str(id)).  A() is
+    # monotone, so this order is also nondecreasing in transformed
+    # release, and heap ties resolve identically to the reference.
+    order = sorted(
+        range(len(job_list)),
+        key=lambda i: (
+            job_list[i].release,
+            job_list[i].deadline,
+            str(job_list[i].id),
+        ),
+    )
+    releases = np.array([job_list[i].release for i in order])
+    deadlines = np.array([job_list[i].deadline for i in order])
+    rel_a = _to_available(releases, bs, be, cum).tolist()
+    dl_a = _to_available(deadlines, bs, be, cum).tolist()
+    deadline_list = deadlines.tolist()
+    remaining = [job_list[i].duration for i in order]
+
+    heappush, heappop = heapq.heappush, heapq.heappop
+    ready: list[tuple[float, int, int]] = []  # (real deadline, seq, pos)
+    seq = 0
+    num_jobs = len(job_list)
+    release_idx = 0
+    finished = 0
+    t = rel_a[0]
+    inf = float("inf")
+    next_rel = t
+    runs: list[tuple[int, float, float]] = []  # (pos, avail start, avail end)
+    runs_append = runs.append
+
+    def real_time(a: float, side: str = "right") -> float:
+        """Back-map one available coordinate to real time.
+
+        On a block boundary ``side="right"`` resolves to the block's end
+        (a point the sweep is *at* while work remains) and ``side="left"``
+        to its start (a point a run just *finished* at).
+        """
+        return a + cum[np.searchsorted(ab, a, side=side)]
+
+    while finished < num_jobs:
+        if next_rel <= t + _EPS:
+            while release_idx < num_jobs and rel_a[release_idx] <= t + _EPS:
+                heappush(
+                    ready, (deadline_list[release_idx], seq, release_idx)
+                )
+                seq += 1
+                release_idx += 1
+            next_rel = rel_a[release_idx] if release_idx < num_jobs else inf
+
+        if not ready:
+            if next_rel == inf:
+                raise AssertionError(
+                    "EDF ran out of work with unfinished jobs"
+                )  # pragma: no cover
+            if next_rel > t:
+                t = next_rel
+            continue
+
+        pos = ready[0][2]
+        left = remaining[pos]
+        # Deadline verdicts are decided in *real* time: available-time
+        # distances only under-estimate real ones (A is 1-Lipschitz), so a
+        # job within tolerance in available coordinates can still sit far
+        # past its real deadline when a block follows it.  Any real
+        # violation has t >= dl_a (A is monotone), so the back-map is only
+        # paid on that rare branch.
+        if t > dl_a[pos] - _EPS and left > tol:
+            missed_at = real_time(t)
+            if missed_at > deadline_list[pos] + tol:
+                raise InfeasibleError(
+                    f"EDF: job {job_list[order[pos]].id!r} missed deadline "
+                    f"{deadline_list[pos]:g} (time {missed_at:g}, "
+                    f"{left:g} work left)"
+                )
+
+        run_end = t + left
+        if run_end > next_rel:
+            run_end = next_rel
+        runs_append((pos, t, run_end))
+        remaining[pos] = left = left - (run_end - t)
+        t = run_end
+
+        if left <= _EPS:
+            heappop(ready)
+            finished += 1
+            if t > dl_a[pos] - _EPS:
+                # side="left": the run *ended* here, so a boundary
+                # coordinate resolves to the block start, not its end.
+                finished_at = real_time(t, side="left")
+                if finished_at > deadline_list[pos] + tol:
+                    raise InfeasibleError(
+                        f"EDF: job {job_list[order[pos]].id!r} finished at "
+                        f"{finished_at:g} after its deadline "
+                        f"{deadline_list[pos]:g}"
+                    )
+
+    # Back-map every run to real time in one batched pass, splitting runs
+    # that straddle blocks (each straddled block cuts one piece boundary:
+    # piece ends at the block start, the next piece resumes at its end).
+    run_jobs, run_starts, run_ends = zip(*runs)
+    a0 = np.array(run_starts)
+    a1 = np.array(run_ends)
+    if nb:
+        j0 = np.searchsorted(ab, a0, side="right")
+        j1 = np.searchsorted(ab, a1, side="left")
+        counts = j1 - j0 + 1
+        total = int(counts.sum())
+        run_of = np.repeat(np.arange(a0.size), counts)
+        first = np.cumsum(counts) - counts
+        offset = np.arange(total) - first[run_of]
+        blk = j0[run_of] + offset
+        is_first = offset == 0
+        is_last = offset == counts[run_of] - 1
+        starts = np.where(
+            is_first,
+            a0[run_of] + cum[j0[run_of]],
+            be[np.maximum(blk - 1, 0)],
+        )
+        ends = np.where(
+            is_last,
+            a1[run_of] + cum[j1[run_of]],
+            bs[np.minimum(blk, nb - 1)],
+        )
+        keep = ends > starts  # zero-measure blocks cut nothing
+        run_of, starts, ends = run_of[keep], starts[keep], ends[keep]
+    else:
+        run_of, starts, ends = np.arange(a0.size), a0, a1
+
+    segments: dict[int | str, list[tuple[float, float]]] = {
+        j.id: [] for j in job_list
+    }
+    job_of_run = [job_list[order[pos]].id for pos in run_jobs]
+    for r, s, e in zip(run_of.tolist(), starts.tolist(), ends.tolist()):
+        segments[job_of_run[r]].append((s, e))
+    # Per-job pieces are already time-sorted and positive, so the
+    # reference's merge_segments collapses to one linear coalesce with
+    # the identical tolerance semantics.
+    out: dict[int | str, list[tuple[float, float]]] = {}
+    for jid, segs in segments.items():
+        merged: list[tuple[float, float]] = []
+        for piece in segs:
+            if merged and piece[0] <= merged[-1][1] + 1e-12:
+                prev = merged[-1]
+                if piece[1] > prev[1]:
+                    merged[-1] = (prev[0], piece[1])
+            else:
+                merged.append(piece)
+        out[jid] = merged
+    return out
+
+
+# ----------------------------------------------------------------------
+# Scalar reference engine (retained verbatim; the pinning oracle).
+# ----------------------------------------------------------------------
 def _next_free_time(
     t: float, blocked: Sequence[tuple[float, float]], cursor: int
 ) -> tuple[float, int]:
@@ -85,35 +351,12 @@ def _next_block_start(t: float, block_starts: Sequence[float]) -> float:
     return float("inf")
 
 
-def edf_schedule(
+def edf_schedule_reference(
     jobs: Iterable[EdfJob],
     blocked: Iterable[tuple[float, float]] = (),
     tol: float = 1e-7,
 ) -> dict[int | str, list[tuple[float, float]]]:
-    """Preemptive EDF over available (non-blocked) time.
-
-    Parameters
-    ----------
-    jobs:
-        Jobs to place; ids must be unique.
-    blocked:
-        Time segments unavailable to every job (need not be disjoint).
-    tol:
-        Deadline slack tolerated before declaring infeasibility; guards
-        against floating-point dust from upstream rate computations.
-
-    Returns
-    -------
-    dict
-        Job id -> list of disjoint ``(start, end)`` execution segments in
-        increasing order, with adjacent segments coalesced.
-
-    Raises
-    ------
-    InfeasibleError
-        If some job cannot finish by its deadline (EDF optimality makes
-        this a certificate of infeasibility).
-    """
+    """The scalar slice-by-slice EDF engine (see :func:`edf_schedule`)."""
     job_list = list(jobs)
     ids = [j.id for j in job_list]
     if len(set(ids)) != len(ids):

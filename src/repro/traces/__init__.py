@@ -19,6 +19,7 @@ from repro.traces.policies import (
     EpochDcfsPolicy,
     GreedyDensityPolicy,
     OnlineDensityPolicy,
+    RelaxationRoundingPolicy,
     ReplayPolicy,
     WindowContext,
 )
@@ -61,6 +62,7 @@ __all__ = [
     "GreedyDensityPolicy",
     "OnlineDensityPolicy",
     "EpochDcfsPolicy",
+    "RelaxationRoundingPolicy",
     "ReplayEngine",
     "ReplayReport",
 ]

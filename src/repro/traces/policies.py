@@ -8,7 +8,7 @@ carried across the boundary).  The policy returns one
 decisions are irrevocable, exactly like the online model in
 :mod:`repro.core.online`.
 
-Three policies span the clairvoyance spectrum:
+Four policies span the clairvoyance spectrum:
 
 * :class:`GreedyDensityPolicy` — static shortest paths, constant density
   rate; the load-oblivious strawman (and the fastest, for 100k-flow runs);
@@ -19,6 +19,12 @@ Three policies span the clairvoyance spectrum:
 * :class:`EpochDcfsPolicy` — per-epoch re-solve with the paper's optimal
   Most-Critical-First (Algorithm 1) over the window's flows on shortest
   paths; the "batch clairvoyant within the window" upper reference.
+* :class:`RelaxationRoundingPolicy` — Algorithm 2 in a window: the
+  F-MCF relaxation + randomized rounding pipeline run per epoch against
+  the committed background, with one persistent
+  :class:`~repro.routing.mcflow.RelaxationSession` carried across
+  windows through :attr:`WindowContext.carry` (commodity-set diffs as
+  flows enter and leave the horizon, instead of cold F-MCF solves).
 """
 
 from __future__ import annotations
@@ -31,11 +37,13 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.core.dcfs import solve_dcfs
-from repro.errors import InfeasibleError
+from repro.core.dcfsr import RelaxationPipeline
+from repro.errors import InfeasibleError, ValidationError
 from repro.flows.flow import Flow, FlowSet
 from repro.power.model import PowerModel
 from repro.routing.costs import envelope_cost
 from repro.routing.fastpath import FastRouter, LoadLedger
+from repro.routing.rounding import argmax_paths, sample_paths
 from repro.scheduling.schedule import FlowSchedule, Segment
 from repro.topology.base import Topology
 
@@ -45,6 +53,7 @@ __all__ = [
     "GreedyDensityPolicy",
     "OnlineDensityPolicy",
     "EpochDcfsPolicy",
+    "RelaxationRoundingPolicy",
 ]
 
 
@@ -64,6 +73,13 @@ class WindowContext:
         :meth:`Topology.edge_id` — the reservations earlier windows
         carried across this boundary.  Computed lazily on first access,
         so load-oblivious policies never pay for it.
+    carry:
+        One mutable dict per replay run, handed to every window's
+        context in order: whatever a policy stashes here in window ``k``
+        (a warm relaxation session, committed-route summaries) is
+        exactly what it finds in window ``k + 1``.  The engine creates a
+        fresh dict per :meth:`~repro.traces.replay.ReplayEngine.run`, so
+        carried state can never leak across runs.
     """
 
     topology: Topology
@@ -71,6 +87,7 @@ class WindowContext:
     start: float
     end: float
     background_fn: Callable[[], np.ndarray] = field(repr=False)
+    carry: dict = field(default_factory=dict, repr=False)
 
     @cached_property
     def background(self) -> np.ndarray:
@@ -252,3 +269,121 @@ class EpochDcfsPolicy(_PathCacheMixin, ReplayPolicy):
         super().reset()
         self.fallbacks = 0
         self._greedy.reset()
+
+
+#: Key under which the relaxation policy stashes its warm pipeline in
+#: :attr:`WindowContext.carry`.
+_RELAXATION_CARRY = "relaxation_pipeline"
+
+
+class RelaxationRoundingPolicy(ReplayPolicy):
+    """Algorithm 2 in a window: F-MCF relaxation + randomized rounding.
+
+    Each window's arrivals form an offline DCFSR instance (their spans
+    may stretch far past the window): the policy sweeps the window's
+    elementary intervals through the Frank–Wolfe relaxation, aggregates
+    every flow's ``w_bar`` in registry-id space, draws one route per flow
+    in a single batched sampling pass, and commits each flow at its
+    density over its whole span — so deadlines are met by construction,
+    exactly like the offline Random-Schedule.
+
+    Streaming specifics:
+
+    * **Warm windows** (default): one
+      :class:`~repro.core.dcfsr.RelaxationPipeline` — solver, path
+      registry, walk caches, and the
+      :class:`~repro.routing.mcflow.RelaxationSession` — persists across
+      windows via :attr:`WindowContext.carry`.  Every F-MCF solve of the
+      replay, across intervals *and* windows, is a commodity-set diff on
+      the carried state: flows entering the horizon pay an
+      all-or-nothing seed, flows leaving drop their rows.
+      ``warm_windows=False`` forces the benchmark baseline: a fresh
+      pipeline per window and a cold F-MCF solve per interval.
+    * **Committed background**: the engine's carried reservations enter
+      the relaxation as fixed per-edge background loads (the window-mean
+      vector, the same approximation :class:`OnlineDensityPolicy`
+      documents), so new flows route around traffic committed by earlier
+      windows.  ``use_background=False`` solves each window in isolation
+      (cross-window stacking is still charged honestly by the engine).
+    * **Drift accounting**: :attr:`max_weight_drift` tracks the worst
+      pre-normalization deviation of any flow's aggregated ``w_bar``
+      from 1 seen this run; the engine surfaces it on
+      :meth:`~repro.traces.replay.ReplayReport.summary`.
+    """
+
+    name = "Relax+Round"
+
+    def __init__(
+        self,
+        seed: int = 0,
+        fw_max_iterations: int = 60,
+        fw_gap_tolerance: float = 1e-3,
+        warm_windows: bool = True,
+        use_background: bool = True,
+        rounding: str = "random",
+    ) -> None:
+        if rounding not in ("random", "deterministic"):
+            raise ValidationError(f"unknown rounding mode {rounding!r}")
+        self._seed = seed
+        self._fw_max_iterations = fw_max_iterations
+        self._fw_gap_tolerance = fw_gap_tolerance
+        self._warm = warm_windows
+        self._use_background = use_background
+        self._rounding = rounding
+        self._rng = np.random.default_rng(seed)
+        self.max_weight_drift = 0.0
+        self.windows_solved = 0
+
+    def _pipeline(self, ctx: WindowContext) -> RelaxationPipeline:
+        pipeline = ctx.carry.get(_RELAXATION_CARRY) if self._warm else None
+        if (
+            pipeline is None
+            or pipeline.topology is not ctx.topology
+            or pipeline.power is not ctx.power
+        ):
+            pipeline = RelaxationPipeline(
+                ctx.topology,
+                ctx.power,
+                max_iterations=self._fw_max_iterations,
+                gap_tolerance=self._fw_gap_tolerance,
+            )
+            if self._warm:
+                ctx.carry[_RELAXATION_CARRY] = pipeline
+        return pipeline
+
+    def schedule_window(
+        self, flows: Sequence[Flow], ctx: WindowContext
+    ) -> list[FlowSchedule]:
+        pipeline = self._pipeline(ctx)
+        flow_set = FlowSet(flows)
+        background = ctx.background if self._use_background else None
+        relaxation = pipeline.solve(
+            flow_set, background=background, warm=self._warm
+        )
+        weights = pipeline.weights(flow_set, relaxation)
+        if weights.max_drift > self.max_weight_drift:
+            self.max_weight_drift = weights.max_drift
+        if self._rounding == "deterministic":
+            paths = argmax_paths(weights)
+        else:
+            paths = sample_paths(weights, self._rng)
+        self.windows_solved += 1
+        return [
+            FlowSchedule(
+                flow=flow,
+                path=path,
+                segments=(
+                    Segment(
+                        start=flow.release,
+                        end=flow.deadline,
+                        rate=flow.density,
+                    ),
+                ),
+            )
+            for flow, path in zip(flows, paths)
+        ]
+
+    def reset(self) -> None:
+        self._rng = np.random.default_rng(self._seed)
+        self.max_weight_drift = 0.0
+        self.windows_solved = 0

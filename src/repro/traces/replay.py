@@ -70,6 +70,9 @@ class ReplayReport:
     policy_fallbacks: int
     max_resident_segments: int
     max_window_arrivals: int
+    #: Worst pre-normalization deviation of any flow's aggregated rounding
+    #: distribution from 1 (relaxation policies only; 0.0 otherwise).
+    max_weight_drift: float = 0.0
     schedules: list[FlowSchedule] | None = field(default=None, repr=False)
 
     @property
@@ -95,13 +98,16 @@ class ReplayReport:
         return self.volume_delivered / self.horizon_length
 
     def summary(self) -> str:
-        return (
+        text = (
             f"{self.policy}: {self.flows_served}/{self.flows_seen} flows over "
             f"{self.windows} windows, miss rate {self.miss_rate:.4f}, "
             f"energy {self.total_energy:.6g} "
             f"(idle {self.idle_energy:.6g} + dynamic {self.dynamic_energy:.6g}), "
             f"peak link rate {self.peak_link_rate:.4g}"
         )
+        if self.max_weight_drift > 0.0:
+            text += f", max w_bar drift {self.max_weight_drift:.3g}"
+        return text
 
 
 class ReplayEngine:
@@ -153,6 +159,10 @@ class ReplayEngine:
         live: dict[Edge, list[_Piece]] = {}
         active_links: set[Edge] = set()
         kept: list[FlowSchedule] | None = [] if self._keep else None
+        # One dict per run, threaded through every WindowContext so a
+        # policy's warm state (e.g. a relaxation session) survives window
+        # boundaries but never a run boundary.
+        carry: dict = {}
 
         # Global energy sweep state: one (time, edge_id, rate_delta) heap,
         # plus each link's current stacked rate and last event time.
@@ -207,6 +217,7 @@ class ReplayEngine:
                 start=start,
                 end=end,
                 background_fn=lambda: self._background(live, start, end),
+                carry=carry,
             )
             by_id = {flow.id: flow for flow in arrivals}
             if len(by_id) != len(arrivals):
@@ -373,6 +384,9 @@ class ReplayEngine:
             policy_fallbacks=getattr(self._policy, "fallbacks", 0),
             max_resident_segments=max_resident,
             max_window_arrivals=max_window_arrivals,
+            max_weight_drift=float(
+                getattr(self._policy, "max_weight_drift", 0.0)
+            ),
             schedules=kept,
         )
 

@@ -166,6 +166,77 @@ class TestDeterministicRounding:
         assert rnd.energy.total <= 2 * det.energy.total
 
 
+class TestArrayRoundingPinned:
+    """The array rounding loop pinned to the retained dict reference."""
+
+    @pytest.fixture(scope="class")
+    def relaxed(self):
+        from repro.core.relaxation import default_cost, solve_relaxation
+        from repro.flows import paper_workload
+        from repro.flows.intervals import TimeGrid
+        from repro.routing import FrankWolfeSolver
+
+        topo = fat_tree(4)
+        power = PowerModel.quadratic()
+        flows = paper_workload(topo, 40, seed=5)
+        solver = FrankWolfeSolver(topo, default_cost(power))
+        return flows, solve_relaxation(flows, solver, TimeGrid(flows))
+
+    def test_random_draws_identical(self, relaxed):
+        import numpy as np
+
+        from repro.core import round_schedule, round_schedule_reference
+
+        flows, relaxation = relaxed
+        for seed in (0, 7, 123):
+            array_schedule, array_weights = round_schedule(
+                flows, relaxation, np.random.default_rng(seed)
+            )
+            ref_schedule, ref_weights = round_schedule_reference(
+                flows, relaxation, np.random.default_rng(seed)
+            )
+            assert array_schedule.paths() == ref_schedule.paths()
+            for fid, reference in ref_weights.items():
+                for path, value in reference.items():
+                    assert array_weights[fid][path] == pytest.approx(
+                        value, abs=1e-12
+                    )
+
+    def test_deterministic_mode_identical(self, relaxed):
+        from repro.core import (
+            round_schedule_deterministic,
+            round_schedule_deterministic_reference,
+        )
+
+        flows, relaxation = relaxed
+        array_schedule, _ = round_schedule_deterministic(flows, relaxation)
+        ref_schedule, _ = round_schedule_deterministic_reference(
+            flows, relaxation
+        )
+        assert array_schedule.paths() == ref_schedule.paths()
+
+    def test_reference_solver_falls_back_to_dict_loop(self):
+        """Solutions without array views still round via the dict path."""
+        import numpy as np
+
+        from repro.core import round_schedule
+        from repro.core.relaxation import default_cost, solve_relaxation
+        from repro.flows import paper_workload
+        from repro.routing import FrankWolfeSolverReference
+
+        topo = fat_tree(4)
+        power = PowerModel.quadratic()
+        flows = paper_workload(topo, 8, seed=2)
+        reference = FrankWolfeSolverReference(topo, default_cost(power))
+        relaxation = solve_relaxation(flows, reference)
+        schedule, weights = round_schedule(
+            flows, relaxation, np.random.default_rng(0)
+        )
+        assert len(list(schedule)) == len(flows)
+        for fid, w_bar in weights.items():
+            assert sum(w_bar.values()) == pytest.approx(1.0)
+
+
 class TestQualitativeShape:
     def test_rs_beats_sp_mcf_on_paper_workload(self, quadratic):
         """The headline Figure-2 relation at a modest scale."""

@@ -42,6 +42,11 @@ class TestFastExamples:
         assert "sliding-horizon replay" in out
         assert "Online+Density" in out and "Epoch-DCFS" in out
 
+    def test_relaxation_replay_beats_greedy(self, capsys):
+        out = run_example("relaxation_replay", capsys)
+        assert "Relax+Round" in out and "Greedy+Density" in out
+        assert "of the greedy energy" in out
+
     def test_example_files_exist(self):
         expected = {
             "quickstart.py",
@@ -51,6 +56,7 @@ class TestFastExamples:
             "hardness_demo.py",
             "online_vs_offline.py",
             "trace_replay.py",
+            "relaxation_replay.py",
         }
         present = {p.name for p in EXAMPLES.glob("*.py")}
         assert expected <= present

@@ -344,3 +344,135 @@ class TestCurvature:
         if np.isfinite(power.capacity):
             kink |= np.abs(xs - power.capacity) < 10 * h
         assert analytic[~kink] == pytest.approx(numeric[~kink], rel=1e-4)
+
+
+class TestBackgroundLoads:
+    """Fixed background loads: the commodities route *around* committed
+    traffic while path flows still conserve each commodity's demand."""
+
+    def test_zero_background_is_identity(self):
+        topology = fat_tree(4)
+        commodities = make_commodities(topology, 8, seed=5)
+        cost = envelope_cost(PowerModel.quadratic())
+        plain = FrankWolfeSolver(topology, cost, gap_tolerance=GAP).solve(
+            commodities
+        )
+        zeros = FrankWolfeSolver(topology, cost, gap_tolerance=GAP).solve(
+            commodities, background=np.zeros(topology.num_edges)
+        )
+        assert plain.objective == zeros.objective
+        assert np.array_equal(plain.link_loads, zeros.link_loads)
+        assert plain.path_flows[commodities[0].id] == zeros.path_flows[
+            commodities[0].id
+        ]
+
+    def test_congested_edges_avoided(self):
+        topology = fat_tree(4)
+        commodities = make_commodities(topology, 8, seed=5)
+        cost = envelope_cost(PowerModel.quadratic())
+        plain = FrankWolfeSolver(topology, cost, gap_tolerance=GAP).solve(
+            commodities
+        )
+        # Saturate the core edges of one commodity's heaviest path; its
+        # equal-cost alternatives stay free, so the loaded solve must
+        # steer most traffic off the hot edges.
+        arrays = plain.arrays
+        rows = arrays.rows_for(commodities[0].id)
+        top = rows[int(np.argmax(arrays.amounts[rows]))]
+        hosts = set(topology.hosts)
+        path = arrays.registry.path(int(arrays.path_ids[top]))
+        background = np.zeros(topology.num_edges)
+        for u, v in zip(path, path[1:]):
+            if u in hosts or v in hosts:
+                continue  # forced first/last hops cannot move
+            background[topology.edge_id(tuple(sorted((u, v))))] = 50.0
+        assert background.any()
+        loaded = FrankWolfeSolver(topology, cost, gap_tolerance=GAP).solve(
+            commodities, background=background
+        )
+        assert_solution_consistent(loaded, commodities, topology)
+        hot = background > 0
+        assert loaded.link_loads[hot].sum() < plain.link_loads[hot].sum() * 0.5
+
+    def test_background_not_carried_across_session_solves(self):
+        topology = fat_tree(4)
+        commodities = make_commodities(topology, 6, seed=9)
+        cost = envelope_cost(PowerModel.quadratic())
+        solver = FrankWolfeSolver(topology, cost, gap_tolerance=GAP)
+        session = RelaxationSession(solver)
+        background = np.full(topology.num_edges, 3.0)
+        with_bg = session.solve(commodities, background=background)
+        without = session.solve(commodities)
+        # The second solve sees no background: its objective is evaluated
+        # at the commodity loads alone, far below the shifted one.
+        assert without.objective < with_bg.objective
+        assert solver._background is None
+
+    def test_background_validation(self):
+        topology = fat_tree(4)
+        commodities = make_commodities(topology, 4, seed=1)
+        cost = envelope_cost(PowerModel.quadratic())
+        solver = FrankWolfeSolver(topology, cost)
+        with pytest.raises(ValidationError):
+            solver.solve(commodities, background=np.zeros(3))
+        with pytest.raises(ValidationError):
+            solver.solve(
+                commodities, background=np.full(topology.num_edges, -1.0)
+            )
+
+    def test_reference_solver_rejects_background_in_sweep(self):
+        from repro.core.relaxation import solve_relaxation
+        from repro.flows.workloads import paper_workload
+
+        topology = fat_tree(4)
+        flows = paper_workload(topology, 6, seed=0)
+        reference = FrankWolfeSolverReference(
+            topology, envelope_cost(PowerModel.quadratic())
+        )
+        with pytest.raises(ValidationError):
+            solve_relaxation(
+                flows, reference, background=np.zeros(topology.num_edges)
+            )
+
+
+class TestCertificationTailTrim:
+    """The tail trim must change batch counts, not certified answers."""
+
+    @pytest.mark.parametrize(
+        "kind,seed", [("fat_tree", 0), ("jellyfish", 2)]
+    )
+    def test_same_certified_bound(self, kind, seed):
+        topology = make_topology(kind, seed)
+        commodities = make_commodities(topology, 20, seed=seed)
+        cost = envelope_cost(PowerModel.quadratic())
+        trimmed = FrankWolfeSolver(
+            topology, cost, max_iterations=500, gap_tolerance=1e-3,
+            tail_trim=True,
+        ).solve(commodities)
+        plain = FrankWolfeSolver(
+            topology, cost, max_iterations=500, gap_tolerance=1e-3,
+            tail_trim=False,
+        ).solve(commodities)
+        # Both certify the configured gap, and the certified bounds agree
+        # within it (the trim only reorders primal work between batches).
+        assert trimmed.relative_gap <= 1e-3 + 1e-12
+        assert plain.relative_gap <= 1e-3 + 1e-12
+        assert trimmed.lower_bound == pytest.approx(
+            plain.lower_bound, rel=1e-3
+        )
+        assert trimmed.lower_bound <= plain.objective + 1e-9
+        assert plain.lower_bound <= trimmed.objective + 1e-9
+
+    def test_trim_matches_reference_solver(self):
+        topology = fat_tree(4)
+        commodities = make_commodities(topology, 16, seed=4)
+        cost = envelope_cost(PowerModel.quadratic())
+        trimmed = FrankWolfeSolver(
+            topology, cost, max_iterations=500, gap_tolerance=GAP,
+            tail_trim=True,
+        ).solve(commodities)
+        reference = FrankWolfeSolverReference(
+            topology, cost, max_iterations=500, gap_tolerance=GAP
+        ).solve(commodities)
+        assert_objectives_agree(trimmed, reference)
+        assert_solution_consistent(trimmed, commodities, topology)
