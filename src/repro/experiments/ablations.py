@@ -45,8 +45,10 @@ from repro.topology.base import Topology
 from repro.traces import (
     EpochDcfsPolicy,
     GreedyDensityPolicy,
+    LeastLoadedPolicy,
     OnlineDensityPolicy,
     PoissonProcess,
+    PowerOfTwoPolicy,
     RelaxationRoundingPolicy,
     ReplayEngine,
     TraceSpec,
@@ -256,13 +258,17 @@ def trace_ablation(
     seed: int = 0,
     jobs: int = 1,
 ) -> Table:
-    """ABL-TRACE: one Poisson trace replayed under three serving policies.
+    """ABL-TRACE: one Poisson trace replayed under five serving policies.
 
     Unlike the offline ablations (which normalize by the fractional lower
     bound of each drawn instance), this is a *streaming* comparison: every
     policy sees the identical arrival trace through the sliding-horizon
     engine and the table reports what the replay actually measured —
     deadline-miss rate, total energy, and the peak stacked link rate.
+    The grid includes the two O(1) switch-lineage baselines
+    (power-of-two-choices and least-loaded over k shortest candidates) so
+    the marginal-cost and clairvoyant policies are judged against what a
+    load-balancing fabric would do with no energy model at all.
     """
     topology = fat_tree(fat_tree_k)
     power = PowerModel.quadratic()
@@ -279,7 +285,13 @@ def trace_ablation(
             "policy", "flows", "windows", "miss rate", "energy", "peak rate",
         ),
     )
-    policies = (OnlineDensityPolicy(), EpochDcfsPolicy(), GreedyDensityPolicy())
+    policies = (
+        OnlineDensityPolicy(),
+        EpochDcfsPolicy(),
+        GreedyDensityPolicy(),
+        PowerOfTwoPolicy(seed=seed),
+        LeastLoadedPolicy(),
+    )
 
     def one(index: int):
         policy = policies[index]

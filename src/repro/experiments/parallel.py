@@ -24,6 +24,11 @@ serial counterpart.
 a fork-inherited semaphore caps the number of tasks *executing* at once
 — one shared pool of execution slots, so tail ablations queue work the
 moment a slot frees instead of idling behind earlier ablations.
+
+:class:`WorkerGroup` is the *stateful* counterpart for long-lived
+services: one process per worker, built once and messaged many times,
+each owning durable state (a warm relaxation session per topology shard)
+that a stateless pool would have to rebuild on every call.
 """
 
 from __future__ import annotations
@@ -41,6 +46,7 @@ __all__ = [
     "grouped_map",
     "available_parallelism",
     "worker_slots",
+    "WorkerGroup",
 ]
 
 T = TypeVar("T")
@@ -149,6 +155,177 @@ def parallel_map(
             pool.terminate()
     finally:
         del _WORK[token]
+
+
+#: Parent-side registry of WorkerGroup state factories (fork-inherited).
+_GROUP_WORK: dict[int, Callable[[int], Callable]] = {}
+
+_STOP = "__worker_group_stop__"
+
+
+def _group_worker_main(token: int, index: int, conn) -> None:
+    """Worker process body: build state post-fork, then serve messages.
+
+    Runs until the parent sends the stop sentinel or the pipe closes.
+    Exceptions inside the handler are shipped back as ``("err", repr,
+    traceback_text)`` instead of killing the worker, so one poisoned
+    window does not take the whole service down.
+    """
+    # pragma: no cover — executes in the forked child.
+    import traceback
+
+    try:
+        handler = _GROUP_WORK[token](index)
+    except BaseException as exc:  # noqa: BLE001 - report builder failures
+        conn.send(("err", repr(exc), traceback.format_exc()))
+        conn.close()
+        return
+    conn.send(("ok", None))  # handshake: state built
+    while True:
+        try:
+            msg = conn.recv()
+        except EOFError:
+            break
+        if msg == _STOP:
+            break
+        try:
+            conn.send(("ok", handler(msg)))
+        except BaseException as exc:  # noqa: BLE001 - ship, don't die
+            conn.send(("err", repr(exc), traceback.format_exc()))
+    conn.close()
+
+
+class WorkerGroup:
+    """``n`` long-lived workers, each owning durable per-worker state.
+
+    Unlike :func:`parallel_map` (stateless fan-out, fresh pool per call)
+    a worker group keeps one process per worker alive across any number
+    of messages, so state that is expensive to warm — a
+    :class:`~repro.routing.mcflow.RelaxationSession` mid-replay — lives
+    where the work happens.  ``factory(i)`` is called *inside* worker
+    ``i`` right after the fork and returns the message handler; the
+    factory itself is inherited through the same fork-time registry as
+    :func:`parallel_map` tasks, so closures over topologies and power
+    models never cross a pipe — only messages and results do.
+
+    :meth:`submit` is asynchronous (returns immediately);
+    :meth:`collect` blocks for that worker's next pending result.
+    Submitting to several workers before collecting any is what overlaps
+    their work — the sharded replay engine's window pipelining.
+
+    On platforms without ``fork`` (or nested inside a daemonic pool
+    worker) the group degrades to in-process handlers with a per-worker
+    result queue: submissions execute immediately in :meth:`submit`, so
+    results and their ordering are identical, just serial.
+    """
+
+    def __init__(self, factory: Callable[[int], Callable], n: int) -> None:
+        if n < 1:
+            raise ValidationError(f"worker group needs n >= 1, got {n}")
+        self._n = n
+        self._pending = [0] * n
+        self._closed = False
+        self._serial = (
+            mp.get_start_method() != "fork" or mp.current_process().daemon
+        )
+        if self._serial:
+            self._handlers = [factory(i) for i in range(n)]
+            self._results: list[list] = [[] for _ in range(n)]
+            return
+        token = next(_TOKENS)
+        _GROUP_WORK[token] = factory
+        ctx = mp.get_context("fork")
+        self._conns = []
+        self._procs = []
+        try:
+            with _POOL_CREATE_LOCK:
+                for index in range(n):
+                    parent_conn, child_conn = ctx.Pipe()
+                    proc = ctx.Process(
+                        target=_group_worker_main,
+                        args=(token, index, child_conn),
+                        daemon=True,
+                    )
+                    proc.start()
+                    child_conn.close()
+                    self._conns.append(parent_conn)
+                    self._procs.append(proc)
+        finally:
+            del _GROUP_WORK[token]
+        for index, conn in enumerate(self._conns):
+            self._receive(index, conn.recv())  # factory handshake
+
+    @property
+    def serial(self) -> bool:
+        """True when the group runs in-process (no fork available)."""
+        return self._serial
+
+    def _receive(self, index: int, reply):
+        status, *rest = reply
+        if status == "err":
+            detail, tb = rest
+            raise RuntimeError(
+                f"worker {index} failed: {detail}\n{tb}"
+            )
+        return rest[0]
+
+    def submit(self, index: int, msg) -> None:
+        """Queue ``msg`` for worker ``index`` (non-blocking)."""
+        if self._closed:
+            raise ValidationError("worker group is closed")
+        self._pending[index] += 1
+        if self._serial:
+            self._results[index].append(self._handlers[index](msg))
+        else:
+            self._conns[index].send(msg)
+
+    def collect(self, index: int):
+        """Block for worker ``index``'s oldest pending result."""
+        if self._pending[index] <= 0:
+            raise ValidationError(f"worker {index} has no pending work")
+        self._pending[index] -= 1
+        if self._serial:
+            return self._results[index].pop(0)
+        return self._receive(index, self._conns[index].recv())
+
+    def broadcast(self, msg) -> list:
+        """Send ``msg`` to every worker and collect all replies in order."""
+        for index in range(self._n):
+            self.submit(index, msg)
+        return [self.collect(index) for index in range(self._n)]
+
+    def close(self) -> None:
+        """Stop every worker (idempotent); pending results are dropped."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._serial:
+            self._handlers = []
+            self._results = []
+            return
+        for conn in self._conns:
+            try:
+                conn.send(_STOP)
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+        for conn in self._conns:
+            conn.close()
+
+    def __enter__(self) -> "WorkerGroup":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
 
 
 def grouped_map(

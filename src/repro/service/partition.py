@@ -1,0 +1,305 @@
+"""Topology partitioning for the sharded streaming-replay service.
+
+A partition splits the fabric into *shards* along its natural locality
+boundaries — fat-tree pods and leaf-spine leaves, read from
+:attr:`~repro.topology.base.Topology.node_groups` — or, for fabrics
+without annotated groups (jellyfish, random graphs), along a greedy
+balanced edge cut grown by multi-source BFS.  Each shard is a real
+:class:`~repro.topology.base.Topology` (the induced subgraph on the
+shard's nodes), so the whole relaxation stack runs on it unchanged; an
+``edge_map`` translates shard-local edge ids back to the parent's dense
+edge-id space, which is how per-shard background-load vectors and the
+parent's global commitment ledger exchange state.
+
+Links that belong to no shard (pod-to-core, leaf-to-spine, cut edges)
+form the **boundary-link set**: the only part of the fabric on which
+shards can interact.  A flow whose endpoints share a shard *and* a
+connected component of that shard's subgraph is *intra-shard* — it can be
+solved locally, it can never load a boundary link.  Every other flow is
+*cross-shard* and must be routed on the boundary-aware global view.
+
+When the requested shard count is smaller than the number of natural
+groups, whole groups are merged greedily into host-balanced shards; a
+merged shard's subgraph may then be disconnected (two fat-tree pods only
+meet at the core), which is why intra-shard assignment checks components,
+not just shard membership.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import TopologyError, ValidationError
+from repro.flows.flow import Flow
+from repro.topology.base import HOST, Topology
+
+__all__ = ["Shard", "TopologyPartition", "partition_topology"]
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One partition cell: an induced sub-topology plus its id mappings.
+
+    Attributes
+    ----------
+    index:
+        Position of this shard in the partition (dense, from 0).
+    topology:
+        The induced subgraph on the shard's nodes, as a standalone
+        :class:`Topology` (host/switch kinds preserved).  May be
+        disconnected when natural groups were merged.
+    groups:
+        The natural group labels merged into this shard (one label for
+        greedy-cut shards).
+    edge_map:
+        ``int64[shard.topology.num_edges]`` — shard-local edge id to
+        parent edge id.  ``parent_vector[edge_map]`` restricts any dense
+        per-edge vector to this shard.
+    """
+
+    index: int
+    topology: Topology
+    groups: tuple[str, ...]
+    edge_map: np.ndarray = field(repr=False)
+
+    @property
+    def num_hosts(self) -> int:
+        return len(self.topology.hosts)
+
+
+@dataclass(frozen=True)
+class TopologyPartition:
+    """A sharding of one topology, with flow-to-shard assignment.
+
+    ``node_component`` maps every sharded node to its
+    ``(shard index, component index)`` — backbone nodes are absent.  Two
+    endpoints solve locally iff they map to the same pair.
+    """
+
+    topology: Topology
+    shards: tuple[Shard, ...]
+    #: Parent edge ids of links in no shard (pod-core / leaf-spine / cut
+    #: links) — the only links on which shards interact.
+    boundary_edge_ids: np.ndarray = field(repr=False)
+    node_component: dict[str, tuple[int, int]] = field(repr=False)
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    def shard_of(self, flow: Flow) -> int | None:
+        """The shard that can solve ``flow`` locally, else None.
+
+        Local solvability requires both endpoints in the same connected
+        component of one shard's subgraph; everything else (backbone
+        endpoints, merged-but-disconnected pods) is cross-shard.
+        """
+        src = self.node_component.get(flow.src)
+        if src is None:
+            return None
+        return src[0] if src == self.node_component.get(flow.dst) else None
+
+    def describe(self) -> str:
+        """One-line human summary used by reports and examples."""
+        sizes = ", ".join(
+            f"{s.num_hosts}h/{s.topology.num_edges}e" for s in self.shards
+        )
+        return (
+            f"{self.num_shards} shards ({sizes}), "
+            f"{len(self.boundary_edge_ids)} boundary links"
+        )
+
+
+def _natural_groups(topology: Topology) -> dict[str, list[str]]:
+    """Group label -> sorted member nodes, from topology metadata."""
+    members: dict[str, list[str]] = {}
+    for node in topology.nodes:  # sorted, so member lists are sorted
+        label = topology.node_groups.get(node)
+        if label is not None:
+            members.setdefault(label, []).append(node)
+    return members
+
+
+def _greedy_edge_cut(
+    topology: Topology, num_shards: int
+) -> dict[str, list[str]]:
+    """Balanced multi-source BFS regions for unannotated fabrics.
+
+    Seeds are hosts spread evenly through the sorted host list; regions
+    claim unclaimed neighbors one frontier layer per round, in region
+    order, which keeps them connected and roughly host-balanced without
+    any randomness.  Edges between regions become boundary links.
+    """
+    hosts = topology.hosts
+    if num_shards > len(hosts):
+        raise ValidationError(
+            f"cannot cut {len(hosts)} hosts into {num_shards} shards"
+        )
+    seeds = [
+        hosts[(i * len(hosts)) // num_shards] for i in range(num_shards)
+    ]
+    owner: dict[str, int] = {seed: r for r, seed in enumerate(seeds)}
+    # Round-robin, one claim per region per turn: regions stay connected
+    # (every claim is adjacent to the region) and balanced to within one
+    # node until a region's reachable space runs out.
+    queues: list[deque[str]] = [deque([seed]) for seed in seeds]
+    progressed = True
+    while progressed:
+        progressed = False
+        for region in range(num_shards):
+            queue = queues[region]
+            while queue:
+                node = queue[0]
+                unclaimed = next(
+                    (
+                        nbr
+                        for nbr in sorted(topology.neighbors(node))
+                        if nbr not in owner
+                    ),
+                    None,
+                )
+                if unclaimed is None:
+                    queue.popleft()
+                    continue
+                owner[unclaimed] = region
+                queue.append(unclaimed)
+                progressed = True
+                break
+    groups: dict[str, list[str]] = {
+        f"cut{r:02d}": [] for r in range(num_shards)
+    }
+    for node in topology.nodes:
+        region = owner.get(node)
+        if region is not None:
+            groups[f"cut{region:02d}"].append(node)
+    return {label: nodes for label, nodes in groups.items() if nodes}
+
+
+def _merge_groups(
+    groups: dict[str, list[str]], num_shards: int
+) -> list[tuple[tuple[str, ...], list[str]]]:
+    """Merge natural groups into ``num_shards`` host-balanced bins.
+
+    Groups are taken largest-first and always land in the currently
+    lightest bin (greedy balanced partition); bin order follows each
+    bin's first group label so the result is deterministic.
+    """
+    labels = sorted(groups, key=lambda g: (-len(groups[g]), g))
+    bins: list[list[str]] = [[] for _ in range(num_shards)]
+    weights = [0] * num_shards
+    for label in labels:
+        lightest = min(range(num_shards), key=lambda b: (weights[b], b))
+        bins[lightest].append(label)
+        weights[lightest] += len(groups[label])
+    merged = []
+    for bin_labels in bins:
+        bin_labels.sort()
+        nodes = sorted(n for label in bin_labels for n in groups[label])
+        merged.append((tuple(bin_labels), nodes))
+    merged.sort(key=lambda entry: entry[0])
+    return merged
+
+
+def _components(topology: Topology) -> dict[str, int]:
+    """Node -> connected-component index (deterministic BFS labelling)."""
+    component: dict[str, int] = {}
+    next_id = 0
+    for node in topology.nodes:
+        if node in component:
+            continue
+        component[node] = next_id
+        frontier = [node]
+        while frontier:
+            nxt: list[str] = []
+            for cur in frontier:
+                for nbr in sorted(topology.neighbors(cur)):
+                    if nbr not in component:
+                        component[nbr] = next_id
+                        nxt.append(nbr)
+            frontier = nxt
+        next_id += 1
+    return component
+
+
+def partition_topology(
+    topology: Topology, num_shards: int | None = None
+) -> TopologyPartition:
+    """Split ``topology`` into shards along its natural boundaries.
+
+    Parameters
+    ----------
+    topology:
+        The fabric to shard.  Fabrics with
+        :attr:`~repro.topology.base.Topology.node_groups` metadata
+        (fat-tree pods, leaf-spine leaves) split on those groups; others
+        fall back to the greedy BFS edge cut, which requires
+        ``num_shards``.
+    num_shards:
+        Desired shard count.  None keeps one shard per natural group.
+        Fewer shards than groups merges whole groups (host-balanced);
+        more shards than groups is capped at the group count (a natural
+        group is never split).
+    """
+    if num_shards is not None and num_shards < 1:
+        raise ValidationError(f"num_shards must be >= 1, got {num_shards}")
+    groups = _natural_groups(topology)
+    if groups:
+        if num_shards is None or num_shards >= len(groups):
+            merged = [
+                ((label,), sorted(groups[label])) for label in sorted(groups)
+            ]
+        else:
+            merged = _merge_groups(groups, num_shards)
+    else:
+        if num_shards is None:
+            raise ValidationError(
+                f"topology {topology.name!r} has no natural group metadata; "
+                "pass num_shards for the greedy edge-cut fallback"
+            )
+        cut = _greedy_edge_cut(topology, num_shards)
+        merged = [((label,), sorted(cut[label])) for label in sorted(cut)]
+
+    shards: list[Shard] = []
+    node_component: dict[str, tuple[int, int]] = {}
+    sharded_edges: set[int] = set()
+    for index, (labels, nodes) in enumerate(merged):
+        node_set = set(nodes)
+        subgraph = topology.graph.subgraph(node_set).copy()
+        sub = Topology(
+            subgraph,
+            name=f"{topology.name}/shard{index}",
+            groups={
+                n: topology.node_groups[n]
+                for n in nodes
+                if n in topology.node_groups
+            },
+        )
+        edge_map = np.asarray(
+            [topology.edge_id(edge) for edge in sub.edges], dtype=np.int64
+        )
+        sharded_edges.update(edge_map.tolist())
+        for node, comp in _components(sub).items():
+            node_component[node] = (index, comp)
+        shards.append(
+            Shard(index=index, topology=sub, groups=labels, edge_map=edge_map)
+        )
+
+    boundary = np.asarray(
+        [
+            eid
+            for eid in range(topology.num_edges)
+            if eid not in sharded_edges
+        ],
+        dtype=np.int64,
+    )
+    if not shards:  # unreachable: every branch above yields >= 1 bin
+        raise TopologyError(f"partitioning {topology.name!r} produced no shards")
+    return TopologyPartition(
+        topology=topology,
+        shards=tuple(shards),
+        boundary_edge_ids=boundary,
+        node_component=node_component,
+    )

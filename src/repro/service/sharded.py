@@ -1,0 +1,862 @@
+"""Sharded streaming replay: partitioned relaxation shards, pipelined windows.
+
+The single-owner :class:`~repro.traces.replay.ReplayEngine` runs one
+policy on one fabric in one process.  This module scales the same replay
+semantics out: the fabric is split by :func:`~repro.service.partition.
+partition_topology` into shards, each shard owns a **warm**
+:class:`~repro.core.dcfsr.RelaxationPipeline` living in a long-lived
+:class:`~repro.experiments.parallel.WorkerGroup` process, and each window
+of arrivals is scattered to the shards that can solve its flows locally.
+Only two things ever cross a process boundary per window: the shard's
+slice of the background-load vector going out, and ``(flow id, path)``
+pairs coming back — the DESIGN.md Section 11 shard protocol.
+
+Division of labor per window ``k``:
+
+* **Intra-shard flows** (both endpoints in one connected component of one
+  shard) are relaxed and rounded *inside* that shard's worker, against
+  the shard-local restriction of the lagged background vector.
+* **Cross-shard flows** are routed in the parent on the boundary-aware
+  global view with marginal envelope-cost routing (the
+  :class:`~repro.traces.policies.OnlineDensityPolicy` machinery): cheap,
+  load-aware, and deterministic.  They are the only traffic that can
+  load a boundary link.
+* **Accounting** goes through the exact same
+  :class:`~repro.traces.replay.WindowAccountant` the single-owner engine
+  uses — commitments are re-merged in arrival order, so verdicts, energy
+  sweeps and capacity checks are shared code, not reimplementations.
+
+**Pipelining.**  ``pipeline_depth = d`` keeps up to ``d`` windows in
+flight: window ``k`` is dispatched as soon as its arrivals are complete,
+and the results of window ``k - d`` are collected (committed, finalized)
+just before.  The background visible to window ``k`` is therefore the
+commitments of windows ``<= k - d`` — *structurally* lagged, a function
+of the window index alone, never of worker timing.  That staleness is
+the price of overlap (``d = 1`` recovers the single-owner engine's
+current-background semantics) and is exactly what makes
+:meth:`snapshot_state`/:meth:`restore_state` reproduce an uninterrupted
+run bit for bit: a snapshot drains worker *results* into the in-flight
+entries without committing them, so a restored engine replays the same
+dispatch/collect schedule with the same lagged views.
+
+**Degradation** is decided per window by a
+:class:`~repro.service.degrade.DegradeController` and recorded honestly
+on the report (see :mod:`repro.service.degrade`).
+"""
+
+from __future__ import annotations
+
+import pickle
+from collections import deque
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.dcfsr import RelaxationPipeline
+from repro.errors import ValidationError
+from repro.experiments.parallel import WorkerGroup
+from repro.flows.flow import Flow, FlowSet
+from repro.power.model import PowerModel
+from repro.routing.costs import envelope_cost
+from repro.routing.fastpath import FastRouter, LoadLedger
+from repro.routing.rounding import argmax_paths, sample_paths
+from repro.scheduling.schedule import FlowSchedule, Segment
+from repro.service.degrade import DegradeController, SolveBudget
+from repro.service.partition import TopologyPartition, partition_topology
+from repro.topology.base import Topology
+from repro.traces.replay import (
+    ReplayReport,
+    ShardStats,
+    WindowAccountant,
+    flow_verdict,
+)
+
+__all__ = ["WindowStats", "ShardedReplayEngine"]
+
+SNAPSHOT_KIND = "repro-sharded-replay"
+SNAPSHOT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class WindowStats:
+    """Per-window service telemetry (what ``ReplayService.poll`` returns)."""
+
+    index: int
+    start: float
+    end: float
+    arrivals: int
+    served: int
+    misses: int
+    cross_flows: int
+    degraded: bool
+    #: Critical-path worker solve time (max over the window's shards).
+    solve_s: float
+
+    def describe(self) -> str:
+        tag = " DEGRADED" if self.degraded else ""
+        return (
+            f"window {self.index} [{self.start:g}, {self.end:g}): "
+            f"{self.served}/{self.arrivals} served "
+            f"({self.cross_flows} cross-shard), {self.misses} misses, "
+            f"solve {self.solve_s:.3g}s{tag}"
+        )
+
+
+class _ShardSolver:
+    """Worker-side handler: one warm relaxation pipeline per shard.
+
+    Built *inside* the forked worker by the :class:`WorkerGroup` factory,
+    so the pipeline's session state never crosses a pipe — only window
+    messages and ``(flow id, path)`` results do.  The pipeline is created
+    lazily on the first relaxed window (greedy-mode services never pay
+    for it).
+    """
+
+    def __init__(
+        self,
+        shard,
+        power: PowerModel,
+        config: tuple[int, int, float, str],
+    ) -> None:
+        self._shard = shard
+        self._power = power
+        seed, self._fw_iters, self._fw_gap, self._rounding = config
+        self._pipeline: RelaxationPipeline | None = None
+        self._rng = np.random.default_rng((seed, shard.index))
+        self._paths: dict[tuple[str, str], tuple[str, ...]] = {}
+        self.max_weight_drift = 0.0
+
+    def __call__(self, msg):
+        kind = msg[0]
+        if kind == "window":
+            return self._solve_window(msg[1], msg[2], msg[3])
+        if kind == "drift":
+            return self.max_weight_drift
+        if kind == "snapshot":
+            return pickle.dumps(
+                {
+                    "pipeline": self._pipeline,
+                    "rng": self._rng,
+                    "drift": self.max_weight_drift,
+                }
+            )
+        if kind == "restore":
+            state = pickle.loads(msg[1])
+            self._pipeline = state["pipeline"]
+            self._rng = state["rng"]
+            self.max_weight_drift = state["drift"]
+            return None
+        raise ValidationError(f"unknown shard message {kind!r}")
+
+    def _shortest(self, src: str, dst: str) -> tuple[str, ...]:
+        key = (src, dst)
+        path = self._paths.get(key)
+        if path is None:
+            path = self._shard.topology.shortest_path(src, dst)
+            self._paths[key] = path
+        return path
+
+    def _solve_window(
+        self,
+        flows: Sequence[Flow],
+        background: np.ndarray | None,
+        relax: bool,
+    ):
+        t_start = perf_counter()
+        if relax:
+            if self._pipeline is None:
+                self._pipeline = RelaxationPipeline(
+                    self._shard.topology,
+                    self._power,
+                    max_iterations=self._fw_iters,
+                    gap_tolerance=self._fw_gap,
+                )
+            flow_set = FlowSet(flows)
+            relaxation = self._pipeline.solve(
+                flow_set, background=background, warm=True
+            )
+            weights = self._pipeline.weights(flow_set, relaxation)
+            if weights.max_drift > self.max_weight_drift:
+                self.max_weight_drift = weights.max_drift
+            if self._rounding == "deterministic":
+                paths = argmax_paths(weights)
+            else:
+                paths = sample_paths(weights, self._rng)
+        else:
+            paths = [self._shortest(f.src, f.dst) for f in flows]
+        pairs = [(flow.id, path) for flow, path in zip(flows, paths)]
+        return pairs, perf_counter() - t_start, not relax
+
+
+@dataclass
+class _InFlight:
+    """One dispatched-but-uncommitted window (plain data, picklable)."""
+
+    index: int
+    start: float
+    end: float
+    arrivals: list[Flow]
+    assign: dict  # flow id -> shard index (cross-shard flows absent)
+    shard_ids: tuple[int, ...]
+    cross: dict = field(default_factory=dict)  # flow id -> FlowSchedule
+    relax: bool = True
+    #: shard index -> (pairs, solve_s, degraded); populated from the
+    #: workers either at collect time or by a snapshot drain.
+    results: dict | None = None
+
+
+class ShardedReplayEngine:
+    """Streaming replay over partitioned relaxation shards.
+
+    The incremental counterpart of :class:`~repro.traces.replay.
+    ReplayEngine`: arrivals are *fed* one at a time (the service's
+    ``submit``), windows dispatch to shard workers as soon as they close,
+    and :meth:`finish` settles everything into one
+    :class:`~repro.traces.replay.ReplayReport` with a per-shard
+    breakdown.  :meth:`run` wraps feed/finish for whole traces.
+
+    Parameters
+    ----------
+    topology, power:
+        The global fabric and link power model.
+    window:
+        Epoch length in trace time units.
+    partition:
+        An explicit :class:`TopologyPartition`; default partitions
+        ``topology`` on its natural group boundaries (``num_shards``
+        selects the greedy edge cut for unannotated fabrics).
+    mode:
+        ``"relax"`` (intra-shard F-MCF relaxation + rounding, the paper's
+        Algorithm 2 per shard) or ``"greedy"`` (shard-local shortest
+        path + density — the deterministic fallback the degrade path and
+        the equivalence pins use).
+    pipeline_depth:
+        Windows in flight; window ``k`` sees the background of windows
+        ``<= k - pipeline_depth``.  ``1`` disables overlap and recovers
+        the single-owner engine's background semantics.
+    budget:
+        Optional :class:`~repro.service.degrade.SolveBudget`; exhausted
+        windows degrade to greedy and are counted on the report.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        power: PowerModel,
+        window: float,
+        *,
+        partition: TopologyPartition | None = None,
+        num_shards: int | None = None,
+        mode: str = "relax",
+        seed: int = 0,
+        fw_max_iterations: int = 60,
+        fw_gap_tolerance: float = 1e-3,
+        rounding: str = "random",
+        pipeline_depth: int = 2,
+        budget: SolveBudget | None = None,
+        keep_schedules: bool = False,
+        tol: float = 1e-6,
+    ) -> None:
+        if not window > 0:
+            raise ValidationError(f"window must be > 0, got {window}")
+        if mode not in ("relax", "greedy"):
+            raise ValidationError(f"unknown mode {mode!r}")
+        if rounding not in ("random", "deterministic"):
+            raise ValidationError(f"unknown rounding mode {rounding!r}")
+        if pipeline_depth < 1:
+            raise ValidationError(
+                f"pipeline_depth must be >= 1, got {pipeline_depth}"
+            )
+        if partition is None:
+            partition = partition_topology(topology, num_shards)
+        elif partition.topology is not topology:
+            raise ValidationError(
+                "partition was built for a different topology"
+            )
+        self._topology = topology
+        self._power = power
+        self._window = window
+        self._partition = partition
+        self._mode = mode
+        self._seed = seed
+        self._fw_iters = fw_max_iterations
+        self._fw_gap = fw_gap_tolerance
+        self._rounding = rounding
+        self._depth = pipeline_depth
+        self._budget = budget
+        self._tol = tol
+        self._cost = envelope_cost(power)
+
+        shards = partition.shards
+        config = (seed, fw_max_iterations, fw_gap_tolerance, rounding)
+        self._group = WorkerGroup(
+            lambda i: _ShardSolver(shards[i], power, config), len(shards)
+        )
+        self._controller = DegradeController(budget)
+        self._acct = WindowAccountant(topology, power, tol=tol)
+        self._inflight: deque[_InFlight] = deque()
+        self._kept: list[FlowSchedule] | None = [] if keep_schedules else None
+        self._cross_paths: dict[tuple[str, str], tuple[str, ...]] = {}
+        self.window_log: list[WindowStats] = []
+
+        # Stream state (established by the first feed).
+        self._t0: float | None = None
+        self._current = 0
+        self._pending: list[Flow] = []
+        self._last_release = 0.0
+        self._max_deadline = -np.inf
+        self._finished = False
+        self._closed = False
+
+        # Counters mirroring the single-owner engine's report fields.
+        self._flows_seen = 0
+        self._flows_served = 0
+        self._misses = 0
+        self._unserved = 0
+        self._volume_offered = 0.0
+        self._volume_delivered = 0.0
+        self._max_window_arrivals = 0
+        self._degraded_windows = 0
+        self._per_shard = [
+            {"flows": 0, "energy": 0.0, "misses": 0, "degraded": 0,
+             "solve_s": 0.0}
+            for _ in shards
+        ]
+        self._cross_stats = {"flows": 0, "energy": 0.0, "misses": 0}
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+    @property
+    def partition(self) -> TopologyPartition:
+        return self._partition
+
+    @property
+    def name(self) -> str:
+        label = "Relax" if self._mode == "relax" else "Greedy"
+        return f"Sharded+{label}[{self._partition.num_shards}]"
+
+    @property
+    def flows_fed(self) -> int:
+        return self._flows_seen
+
+    # ------------------------------------------------------------------
+    # Streaming admission.
+    # ------------------------------------------------------------------
+    def feed(self, flow: Flow) -> None:
+        """Admit one flow (releases must be nondecreasing)."""
+        if self._finished:
+            raise ValidationError("engine already finished")
+        if self._closed:
+            raise ValidationError("engine is closed")
+        if self._t0 is None:
+            self._t0 = flow.release
+            self._last_release = flow.release
+            self._pending = [flow]
+            self._flows_seen = 1
+            return
+        if flow.release < self._last_release - 1e-9:
+            raise ValidationError(
+                f"trace is not sorted by release time: flow {flow.id!r} "
+                f"released at {flow.release} after {self._last_release}"
+            )
+        self._last_release = max(self._last_release, flow.release)
+        self._flows_seen += 1
+        k = int((flow.release - self._t0) // self._window)
+        while k > self._current:
+            self._dispatch(self._current, self._pending)
+            self._pending = []
+            self._current += 1
+            if k > self._current:
+                self._current = self._next_busy_window(self._current, k)
+        self._pending.append(flow)
+
+    def run(self, trace: Iterable[Flow]) -> ReplayReport:
+        """Feed an entire trace and :meth:`finish` — whole-trace sugar."""
+        for flow in trace:
+            self.feed(flow)
+        return self.finish()
+
+    def _window_bounds(self, k: int) -> tuple[float, float]:
+        start = self._t0 + k * self._window
+        return start, start + self._window
+
+    def _next_busy_window(self, after: int, upto: int) -> int:
+        """Deterministic quiet-gap skip.
+
+        Unlike the single-owner engine this cannot consult the live
+        ledger (in-flight windows are not committed yet), so it uses the
+        equivalent full-information test: a dispatched flow's span ends
+        exactly at its deadline, so windows before ``after`` still carry
+        load iff any dispatched deadline lies beyond ``after``'s start.
+        A pure function of the fed prefix — the snapshot/restore pins
+        rely on that.
+        """
+        if self._max_deadline > self._t0 + after * self._window:
+            return after
+        return upto
+
+    # ------------------------------------------------------------------
+    # Window dispatch (scatter).
+    # ------------------------------------------------------------------
+    def _dispatch(self, k: int, arrivals: list[Flow]) -> None:
+        # Commit everything old enough that its reservations become
+        # visible: the structural pipeline lag.
+        while self._inflight and self._inflight[0].index <= k - self._depth:
+            self._collect_one()
+        start, end = self._window_bounds(k)
+        self._max_window_arrivals = max(
+            self._max_window_arrivals, len(arrivals)
+        )
+        if not arrivals:
+            # Bookkeeping-only entry: its collect finalizes the window in
+            # commit order (finalizing now would sweep ahead of the
+            # still-uncommitted in-flight windows).
+            self._inflight.append(
+                _InFlight(k, start, end, arrivals=[], assign={}, shard_ids=())
+            )
+            return
+        by_id = {flow.id: flow for flow in arrivals}
+        if len(by_id) != len(arrivals):
+            raise ValidationError("duplicate flow ids within one window")
+        self._volume_offered += sum(flow.size for flow in arrivals)
+        for flow in arrivals:
+            if flow.deadline > self._max_deadline:
+                self._max_deadline = flow.deadline
+
+        assign: dict = {}
+        per_shard: dict[int, list[Flow]] = {}
+        cross_flows: list[Flow] = []
+        for flow in arrivals:
+            shard = self._partition.shard_of(flow)
+            if shard is None:
+                cross_flows.append(flow)
+            else:
+                assign[flow.id] = shard
+                per_shard.setdefault(shard, []).append(flow)
+
+        relax = self._mode == "relax"
+        if relax and per_shard:
+            relax = not self._controller.should_degrade(len(self._inflight))
+            if not relax:
+                self._degraded_windows += 1
+        background = None
+        if self._mode == "relax":
+            background = self._acct.background(start, end)
+        shard_ids = tuple(sorted(per_shard))
+        for shard_idx in shard_ids:
+            local_bg = (
+                background[self._partition.shards[shard_idx].edge_map]
+                if background is not None
+                else None
+            )
+            self._group.submit(
+                shard_idx,
+                ("window", per_shard[shard_idx], local_bg, relax),
+            )
+        # Route cross-shard flows in the parent while the shard solves
+        # run; with the async submit above this is the window's overlap.
+        cross = self._route_cross(cross_flows, background)
+        self._inflight.append(
+            _InFlight(k, start, end, arrivals, assign, shard_ids, cross, relax)
+        )
+
+    def _route_cross(
+        self, flows: list[Flow], background: np.ndarray | None
+    ) -> dict:
+        """Boundary-aware routing for flows no shard can solve locally."""
+        if not flows:
+            return {}
+        schedules: dict = {}
+        if self._mode == "greedy":
+            # Static shortest paths: the exact choice GreedyDensityPolicy
+            # makes, which is what the equivalence pin compares against.
+            for flow in flows:
+                key = (flow.src, flow.dst)
+                path = self._cross_paths.get(key)
+                if path is None:
+                    path = self._topology.shortest_path(*key)
+                    self._cross_paths[key] = path
+                schedules[flow.id] = _density_schedule(flow, path)
+            return schedules
+        # Marginal envelope-cost routing on the global view (the
+        # OnlineDensityPolicy machinery).  The router is rebuilt per
+        # window: its candidate cache is history-dependent and a restored
+        # run must not inherit a different cache than the original.
+        router = FastRouter(self._topology)
+        ledger = LoadLedger(self._topology, background=background)
+        for flow in sorted(flows, key=lambda f: (f.release, str(f.id))):
+            loads = ledger.loads(flow.release, flow.deadline)
+            router.set_marginal(
+                np.maximum(self._cost.derivative(loads), 1e-12),
+                decreased=True,
+            )
+            path, edge_ids = router.route(flow.src, flow.dst)
+            ledger.commit(
+                edge_ids, flow.release, flow.deadline, flow.density
+            )
+            schedules[flow.id] = FlowSchedule(
+                flow=flow,
+                path=path,
+                segments=(
+                    Segment(
+                        start=flow.release,
+                        end=flow.deadline,
+                        rate=flow.density,
+                    ),
+                ),
+            )
+        return schedules
+
+    # ------------------------------------------------------------------
+    # Window collect (gather + commit).
+    # ------------------------------------------------------------------
+    def _collect_one(self) -> None:
+        entry = self._inflight.popleft()
+        if not entry.arrivals:
+            self._acct.finalize(entry.end)
+            return
+        results = entry.results
+        if results is None:
+            results = {
+                shard_idx: self._group.collect(shard_idx)
+                for shard_idx in entry.shard_ids
+            }
+        path_of: dict = {}
+        window_solve = 0.0
+        for shard_idx in entry.shard_ids:
+            pairs, solve_s, degraded = results[shard_idx]
+            stats = self._per_shard[shard_idx]
+            stats["solve_s"] += solve_s
+            if degraded and self._mode == "relax":
+                stats["degraded"] += 1
+            if solve_s > window_solve:
+                window_solve = solve_s
+            for flow_id, path in pairs:
+                path_of[flow_id] = path
+
+        served = 0
+        misses = 0
+        # Commit in arrival order regardless of which shard answered:
+        # the exact float-accumulation order of the single-owner engine.
+        for flow in entry.arrivals:
+            shard_idx = entry.assign.get(flow.id)
+            if shard_idx is None:
+                fs = entry.cross.get(flow.id)
+            else:
+                path = path_of.get(flow.id)
+                if path is None:
+                    raise ValidationError(
+                        f"shard {shard_idx} returned no path for flow "
+                        f"{flow.id!r} in window {entry.index}"
+                    )
+                fs = _density_schedule(flow, path)
+            if fs is None:  # pragma: no cover - cross router serves all
+                continue
+            in_span, delivered, missed = flow_verdict(fs, flow, self._tol)
+            if not in_span:
+                raise ValidationError(
+                    f"{self.name}: flow {flow.id!r} scheduled outside "
+                    "its span"
+                )
+            served += 1
+            self._flows_served += 1
+            self._volume_delivered += delivered
+            if missed:
+                misses += 1
+                self._misses += 1
+            n_edges = len(fs.path) - 1
+            standalone = sum(
+                self._power.mu
+                * seg.rate**self._power.alpha
+                * (seg.end - seg.start)
+                for seg in fs.segments
+            ) * n_edges
+            if shard_idx is None:
+                self._cross_stats["flows"] += 1
+                self._cross_stats["energy"] += standalone
+                if missed:
+                    self._cross_stats["misses"] += 1
+            else:
+                stats = self._per_shard[shard_idx]
+                stats["flows"] += 1
+                stats["energy"] += standalone
+                if missed:
+                    stats["misses"] += 1
+            self._acct.commit(fs)
+            if self._kept is not None:
+                self._kept.append(fs)
+        self._unserved += len(entry.arrivals) - served
+        self._acct.finalize(entry.end)
+        if entry.shard_ids and self._mode == "relax":
+            self._controller.observe(window_solve, not entry.relax)
+        self.window_log.append(
+            WindowStats(
+                index=entry.index,
+                start=entry.start,
+                end=entry.end,
+                arrivals=len(entry.arrivals),
+                served=served,
+                misses=misses,
+                cross_flows=len(entry.cross),
+                degraded=not entry.relax,
+                solve_s=window_solve,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Settlement.
+    # ------------------------------------------------------------------
+    def finish(self) -> ReplayReport:
+        """Dispatch the final window, drain every shard, build the report."""
+        if self._t0 is None:
+            raise ValidationError("trace produced no flows")
+        if self._finished:
+            raise ValidationError("engine already finished")
+        self._dispatch(self._current, self._pending)
+        self._pending = []
+        while self._inflight:
+            self._collect_one()
+        self._finished = True
+
+        acct = self._acct
+        current = self._current + 1
+        # Trailing sweep over still-transmitting reservations: everything
+        # is committed now, so this mirrors the single-owner engine's
+        # epilogue verbatim (same window arithmetic, same skip rule).
+        while acct.has_live:
+            next_t = acct.next_live_start(self._t0 + current * self._window)
+            if next_t is not None:
+                current = max(
+                    current,
+                    min(1 << 62, int((next_t - self._t0) // self._window)),
+                )
+            acct.finalize(self._window_bounds(current)[1])
+            current += 1
+        acct.drain()
+
+        drift = 0.0
+        if self._mode == "relax":
+            drift = max(self._group.broadcast(("drift",)), default=0.0)
+
+        t1 = (
+            acct.last_segment_end
+            if acct.last_segment_end > self._t0
+            else self._last_release
+        )
+        shard_stats = []
+        for shard, stats in zip(self._partition.shards, self._per_shard):
+            shard_stats.append(
+                ShardStats(
+                    shard=f"shard{shard.index}[{'+'.join(shard.groups)}]",
+                    flows=stats["flows"],
+                    energy=stats["energy"],
+                    misses=stats["misses"],
+                    degraded_windows=stats["degraded"],
+                    solve_s=stats["solve_s"],
+                )
+            )
+        shard_stats.append(
+            ShardStats(
+                shard="cross-shard",
+                flows=self._cross_stats["flows"],
+                energy=self._cross_stats["energy"],
+                misses=self._cross_stats["misses"],
+                degraded_windows=0,
+                solve_s=0.0,
+            )
+        )
+        return ReplayReport(
+            policy=self.name,
+            window=self._window,
+            windows=current,
+            horizon=(self._t0, t1),
+            flows_seen=self._flows_seen,
+            flows_served=self._flows_served,
+            deadline_misses=self._misses,
+            unserved=self._unserved,
+            volume_offered=self._volume_offered,
+            volume_delivered=self._volume_delivered,
+            idle_energy=acct.idle_energy(self._t0, t1),
+            dynamic_energy=acct.dynamic_energy,
+            active_links=len(acct.active_links),
+            peak_link_rate=acct.peak_rate,
+            capacity_violations=acct.capacity_violations,
+            policy_fallbacks=0,
+            max_resident_segments=acct.max_resident,
+            max_window_arrivals=self._max_window_arrivals,
+            max_weight_drift=float(drift),
+            degraded_windows=self._degraded_windows,
+            shard_stats=tuple(shard_stats),
+            schedules=self._kept,
+        )
+
+    def close(self) -> None:
+        """Stop the shard workers (idempotent)."""
+        self._closed = True
+        self._group.close()
+
+    def __enter__(self) -> "ShardedReplayEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore.
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Freeze the mid-replay state into one picklable payload.
+
+        Worker *results* for in-flight windows are drained into their
+        entries (so worker state is quiescent and snapshotable) but NOT
+        committed — the restored engine replays the identical
+        dispatch/collect schedule, which is what keeps its lagged
+        background views, and hence every report field, bit-identical to
+        an uninterrupted run.
+        """
+        if self._finished or self._closed:
+            raise ValidationError("cannot snapshot a finished engine")
+        for entry in self._inflight:
+            if entry.results is None and entry.shard_ids:
+                entry.results = {
+                    shard_idx: self._group.collect(shard_idx)
+                    for shard_idx in entry.shard_ids
+                }
+        workers = self._group.broadcast(("snapshot",))
+        return {
+            "kind": SNAPSHOT_KIND,
+            "version": SNAPSHOT_VERSION,
+            "config": {
+                "window": self._window,
+                "num_shards": self._partition.num_shards,
+                "mode": self._mode,
+                "seed": self._seed,
+                "fw_max_iterations": self._fw_iters,
+                "fw_gap_tolerance": self._fw_gap,
+                "rounding": self._rounding,
+                "pipeline_depth": self._depth,
+                "budget": self._budget,
+                "keep_schedules": self._kept is not None,
+                "tol": self._tol,
+                "topology_name": self._topology.name,
+                "num_edges": self._topology.num_edges,
+            },
+            "stream": {
+                "t0": self._t0,
+                "current": self._current,
+                "pending": list(self._pending),
+                "last_release": self._last_release,
+                "max_deadline": self._max_deadline,
+            },
+            "counters": {
+                "flows_seen": self._flows_seen,
+                "flows_served": self._flows_served,
+                "misses": self._misses,
+                "unserved": self._unserved,
+                "volume_offered": self._volume_offered,
+                "volume_delivered": self._volume_delivered,
+                "max_window_arrivals": self._max_window_arrivals,
+                "degraded_windows": self._degraded_windows,
+                "per_shard": [dict(s) for s in self._per_shard],
+                "cross": dict(self._cross_stats),
+            },
+            "controller": self._controller.snapshot_state(),
+            "acct": self._acct.snapshot_state(),
+            "inflight": list(self._inflight),
+            "window_log": list(self.window_log),
+            "kept": self._kept,
+            "workers": workers,
+        }
+
+    @classmethod
+    def restore_state(
+        cls,
+        topology: Topology,
+        power: PowerModel,
+        state: dict,
+        *,
+        partition: TopologyPartition | None = None,
+    ) -> "ShardedReplayEngine":
+        """Rebuild a mid-replay engine from :meth:`snapshot_state`.
+
+        ``topology`` and ``power`` are re-supplied by the caller (the
+        snapshot stores only their fingerprint); a custom partition used
+        at snapshot time must be re-supplied too — the default
+        re-derives the deterministic natural/greedy partition.
+        """
+        if not isinstance(state, dict) or state.get("kind") != SNAPSHOT_KIND:
+            raise ValidationError("not a sharded replay snapshot")
+        if state.get("version") != SNAPSHOT_VERSION:
+            raise ValidationError(
+                f"unsupported snapshot version {state.get('version')!r} "
+                f"(expected {SNAPSHOT_VERSION})"
+            )
+        cfg = state["config"]
+        if topology.num_edges != cfg["num_edges"]:
+            raise ValidationError(
+                f"snapshot was taken on {cfg['topology_name']!r} "
+                f"({cfg['num_edges']} edges); got {topology.name!r} "
+                f"({topology.num_edges} edges)"
+            )
+        engine = cls(
+            topology,
+            power,
+            cfg["window"],
+            partition=partition,
+            num_shards=cfg["num_shards"],
+            mode=cfg["mode"],
+            seed=cfg["seed"],
+            fw_max_iterations=cfg["fw_max_iterations"],
+            fw_gap_tolerance=cfg["fw_gap_tolerance"],
+            rounding=cfg["rounding"],
+            pipeline_depth=cfg["pipeline_depth"],
+            budget=cfg["budget"],
+            keep_schedules=cfg["keep_schedules"],
+            tol=cfg["tol"],
+        )
+        if engine._partition.num_shards != cfg["num_shards"]:
+            raise ValidationError(
+                f"partition yields {engine._partition.num_shards} shards; "
+                f"snapshot had {cfg['num_shards']}"
+            )
+        for index, blob in enumerate(state["workers"]):
+            engine._group.submit(index, ("restore", blob))
+        for index in range(len(state["workers"])):
+            engine._group.collect(index)
+        stream = state["stream"]
+        engine._t0 = stream["t0"]
+        engine._current = stream["current"]
+        engine._pending = list(stream["pending"])
+        engine._last_release = stream["last_release"]
+        engine._max_deadline = stream["max_deadline"]
+        counters = state["counters"]
+        engine._flows_seen = counters["flows_seen"]
+        engine._flows_served = counters["flows_served"]
+        engine._misses = counters["misses"]
+        engine._unserved = counters["unserved"]
+        engine._volume_offered = counters["volume_offered"]
+        engine._volume_delivered = counters["volume_delivered"]
+        engine._max_window_arrivals = counters["max_window_arrivals"]
+        engine._degraded_windows = counters["degraded_windows"]
+        engine._per_shard = [dict(s) for s in counters["per_shard"]]
+        engine._cross_stats = dict(counters["cross"])
+        engine._controller.restore_state(state["controller"])
+        engine._acct.restore_state(state["acct"])
+        engine._inflight = deque(state["inflight"])
+        engine.window_log = list(state["window_log"])
+        engine._kept = state["kept"]
+        return engine
+
+
+def _density_schedule(flow: Flow, path: tuple[str, ...]) -> FlowSchedule:
+    """Full-span density schedule — every sharded commitment's shape."""
+    return FlowSchedule(
+        flow=flow,
+        path=path,
+        segments=(
+            Segment(start=flow.release, end=flow.deadline, rate=flow.density),
+        ),
+    )

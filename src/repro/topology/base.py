@@ -55,9 +55,21 @@ class Topology:
         ``kind`` attribute equal to ``"host"`` or ``"switch"``.
     name:
         Human-readable topology name used in reports.
+    groups:
+        Optional partition metadata: a partial mapping from node id to the
+        label of the *natural locality group* it belongs to (a fat-tree
+        pod, a leaf-spine leaf).  Nodes absent from the mapping are
+        *backbone* (core/spine) — shared fabric that belongs to no group.
+        Consumed by :mod:`repro.service.partition` to shard the topology
+        on its natural boundaries.
     """
 
-    def __init__(self, graph: nx.Graph, name: str = "topology") -> None:
+    def __init__(
+        self,
+        graph: nx.Graph,
+        name: str = "topology",
+        groups: Mapping[str, str] | None = None,
+    ) -> None:
         if graph.number_of_nodes() == 0:
             raise TopologyError("topology must have at least one node")
         for node, data in graph.nodes(data=True):
@@ -72,6 +84,12 @@ class Topology:
                 )
         self._graph = graph
         self.name = name
+        self._groups: dict[str, str] = dict(groups) if groups else {}
+        for node in self._groups:
+            if not graph.has_node(node):
+                raise TopologyError(
+                    f"group metadata names unknown node {node!r}"
+                )
 
         self._edges: tuple[Edge, ...] = tuple(
             sorted(canonical_edge(u, v) for u, v in graph.edges())
@@ -122,6 +140,15 @@ class Topology:
         return tuple(
             n for n in self._nodes if self._graph.nodes[n]["kind"] == SWITCH
         )
+
+    @property
+    def node_groups(self) -> Mapping[str, str]:
+        """Natural-locality group labels (partial; empty when unannotated).
+
+        Nodes missing from the mapping are backbone fabric (core/spine
+        switches) shared by every group.  Do not mutate.
+        """
+        return self._groups
 
     def has_node(self, node: str) -> bool:
         return node in self._node_index

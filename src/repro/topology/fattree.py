@@ -40,6 +40,8 @@ def fat_tree(k: int = 4, name: str | None = None) -> Topology:
         raise TopologyError(f"fat-tree requires even k >= 2, got {k}")
     half = k // 2
     graph = nx.Graph()
+    # Pods are the natural sharding boundary; core switches stay backbone.
+    groups: dict[str, str] = {}
 
     core = [[f"sw_c_{i:02d}_{j:02d}" for j in range(half)] for i in range(half)]
     for row in core:
@@ -47,10 +49,12 @@ def fat_tree(k: int = 4, name: str | None = None) -> Topology:
             graph.add_node(sw, kind=SWITCH)
 
     for pod in range(k):
+        pod_group = f"pod{pod:02d}"
         aggs = [f"sw_a_p{pod:02d}_{a}" for a in range(half)]
         edges = [f"sw_e_p{pod:02d}_{e}" for e in range(half)]
         for sw in aggs + edges:
             graph.add_node(sw, kind=SWITCH)
+            groups[sw] = pod_group
         for agg in aggs:
             for edge in edges:
                 graph.add_edge(agg, edge)
@@ -62,5 +66,6 @@ def fat_tree(k: int = 4, name: str | None = None) -> Topology:
                 host = f"h_p{pod:02d}_e{e}_{i}"
                 graph.add_node(host, kind=HOST)
                 graph.add_edge(host, edge)
+                groups[host] = pod_group
 
-    return Topology(graph, name=name or f"fattree-k{k}")
+    return Topology(graph, name=name or f"fattree-k{k}", groups=groups)

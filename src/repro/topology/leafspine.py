@@ -28,6 +28,8 @@ def leaf_spine(
         raise TopologyError(f"hosts_per_leaf must be >= 1, got {hosts_per_leaf}")
 
     graph = nx.Graph()
+    # Each leaf plus its hosts is a natural shard; spines stay backbone.
+    groups: dict[str, str] = {}
     spines = [f"sw_spine_{s:02d}" for s in range(num_spines)]
     leaves = [f"sw_leaf_{l:02d}" for l in range(num_leaves)]
     for sw in spines + leaves:
@@ -36,9 +38,15 @@ def leaf_spine(
         for spine in spines:
             graph.add_edge(leaf, spine)
     for l, leaf in enumerate(leaves):
+        groups[leaf] = f"leaf{l:02d}"
         for h in range(hosts_per_leaf):
             host = f"h_l{l:02d}_{h}"
             graph.add_node(host, kind=HOST)
             graph.add_edge(host, leaf)
+            groups[host] = f"leaf{l:02d}"
 
-    return Topology(graph, name=name or f"leafspine-{num_leaves}x{num_spines}")
+    return Topology(
+        graph,
+        name=name or f"leafspine-{num_leaves}x{num_spines}",
+        groups=groups,
+    )

@@ -18,12 +18,19 @@ from repro.traces.generator import TraceSpec, generate_trace, materialize
 from repro.traces.policies import (
     EpochDcfsPolicy,
     GreedyDensityPolicy,
+    LeastLoadedPolicy,
     OnlineDensityPolicy,
+    PowerOfTwoPolicy,
     RelaxationRoundingPolicy,
     ReplayPolicy,
     WindowContext,
 )
-from repro.traces.replay import ReplayEngine, ReplayReport
+from repro.traces.replay import (
+    ReplayEngine,
+    ReplayReport,
+    ShardStats,
+    WindowAccountant,
+)
 from repro.traces.sizes import (
     lognormal_sizes,
     pareto_sizes,
@@ -33,6 +40,7 @@ from repro.traces.sizes import (
 )
 from repro.traces.store import (
     TRACE_VERSION,
+    TraceReader,
     read_trace_csv,
     read_trace_jsonl,
     write_trace_csv,
@@ -53,6 +61,7 @@ __all__ = [
     "proportional_slack",
     "uniform_slack",
     "TRACE_VERSION",
+    "TraceReader",
     "write_trace_jsonl",
     "read_trace_jsonl",
     "write_trace_csv",
@@ -60,9 +69,13 @@ __all__ = [
     "ReplayPolicy",
     "WindowContext",
     "GreedyDensityPolicy",
+    "PowerOfTwoPolicy",
+    "LeastLoadedPolicy",
     "OnlineDensityPolicy",
     "EpochDcfsPolicy",
     "RelaxationRoundingPolicy",
     "ReplayEngine",
     "ReplayReport",
+    "ShardStats",
+    "WindowAccountant",
 ]

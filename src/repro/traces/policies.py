@@ -8,10 +8,15 @@ carried across the boundary).  The policy returns one
 decisions are irrevocable, exactly like the online model in
 :mod:`repro.core.online`.
 
-Four policies span the clairvoyance spectrum:
+Six policies span the clairvoyance spectrum:
 
 * :class:`GreedyDensityPolicy` — static shortest paths, constant density
   rate; the load-oblivious strawman (and the fastest, for 100k-flow runs);
+* :class:`PowerOfTwoPolicy` / :class:`LeastLoadedPolicy` — the classic
+  O(1) switch-level load-balancing baselines (packet-sim lineage) lifted
+  to window policies: pick among k precomputed shortest candidate paths
+  by bottleneck load — two sampled candidates for power-of-two-choices,
+  all k for least-loaded;
 * :class:`OnlineDensityPolicy` — the :mod:`repro.core.online` policy made
   streaming-scalable on the array-native routing core: marginal-envelope-
   cost routing against the committed background, at most one cached
@@ -43,14 +48,17 @@ from repro.flows.flow import Flow, FlowSet
 from repro.power.model import PowerModel
 from repro.routing.costs import envelope_cost
 from repro.routing.fastpath import FastRouter, LoadLedger
+from repro.routing.paths import k_shortest_paths
 from repro.routing.rounding import argmax_paths, sample_paths
 from repro.scheduling.schedule import FlowSchedule, Segment
-from repro.topology.base import Topology
+from repro.topology.base import Topology, path_edges
 
 __all__ = [
     "WindowContext",
     "ReplayPolicy",
     "GreedyDensityPolicy",
+    "PowerOfTwoPolicy",
+    "LeastLoadedPolicy",
     "OnlineDensityPolicy",
     "EpochDcfsPolicy",
     "RelaxationRoundingPolicy",
@@ -163,6 +171,136 @@ class GreedyDensityPolicy(_PathCacheMixin, ReplayPolicy):
                     ),
                 )
             )
+        return schedules
+
+
+class _CandidateSetMixin:
+    """k-shortest candidate-path memoization for the choice baselines.
+
+    Candidates are computed once per (src, dst) pair — hop-count order,
+    deterministic — and cached with their dense edge-id arrays, so the
+    per-flow cost of either baseline is a handful of vector reads:
+    constant in the fabric size, the property these policies exist to
+    demonstrate.
+    """
+
+    def __init__(self, k: int) -> None:
+        if k < 2:
+            raise ValidationError(f"need k >= 2 candidate paths, got {k}")
+        self._k = k
+        self._candidates: dict[
+            tuple[str, str], tuple[tuple[tuple[str, ...], np.ndarray], ...]
+        ] = {}
+
+    def _candidates_for(
+        self, topology: Topology, src: str, dst: str
+    ) -> tuple[tuple[tuple[str, ...], np.ndarray], ...]:
+        key = (src, dst)
+        got = self._candidates.get(key)
+        if got is None:
+            got = tuple(
+                (
+                    path,
+                    np.asarray(
+                        [topology.edge_id(e) for e in path_edges(path)],
+                        dtype=np.int64,
+                    ),
+                )
+                for path in k_shortest_paths(topology, src, dst, self._k)
+            )
+            self._candidates[key] = got
+        return got
+
+    def reset(self) -> None:
+        self._candidates.clear()
+
+
+def _choice_schedule(flow: Flow, path: tuple[str, ...]) -> FlowSchedule:
+    return FlowSchedule(
+        flow=flow,
+        path=path,
+        segments=(
+            Segment(start=flow.release, end=flow.deadline, rate=flow.density),
+        ),
+    )
+
+
+class PowerOfTwoPolicy(_CandidateSetMixin, ReplayPolicy):
+    """Power-of-two-choices path selection, density rates.
+
+    The classic randomized load-balancing result as a window policy:
+    each flow samples two of its ``k`` precomputed shortest candidate
+    paths and takes the one whose bottleneck link carries less committed
+    load over the flow's span (first sample wins ties).  Load is read
+    from a :class:`~repro.routing.fastpath.LoadLedger` seeded with the
+    engine's carried background, so choices see both earlier windows and
+    earlier flows of this window.  Deadlines are met by construction.
+    """
+
+    name = "PowerOfTwo"
+
+    def __init__(self, k: int = 4, seed: int = 0) -> None:
+        super().__init__(k)
+        self._seed = seed
+        self._rng = np.random.default_rng(seed)
+
+    def schedule_window(
+        self, flows: Sequence[Flow], ctx: WindowContext
+    ) -> list[FlowSchedule]:
+        ledger = LoadLedger(ctx.topology, background=ctx.background)
+        schedules = []
+        for flow in flows:
+            candidates = self._candidates_for(ctx.topology, flow.src, flow.dst)
+            if len(candidates) == 1:
+                path, edge_ids = candidates[0]
+            else:
+                first, second = self._rng.choice(
+                    len(candidates), size=2, replace=False
+                )
+                loads = ledger.loads(flow.release, flow.deadline)
+                pick = (
+                    second
+                    if loads[candidates[second][1]].max()
+                    < loads[candidates[first][1]].max()
+                    else first
+                )
+                path, edge_ids = candidates[pick]
+            ledger.commit(edge_ids, flow.release, flow.deadline, flow.density)
+            schedules.append(_choice_schedule(flow, path))
+        return schedules
+
+    def reset(self) -> None:
+        super().reset()
+        self._rng = np.random.default_rng(self._seed)
+
+
+class LeastLoadedPolicy(_CandidateSetMixin, ReplayPolicy):
+    """Least-loaded of ``k`` shortest candidate paths, density rates.
+
+    The deterministic endpoint of the choice spectrum: every flow scans
+    all ``k`` candidates and takes the one with the smallest bottleneck
+    load over its span (ties fall to the shortest, i.e. first, path).
+    Same ledger-seeded load view as :class:`PowerOfTwoPolicy`.
+    """
+
+    name = "LeastLoaded"
+
+    def __init__(self, k: int = 4) -> None:
+        super().__init__(k)
+
+    def schedule_window(
+        self, flows: Sequence[Flow], ctx: WindowContext
+    ) -> list[FlowSchedule]:
+        ledger = LoadLedger(ctx.topology, background=ctx.background)
+        schedules = []
+        for flow in flows:
+            candidates = self._candidates_for(ctx.topology, flow.src, flow.dst)
+            loads = ledger.loads(flow.release, flow.deadline)
+            path, edge_ids = min(
+                candidates, key=lambda cand: float(loads[cand[1]].max())
+            )
+            ledger.commit(edge_ids, flow.release, flow.deadline, flow.density)
+            schedules.append(_choice_schedule(flow, path))
         return schedules
 
 

@@ -7,24 +7,27 @@ policy's decisions are irrevocable and their reservations are carried
 across window boundaries (a flow released late in window ``k`` keeps
 transmitting through windows ``k+1, k+2, ...``).
 
-Accounting is exact and bounded-memory.  Because a flow can only be
-scheduled in the window containing its release, no segment ever starts
-before its scheduling window — so once window ``k`` is scheduled, the link
-rates on ``[start_k, end_k)`` are final.  Energy is integrated by a
-single global event sweep in the :mod:`repro.sim.fluid` tradition: each
-committed segment contributes exactly two events (rate up at its start,
-down at its end) to one time-ordered heap, and finalizing window ``k``
-drains every event up to ``end_k``, charging each link
-``mu * x^alpha * dt`` between its own consecutive events.  (An earlier
-revision re-clipped and re-sorted every live segment in every window it
-spanned — O(resident) extra work per window that the heap removes.)
-Finalization then garbage-collects every segment that ended inside the
-window.  Resident state is one window of arrivals plus the
-still-transmitting segments — O(active), never O(trace) — which is what
-lets a 100k-flow trace replay in a few seconds of constant memory.  The
-integration-test suite pins the summed window energies against
-:meth:`repro.scheduling.Schedule.energy` and the per-flow deadline verdicts
-against :func:`repro.sim.fluid.simulate_fluid` on materialized traces.
+Accounting is exact and bounded-memory, and lives in
+:class:`WindowAccountant` so the sharded service engine
+(:mod:`repro.service.sharded`) charges commitments through the identical
+code path.  Because a flow can only be scheduled in the window containing
+its release, no segment ever starts before its scheduling window — so
+once window ``k`` is scheduled, the link rates on ``[start_k, end_k)``
+are final.  Energy is integrated by a single global event sweep in the
+:mod:`repro.sim.fluid` tradition: each committed segment contributes
+exactly two events (rate up at its start, down at its end) to one
+time-ordered heap, and finalizing window ``k`` drains every event up to
+``end_k``, charging each link ``mu * x^alpha * dt`` between its own
+consecutive events.  (An earlier revision re-clipped and re-sorted every
+live segment in every window it spanned — O(resident) extra work per
+window that the heap removes.)  Finalization then garbage-collects every
+segment that ended inside the window.  Resident state is one window of
+arrivals plus the still-transmitting segments — O(active), never
+O(trace) — which is what lets a 100k-flow trace replay in a few seconds
+of constant memory.  The integration-test suite pins the summed window
+energies against :meth:`repro.scheduling.Schedule.energy` and the
+per-flow deadline verdicts against :func:`repro.sim.fluid.simulate_fluid`
+on materialized traces.
 """
 
 from __future__ import annotations
@@ -42,10 +45,42 @@ from repro.scheduling.schedule import FlowSchedule
 from repro.topology.base import Edge, Topology
 from repro.traces.policies import ReplayPolicy, WindowContext
 
-__all__ = ["ReplayReport", "ReplayEngine"]
+__all__ = [
+    "ReplayReport",
+    "ReplayEngine",
+    "ShardStats",
+    "WindowAccountant",
+    "flow_verdict",
+]
 
 #: A committed constant-rate piece ``(start, end, rate)`` on one link.
 _Piece = tuple[float, float, float]
+
+
+@dataclass(frozen=True)
+class ShardStats:
+    """Per-shard slice of a sharded replay (see DESIGN.md Section 11).
+
+    ``energy`` is the *standalone* dynamic energy of the shard's own
+    commitments (each flow charged as if alone on its links) — an
+    attribution, not a partition of the report's exact stacked total,
+    which is superadditive across shards.
+    """
+
+    shard: str
+    flows: int
+    energy: float
+    misses: int
+    degraded_windows: int
+    solve_s: float
+
+    def describe(self) -> str:
+        return (
+            f"{self.shard}: {self.flows} flows, "
+            f"standalone energy {self.energy:.6g}, {self.misses} misses, "
+            f"{self.degraded_windows} degraded windows, "
+            f"solve {self.solve_s:.3g}s"
+        )
 
 
 @dataclass
@@ -73,6 +108,11 @@ class ReplayReport:
     #: Worst pre-normalization deviation of any flow's aggregated rounding
     #: distribution from 1 (relaxation policies only; 0.0 otherwise).
     max_weight_drift: float = 0.0
+    #: Windows whose relaxation was skipped for the greedy fallback
+    #: because the solve budget was exhausted (sharded service only).
+    degraded_windows: int = 0
+    #: Per-shard breakdown (sharded service only; None for ReplayEngine).
+    shard_stats: tuple[ShardStats, ...] | None = None
     schedules: list[FlowSchedule] | None = field(default=None, repr=False)
 
     @property
@@ -107,7 +147,225 @@ class ReplayReport:
         )
         if self.max_weight_drift > 0.0:
             text += f", max w_bar drift {self.max_weight_drift:.3g}"
+        if self.degraded_windows > 0:
+            text += (
+                f", {self.degraded_windows} window solves degraded to greedy"
+            )
+        if self.shard_stats is not None:
+            for stats in self.shard_stats:
+                text += f"\n  {stats.describe()}"
         return text
+
+
+def flow_verdict(
+    fs: FlowSchedule, flow: Flow, tol: float
+) -> tuple[bool, float, bool]:
+    """Judge one committed schedule: ``(in_span, delivered, missed)``.
+
+    ``missed`` is True when the flow finished late or short by more than
+    ``tol``; shared verbatim by the single-owner and sharded engines so
+    verdicts cannot drift between them.
+    """
+    segments = fs.segments
+    if len(segments) == 1:
+        # Fast path for the ubiquitous single-segment density profile;
+        # semantics identical to the generic branch.
+        seg = segments[0]
+        in_span = (
+            seg.start >= flow.release - tol
+            and seg.end <= flow.deadline + tol
+        )
+        delivered = seg.rate * (seg.end - seg.start)
+        completion = seg.end
+    else:
+        in_span = fs.within_span(tol)
+        delivered = fs.transmitted
+        completion = fs.completion_time()
+    late = completion > flow.deadline + tol * max(1.0, abs(flow.deadline))
+    short = delivered < flow.size * (1.0 - tol)
+    return in_span, delivered, late or short
+
+
+class WindowAccountant:
+    """Exact bounded-memory accounting of committed reservations.
+
+    Owns everything downstream of a policy's decision: the live-piece
+    ledger per link, the global two-event-per-segment energy heap, peak
+    rate / capacity tracking, and the lazily computed per-window
+    background vector.  The single-owner :class:`ReplayEngine` and the
+    sharded service engine both commit through this class, which is what
+    keeps their energy accounting bit-identical, and its state is plain
+    data so a service can :meth:`snapshot_state` mid-replay and restore
+    an equivalent accountant later.
+    """
+
+    def __init__(
+        self, topology: Topology, power: PowerModel, tol: float = 1e-6
+    ) -> None:
+        self.topology = topology
+        self.power = power
+        self.tol = tol
+        self.live: dict[Edge, list[_Piece]] = {}
+        self.active_links: set[Edge] = set()
+        # Global energy sweep state: one (time, edge_id, rate_delta) heap,
+        # plus each link's current stacked rate and last event time.
+        self.events: list[tuple[float, int, float]] = []
+        self.cur_rate = [0.0] * topology.num_edges
+        self.last_t = [0.0] * topology.num_edges
+        self.dynamic_energy = 0.0
+        self.peak_rate = 0.0
+        self.capacity_violations = 0
+        self.max_resident = 0
+        self.last_segment_end = -np.inf
+        self._edge_id = topology.edge_id
+        self._mu, self._alpha = power.mu, power.alpha
+        self._quadratic = power.alpha == 2.0
+        self._cap_limit = power.capacity * (1.0 + tol)
+        # Route memo: node path -> ((edge, edge_id), ...).  Distinct paths
+        # are few; recomputing canonical edges per flow is not.
+        self._route_edges: dict[
+            tuple[str, ...], tuple[tuple[Edge, int], ...]
+        ] = {}
+
+    # ------------------------------------------------------------------
+    # Commitment.
+    # ------------------------------------------------------------------
+    def route_of(self, fs: FlowSchedule) -> tuple[tuple[Edge, int], ...]:
+        edges = self._route_edges.get(fs.path)
+        if edges is None:
+            edges = tuple((e, self._edge_id(e)) for e in fs.edges)
+            self._route_edges[fs.path] = edges
+        return edges
+
+    def commit(self, fs: FlowSchedule) -> None:
+        """Register one irrevocable schedule: pieces, events, activity."""
+        for edge, eid in self.route_of(fs):
+            self.active_links.add(edge)
+            pieces = self.live.setdefault(edge, [])
+            for seg in fs.segments:
+                pieces.append((seg.start, seg.end, seg.rate))
+                heappush(self.events, (seg.start, eid, seg.rate))
+                heappush(self.events, (seg.end, eid, -seg.rate))
+                if seg.end > self.last_segment_end:
+                    self.last_segment_end = seg.end
+
+    # ------------------------------------------------------------------
+    # Energy sweep and garbage collection.
+    # ------------------------------------------------------------------
+    def sweep(self, upto: float) -> None:
+        """Drain the event heap through ``upto``, charging each link
+        ``mu * rate^alpha * dt`` between its own consecutive events."""
+        events, cur_rate, last_t = self.events, self.cur_rate, self.last_t
+        mu, alpha, quadratic = self._mu, self._alpha, self._quadratic
+        cap_limit = self._cap_limit
+        dynamic_energy = self.dynamic_energy
+        peak_rate = self.peak_rate
+        while events and events[0][0] <= upto:
+            t, eid, delta = heappop(events)
+            rate = cur_rate[eid]
+            if rate > 0.0:
+                dt = t - last_t[eid]
+                if dt > 0.0:
+                    if quadratic:  # rate*rate skips the pow kernel
+                        dynamic_energy += mu * rate * rate * dt
+                    else:
+                        dynamic_energy += mu * rate**alpha * dt
+                    if rate > peak_rate:
+                        peak_rate = rate
+                    if rate > cap_limit:
+                        self.capacity_violations += 1
+            cur_rate[eid] = rate + delta
+            last_t[eid] = t
+        self.dynamic_energy = dynamic_energy
+        self.peak_rate = peak_rate
+
+    def finalize(self, end: float) -> None:
+        """Close a window ending at ``end``: sweep energy, drop dead pieces."""
+        live = self.live
+        self.max_resident = max(
+            self.max_resident, sum(len(v) for v in live.values())
+        )
+        self.sweep(end)
+        for edge in list(live):
+            remaining = [p for p in live[edge] if p[1] > end]
+            if remaining:
+                live[edge] = remaining
+            else:
+                del live[edge]
+
+    def drain(self) -> None:
+        """Charge any boundary-exact trailing events (end of replay)."""
+        self.sweep(np.inf)
+
+    # ------------------------------------------------------------------
+    # Views.
+    # ------------------------------------------------------------------
+    def background(self, start: float, end: float) -> np.ndarray:
+        """Per-edge mean committed rate over ``[start, end)``."""
+        loads = np.zeros(self.topology.num_edges)
+        span = end - start
+        for edge, pieces in self.live.items():
+            total = 0.0
+            for s, e, r in pieces:
+                overlap = min(e, end) - max(s, start)
+                if overlap > 0.0:
+                    total += r * overlap
+            if total > 0.0:
+                loads[self._edge_id(edge)] = total / span
+        return loads
+
+    def next_live_start(self, floor: float) -> float | None:
+        """Earliest live-piece start clipped below at ``floor`` (None when
+        no pieces remain) — the engine's quiet-gap skip primitive."""
+        if not self.live:
+            return None
+        return min(
+            s if s > floor else floor
+            for pieces in self.live.values()
+            for s, _e, _r in pieces
+        )
+
+    @property
+    def has_live(self) -> bool:
+        return bool(self.live)
+
+    def idle_energy(self, t0: float, t1: float) -> float:
+        return self.power.sigma * (t1 - t0) * len(self.active_links)
+
+    # ------------------------------------------------------------------
+    # Snapshot plumbing (service engine).
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Plain-data snapshot of all accounting state (picklable)."""
+        return {
+            "live": {edge: list(pieces) for edge, pieces in self.live.items()},
+            "active_links": sorted(self.active_links),
+            "events": list(self.events),
+            "cur_rate": list(self.cur_rate),
+            "last_t": list(self.last_t),
+            "dynamic_energy": self.dynamic_energy,
+            "peak_rate": self.peak_rate,
+            "capacity_violations": self.capacity_violations,
+            "max_resident": self.max_resident,
+            "last_segment_end": self.last_segment_end,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Adopt a :meth:`snapshot_state` payload (same topology/power)."""
+        self.live = {
+            tuple(edge): [tuple(p) for p in pieces]
+            for edge, pieces in state["live"].items()
+        }
+        self.active_links = {tuple(e) for e in state["active_links"]}
+        self.events = [tuple(e) for e in state["events"]]
+        self.events.sort()  # heap invariant (sorted list is a valid heap)
+        self.cur_rate = list(state["cur_rate"])
+        self.last_t = list(state["last_t"])
+        self.dynamic_energy = state["dynamic_energy"]
+        self.peak_rate = state["peak_rate"]
+        self.capacity_violations = state["capacity_violations"]
+        self.max_resident = state["max_resident"]
+        self.last_segment_end = state["last_segment_end"]
 
 
 class ReplayEngine:
@@ -156,25 +414,12 @@ class ReplayEngine:
         topology, power, window = self._topology, self._power, self._window
         self._policy.reset()
 
-        live: dict[Edge, list[_Piece]] = {}
-        active_links: set[Edge] = set()
+        acct = WindowAccountant(topology, power, tol=self._tol)
         kept: list[FlowSchedule] | None = [] if self._keep else None
         # One dict per run, threaded through every WindowContext so a
         # policy's warm state (e.g. a relaxation session) survives window
         # boundaries but never a run boundary.
         carry: dict = {}
-
-        # Global energy sweep state: one (time, edge_id, rate_delta) heap,
-        # plus each link's current stacked rate and last event time.
-        events: list[tuple[float, int, float]] = []
-        edge_id = topology.edge_id
-        cur_rate = [0.0] * topology.num_edges
-        last_t = [0.0] * topology.num_edges
-        mu, alpha = power.mu, power.alpha
-        cap_limit = power.capacity * (1.0 + self._tol)
-        # Route memo: node path -> ((edge, edge_id), ...).  Distinct paths
-        # are few; recomputing canonical edges per flow is not.
-        route_edges: dict[tuple[str, ...], tuple[tuple[Edge, int], ...]] = {}
 
         flows_seen = 0
         flows_served = 0
@@ -182,12 +427,7 @@ class ReplayEngine:
         unserved = 0
         volume_offered = 0.0
         volume_delivered = 0.0
-        dynamic_energy = 0.0
-        peak_rate = 0.0
-        capacity_violations = 0
-        max_resident = 0
         max_window_arrivals = 0
-        last_segment_end = -np.inf
 
         iterator = iter(trace)
         first = next(iterator, None)
@@ -204,19 +444,19 @@ class ReplayEngine:
 
         def schedule_window(k: int, arrivals: list[Flow]) -> None:
             nonlocal flows_served, misses, unserved, volume_offered
-            nonlocal volume_delivered, last_segment_end, max_window_arrivals
+            nonlocal volume_delivered, max_window_arrivals
             max_window_arrivals = max(max_window_arrivals, len(arrivals))
             if not arrivals:
                 return
             start, end = window_bounds(k)
-            # background_fn reads ``live`` lazily; the policy runs before
-            # any of this window's commits, so the view is consistent.
+            # The background view reads the live ledger lazily; the policy
+            # runs before any of this window's commits, so it is consistent.
             ctx = WindowContext(
                 topology=topology,
                 power=power,
                 start=start,
                 end=end,
-                background_fn=lambda: self._background(live, start, end),
+                background_fn=lambda: acct.background(start, end),
                 carry=carry,
             )
             by_id = {flow.id: flow for flow in arrivals}
@@ -236,21 +476,7 @@ class ReplayEngine:
                         f"policy {self._policy.name!r} scheduled flow "
                         f"{fs.flow.id!r} twice"
                     )
-                segments = fs.segments
-                if len(segments) == 1:
-                    # Fast path for the ubiquitous single-segment density
-                    # profile; semantics identical to the generic branch.
-                    seg = segments[0]
-                    in_span = (
-                        seg.start >= flow.release - self._tol
-                        and seg.end <= flow.deadline + self._tol
-                    )
-                    delivered = seg.rate * (seg.end - seg.start)
-                    completion = seg.end
-                else:
-                    in_span = fs.within_span(self._tol)
-                    delivered = fs.transmitted
-                    completion = fs.completion_time()
+                in_span, delivered, missed = flow_verdict(fs, flow, self._tol)
                 if not in_span:
                     raise ValidationError(
                         f"policy {self._policy.name!r}: flow {fs.flow.id!r} "
@@ -259,64 +485,12 @@ class ReplayEngine:
                 served_ids.add(fs.flow.id)
                 flows_served += 1
                 volume_delivered += delivered
-                late = completion > flow.deadline + self._tol * max(
-                    1.0, abs(flow.deadline)
-                )
-                short = delivered < flow.size * (1.0 - self._tol)
-                if late or short:
+                if missed:
                     misses += 1
-                edges = route_edges.get(fs.path)
-                if edges is None:
-                    edges = tuple((e, edge_id(e)) for e in fs.edges)
-                    route_edges[fs.path] = edges
-                for edge, eid in edges:
-                    active_links.add(edge)
-                    pieces = live.setdefault(edge, [])
-                    for seg in fs.segments:
-                        pieces.append((seg.start, seg.end, seg.rate))
-                        heappush(events, (seg.start, eid, seg.rate))
-                        heappush(events, (seg.end, eid, -seg.rate))
-                        last_segment_end = max(last_segment_end, seg.end)
+                acct.commit(fs)
                 if kept is not None:
                     kept.append(fs)
             unserved += len(arrivals) - len(served_ids)
-
-        quadratic = alpha == 2.0
-
-        def sweep_events(upto: float) -> None:
-            """Drain the event heap through ``upto``, charging each link
-            ``mu * rate^alpha * dt`` between its own consecutive events."""
-            nonlocal dynamic_energy, peak_rate, capacity_violations
-            while events and events[0][0] <= upto:
-                t, eid, delta = heappop(events)
-                rate = cur_rate[eid]
-                if rate > 0.0:
-                    dt = t - last_t[eid]
-                    if dt > 0.0:
-                        if quadratic:  # rate*rate skips the pow kernel
-                            dynamic_energy += mu * rate * rate * dt
-                        else:
-                            dynamic_energy += mu * rate**alpha * dt
-                        if rate > peak_rate:
-                            peak_rate = rate
-                        if rate > cap_limit:
-                            capacity_violations += 1
-                cur_rate[eid] = rate + delta
-                last_t[eid] = t
-
-        def finalize_window(k: int) -> None:
-            nonlocal max_resident
-            _start, end = window_bounds(k)
-            max_resident = max(
-                max_resident, sum(len(v) for v in live.values())
-            )
-            sweep_events(end)
-            for edge in list(live):
-                remaining = [p for p in live[edge] if p[1] > end]
-                if remaining:
-                    live[edge] = remaining
-                else:
-                    del live[edge]
 
         def next_busy_window(after: int, upto: int) -> int:
             """First window in ``[after, upto]`` with accounting work.
@@ -326,14 +500,9 @@ class ReplayEngine:
             windows between are pure zeros and are skipped in one step —
             a month-long MMPP silence costs one min(), not 10^6 sweeps.
             """
-            if not live:
+            next_t = acct.next_live_start(t0 + after * window)
+            if next_t is None:
                 return upto
-            floor = t0 + after * window
-            next_t = min(
-                s if s > floor else floor
-                for pieces in live.values()
-                for s, _e, _r in pieces
-            )
             return max(after, min(upto, int((next_t - t0) // window)))
 
         for flow in iterator:
@@ -347,7 +516,7 @@ class ReplayEngine:
             k = int((flow.release - t0) // window)
             while k > current:
                 schedule_window(current, pending)
-                finalize_window(current)
+                acct.finalize(window_bounds(current)[1])
                 pending = []
                 current += 1
                 if k > current:
@@ -355,16 +524,19 @@ class ReplayEngine:
             pending.append(flow)
 
         schedule_window(current, pending)
-        finalize_window(current)
+        acct.finalize(window_bounds(current)[1])
         current += 1
-        while live:
+        while acct.has_live:
             current = next_busy_window(current, 1 << 62)
-            finalize_window(current)
+            acct.finalize(window_bounds(current)[1])
             current += 1
-        sweep_events(np.inf)  # drain any boundary-exact trailing events
+        acct.drain()
 
-        t1 = last_segment_end if last_segment_end > t0 else last_release
-        idle = power.sigma * (t1 - t0) * len(active_links)
+        t1 = (
+            acct.last_segment_end
+            if acct.last_segment_end > t0
+            else last_release
+        )
         return ReplayReport(
             policy=self._policy.name,
             window=window,
@@ -376,36 +548,16 @@ class ReplayEngine:
             unserved=unserved,
             volume_offered=volume_offered,
             volume_delivered=volume_delivered,
-            idle_energy=idle,
-            dynamic_energy=dynamic_energy,
-            active_links=len(active_links),
-            peak_link_rate=peak_rate,
-            capacity_violations=capacity_violations,
+            idle_energy=acct.idle_energy(t0, t1),
+            dynamic_energy=acct.dynamic_energy,
+            active_links=len(acct.active_links),
+            peak_link_rate=acct.peak_rate,
+            capacity_violations=acct.capacity_violations,
             policy_fallbacks=getattr(self._policy, "fallbacks", 0),
-            max_resident_segments=max_resident,
+            max_resident_segments=acct.max_resident,
             max_window_arrivals=max_window_arrivals,
             max_weight_drift=float(
                 getattr(self._policy, "max_weight_drift", 0.0)
             ),
             schedules=kept,
         )
-
-    # ------------------------------------------------------------------
-    # Helpers.
-    # ------------------------------------------------------------------
-    def _background(
-        self, live: dict[Edge, list[_Piece]], start: float, end: float
-    ) -> np.ndarray:
-        """Per-edge mean committed rate over ``[start, end)``."""
-        topology = self._topology
-        loads = np.zeros(topology.num_edges)
-        span = end - start
-        for edge, pieces in live.items():
-            total = 0.0
-            for s, e, r in pieces:
-                overlap = min(e, end) - max(s, start)
-                if overlap > 0.0:
-                    total += r * overlap
-            if total > 0.0:
-                loads[topology.edge_id(edge)] = total / span
-        return loads

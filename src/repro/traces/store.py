@@ -32,6 +32,7 @@ from repro.flows.flow import Flow
 
 __all__ = [
     "TRACE_VERSION",
+    "TraceReader",
     "write_trace_jsonl",
     "read_trace_jsonl",
     "write_trace_csv",
@@ -134,6 +135,112 @@ def read_trace_jsonl(path: str) -> Iterator[Flow]:
                 yield _flow_from_record(entry, f"{path}:{lineno}")
 
     return flows()
+
+
+class TraceReader:
+    """Seekable streaming reader over a JSONL trace.
+
+    The plain :func:`read_trace_jsonl` iterator is enough for one-shot
+    replays; long-lived consumers (the replay service's
+    ``snapshot()``/``restore()``) additionally need a *cursor*: an opaque
+    byte offset recorded mid-stream that a fresh reader can
+    :meth:`seek` to and continue from, flow for flow.  Because the store
+    is line-oriented (one flow per line, ``repr`` floats), a cursor is
+    simply the file offset of the next unread line — stable across
+    processes and across re-openings of the same file.
+
+    Usage::
+
+        reader = TraceReader(path)
+        for flow in reader:
+            ...
+            cursor = reader.tell()      # resume point AFTER this flow
+
+        later = TraceReader(path)
+        later.seek(cursor)
+        for flow in later:              # continues where we left off
+            ...
+
+    The header is validated eagerly, exactly like
+    :func:`read_trace_jsonl`.  ``seek(0)`` (or ``seek`` to
+    :attr:`start`) rewinds to the first flow.
+    """
+
+    def __init__(self, path: str) -> None:
+        self._path = path
+        self._handle = open(path, "rb")
+        try:
+            header_line = self._handle.readline()
+            try:
+                header = json.loads(header_line)
+            except json.JSONDecodeError as exc:
+                raise ValidationError(
+                    f"{path}: not a JSONL trace ({exc})"
+                ) from exc
+            if not isinstance(header, dict) or header.get("kind") != "trace":
+                raise ValidationError(f"{path}: expected a trace header")
+            if header.get("version") != TRACE_VERSION:
+                raise ValidationError(
+                    f"{path}: unsupported trace version "
+                    f"{header.get('version')!r} (expected {TRACE_VERSION})"
+                )
+        except BaseException:
+            self._handle.close()
+            raise
+        self._start = self._handle.tell()
+
+    @property
+    def path(self) -> str:
+        return self._path
+
+    @property
+    def start(self) -> int:
+        """Cursor of the first flow (just past the header line)."""
+        return self._start
+
+    def tell(self) -> int:
+        """Cursor of the next unread flow (byte offset into the file)."""
+        return self._handle.tell()
+
+    def seek(self, cursor: int) -> None:
+        """Position the reader so iteration resumes at ``cursor``.
+
+        ``cursor`` must be a value previously returned by :meth:`tell`
+        (or :attr:`start`, or 0 to rewind); anything else lands mid-line
+        and the next read fails validation rather than yielding a
+        corrupted flow.
+        """
+        if cursor < 0:
+            raise ValidationError(f"cursor must be >= 0, got {cursor}")
+        self._handle.seek(self._start if cursor < self._start else cursor)
+
+    def __iter__(self) -> Iterator[Flow]:
+        return self
+
+    def __next__(self) -> Flow:
+        while True:
+            offset = self._handle.tell()
+            line = self._handle.readline()
+            if not line:
+                raise StopIteration
+            if not line.strip():
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValidationError(
+                    f"{self._path}@{offset}: bad JSON ({exc})"
+                ) from exc
+            return _flow_from_record(entry, f"{self._path}@{offset}")
+
+    def close(self) -> None:
+        self._handle.close()
+
+    def __enter__(self) -> "TraceReader":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,171 @@
+"""Tests for topology partitioning (service/partition.py)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import TopologyError, ValidationError
+from repro.flows import Flow
+from repro.service import partition_topology
+from repro.topology import jellyfish
+
+
+def _flow(src: str, dst: str) -> Flow:
+    return Flow(id=f"{src}->{dst}", src=src, dst=dst, size=1.0,
+                release=0.0, deadline=1.0)
+
+
+class TestNaturalGroups:
+    def test_fat_tree_pods_become_shards(self, ft4):
+        partition = partition_topology(ft4)
+        assert partition.num_shards == 4
+        for shard in partition.shards:
+            assert len(shard.groups) == 1
+            assert shard.groups[0].startswith("pod")
+            # k=4 pod: 2 agg + 2 edge + 4 hosts.
+            assert len(shard.topology.nodes) == 8
+            assert shard.num_hosts == 4
+        # Core switches belong to no shard.
+        sharded_nodes = {
+            n for s in partition.shards for n in s.topology.nodes
+        }
+        cores = set(ft4.nodes) - sharded_nodes
+        assert len(cores) == 4
+        assert all(ft4.node_groups.get(c) is None for c in cores)
+
+    def test_leaf_spine_leaves_become_shards(self, small_leafspine):
+        partition = partition_topology(small_leafspine)
+        assert partition.num_shards == 2
+        for shard in partition.shards:
+            assert shard.groups[0].startswith("leaf")
+            assert shard.num_hosts == 2
+
+    def test_boundary_edges_are_exactly_the_unsharded_ones(self, ft4):
+        partition = partition_topology(ft4)
+        shard_edges = set()
+        for shard in partition.shards:
+            shard_edges.update(shard.edge_map.tolist())
+        boundary = set(partition.boundary_edge_ids.tolist())
+        assert shard_edges | boundary == set(range(ft4.num_edges))
+        assert shard_edges & boundary == set()
+        # In a k=4 fat tree the boundary is the 16 agg-to-core links.
+        assert len(boundary) == 16
+
+    def test_edge_map_translates_local_vectors(self, ft4):
+        partition = partition_topology(ft4)
+        global_vec = np.arange(ft4.num_edges, dtype=float)
+        for shard in partition.shards:
+            local = global_vec[shard.edge_map]
+            for local_id, edge in enumerate(shard.topology.edges):
+                assert local[local_id] == ft4.edge_id(edge)
+
+    def test_more_shards_than_groups_is_capped(self, ft4):
+        assert partition_topology(ft4, num_shards=9).num_shards == 4
+
+
+class TestMergedGroups:
+    def test_merge_balances_hosts(self, ft4):
+        partition = partition_topology(ft4, num_shards=2)
+        assert partition.num_shards == 2
+        assert [s.num_hosts for s in partition.shards] == [8, 8]
+        assert all(len(s.groups) == 2 for s in partition.shards)
+
+    def test_merged_pods_are_separate_components(self, ft4):
+        """Two pods only meet at the core, so a merged shard is
+        disconnected and its flows must not be treated as intra-shard."""
+        partition = partition_topology(ft4, num_shards=2)
+        shard = partition.shards[0]
+        pods = {}
+        for node in shard.topology.nodes:
+            label = ft4.node_groups[node]
+            pods.setdefault(label, []).append(node)
+        (pod_a, nodes_a), (pod_b, nodes_b) = sorted(pods.items())
+        host_a = next(n for n in nodes_a if n in ft4.hosts)
+        host_b = next(n for n in nodes_b if n in ft4.hosts)
+        assert partition.shard_of(_flow(host_a, host_b)) is None
+        same_pod = [n for n in nodes_a if n in ft4.hosts]
+        assert partition.shard_of(_flow(same_pod[0], same_pod[1])) == 0
+
+
+class TestFlowAssignment:
+    def test_intra_pod_flow_is_local(self, ft4):
+        partition = partition_topology(ft4)
+        groups: dict[str, list[str]] = {}
+        for host in ft4.hosts:
+            groups.setdefault(ft4.node_groups[host], []).append(host)
+        for index, label in enumerate(sorted(groups)):
+            a, b = groups[label][:2]
+            assert partition.shard_of(_flow(a, b)) == index
+
+    def test_cross_pod_flow_is_global(self, ft4):
+        partition = partition_topology(ft4)
+        pods: dict[str, list[str]] = {}
+        for host in ft4.hosts:
+            pods.setdefault(ft4.node_groups[host], []).append(host)
+        labels = sorted(pods)
+        assert partition.shard_of(
+            _flow(pods[labels[0]][0], pods[labels[1]][0])
+        ) is None
+
+    def test_backbone_endpoint_is_global(self, ft4):
+        partition = partition_topology(ft4)
+        core = next(
+            n for n in ft4.switches if ft4.node_groups.get(n) is None
+        )
+        host = ft4.hosts[0]
+        assert partition.shard_of(_flow(host, core)) is None
+
+
+class TestGreedyEdgeCut:
+    def test_unannotated_topology_requires_num_shards(self):
+        topo = jellyfish(num_switches=12, switch_degree=4, hosts_per_switch=2, seed=0)
+        assert not topo.node_groups
+        with pytest.raises(ValidationError):
+            partition_topology(topo)
+
+    def test_cut_is_balanced_and_covers_all_hosts(self):
+        topo = jellyfish(num_switches=12, switch_degree=4, hosts_per_switch=2, seed=0)
+        partition = partition_topology(topo, num_shards=3)
+        assert partition.num_shards == 3
+        hosts = [s.num_hosts for s in partition.shards]
+        assert sum(hosts) == len(topo.hosts)
+        assert max(hosts) - min(hosts) <= len(topo.hosts) // 3
+        assert len(partition.boundary_edge_ids) > 0
+
+    def test_cut_is_deterministic(self):
+        topo = jellyfish(num_switches=10, switch_degree=4, hosts_per_switch=2, seed=1)
+        a = partition_topology(topo, num_shards=2)
+        b = partition_topology(topo, num_shards=2)
+        assert [tuple(s.topology.nodes) for s in a.shards] == [
+            tuple(s.topology.nodes) for s in b.shards
+        ]
+        assert a.boundary_edge_ids.tolist() == b.boundary_edge_ids.tolist()
+
+    def test_too_many_shards_rejected(self):
+        topo = jellyfish(num_switches=4, switch_degree=3, hosts_per_switch=1, seed=0)
+        with pytest.raises(ValidationError):
+            partition_topology(topo, num_shards=10)
+
+
+class TestValidation:
+    def test_bad_num_shards(self, ft4):
+        with pytest.raises(ValidationError):
+            partition_topology(ft4, num_shards=0)
+
+    def test_describe_mentions_shards_and_boundary(self, ft4):
+        text = partition_topology(ft4).describe()
+        assert "4 shards" in text
+        assert "boundary links" in text
+
+    def test_group_metadata_validated(self):
+        import networkx as nx
+
+        from repro.topology.base import Topology
+
+        graph = nx.path_graph(3)
+        graph = nx.relabel_nodes(graph, {0: "h0", 1: "s0", 2: "h1"})
+        for node in graph.nodes:
+            graph.nodes[node]["kind"] = "host" if node.startswith("h") else "switch"
+        with pytest.raises(TopologyError):
+            Topology(graph, groups={"ghost": "g0"})

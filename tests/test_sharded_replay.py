@@ -1,0 +1,368 @@
+"""Tests for the sharded streaming-replay service (service/sharded.py, api.py).
+
+The load-bearing pins:
+
+* greedy mode is **bit-for-bit** identical to the single-owner
+  :class:`ReplayEngine` driving :class:`GreedyDensityPolicy` — same
+  accountant, same verdicts, same float accumulation order;
+* a run that is snapshotted mid-trace and restored into a fresh process
+  produces the *same report* as the uninterrupted run;
+* degrade-under-pressure is recorded honestly (the report says which
+  windows fell back to greedy).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.flows import Flow
+from repro.power import PowerModel
+from repro.service import (
+    ReplayService,
+    ShardedReplayEngine,
+    SolveBudget,
+    partition_topology,
+)
+from repro.traces import (
+    GreedyDensityPolicy,
+    PoissonProcess,
+    ReplayEngine,
+    TraceSpec,
+    generate_trace,
+    lognormal_sizes,
+    proportional_slack,
+    write_trace_jsonl,
+)
+from repro.topology import fat_tree, leaf_spine
+
+# The thirteen report fields the sharded greedy engine pins exactly to
+# the single-owner engine (policy/name and solve timings excluded).
+PINNED_FIELDS = (
+    "window",
+    "windows",
+    "horizon",
+    "flows_seen",
+    "flows_served",
+    "deadline_misses",
+    "unserved",
+    "volume_offered",
+    "volume_delivered",
+    "idle_energy",
+    "dynamic_energy",
+    "active_links",
+    "peak_link_rate",
+    "capacity_violations",
+)
+
+
+def _trace(topology, n, seed, rate=4.0):
+    spec = TraceSpec(
+        arrivals=PoissonProcess(rate),
+        duration=max(4.0, n / rate),
+        size_sampler=lognormal_sizes(1.0, 0.6),
+        slack_model=proportional_slack(3.0, 1.0),
+        seed=seed,
+    )
+    return [f for _, f in zip(range(n), generate_trace(topology, spec))]
+
+
+def _pinned(report):
+    return {name: getattr(report, name) for name in PINNED_FIELDS}
+
+
+def _normalized(report):
+    """Report with wall-clock solve timings zeroed (everything else kept)."""
+    stats = None
+    if report.shard_stats is not None:
+        stats = tuple(
+            dataclasses.replace(s, solve_s=0.0) for s in report.shard_stats
+        )
+    return dataclasses.replace(report, shard_stats=stats)
+
+
+class TestGreedyBitForBit:
+    @pytest.mark.parametrize("fixture", ["ft4", "small_leafspine"])
+    def test_matches_single_owner_engine(self, fixture, powerdown, request):
+        topology = request.getfixturevalue(fixture)
+        flows = _trace(topology, 80, seed=3)
+        baseline = ReplayEngine(
+            topology, powerdown, GreedyDensityPolicy(), window=1.0
+        ).run(flows)
+        with ShardedReplayEngine(
+            topology, powerdown, window=1.0, mode="greedy"
+        ) as engine:
+            sharded = engine.run(flows)
+        assert _pinned(sharded) == _pinned(baseline)
+
+    def test_pipeline_depth_does_not_change_results(self, ft4, quadratic):
+        flows = _trace(ft4, 60, seed=11)
+        reports = []
+        for depth in (1, 3):
+            with ShardedReplayEngine(
+                ft4, quadratic, window=1.0, mode="greedy", pipeline_depth=depth
+            ) as engine:
+                reports.append(engine.run(flows))
+        assert _pinned(reports[0]) == _pinned(reports[1])
+
+
+# Hypothesis pin: all-intra-shard traffic on the two natural-boundary
+# fabrics must match the unsharded engine verdict for verdict.
+FABRICS = {
+    "fat_tree4": fat_tree(4),
+    "leaf_spine": leaf_spine(2, 2, hosts_per_leaf=3),
+}
+POWER = PowerModel.quadratic()
+
+
+def _hosts_by_group(topology):
+    groups: dict[str, list[str]] = {}
+    for host in topology.hosts:
+        groups.setdefault(topology.node_groups[host], []).append(host)
+    return [members for _, members in sorted(groups.items())]
+
+
+@st.composite
+def intra_shard_workloads(draw):
+    name = draw(st.sampled_from(sorted(FABRICS)))
+    topology = FABRICS[name]
+    groups = _hosts_by_group(topology)
+    n = draw(st.integers(2, 7))
+    flows = []
+    release = 0.0
+    for i in range(n):
+        release += draw(st.floats(0.0, 2.0, allow_nan=False))
+        members = groups[draw(st.integers(0, len(groups) - 1))]
+        src, dst = draw(
+            st.lists(
+                st.sampled_from(members), min_size=2, max_size=2, unique=True
+            )
+        )
+        flows.append(
+            Flow(
+                id=i,
+                src=src,
+                dst=dst,
+                size=draw(st.floats(0.5, 8.0, allow_nan=False)),
+                release=release,
+                deadline=release + draw(st.floats(0.5, 6.0, allow_nan=False)),
+            )
+        )
+    return topology, flows
+
+
+class TestIntraShardPin:
+    @settings(max_examples=15, deadline=None)
+    @given(case=intra_shard_workloads())
+    def test_verdicts_match_unsharded_engine(self, case):
+        topology, flows = case
+        baseline = ReplayEngine(
+            topology, POWER, GreedyDensityPolicy(), window=1.5
+        ).run(flows)
+        with ShardedReplayEngine(
+            topology, POWER, window=1.5, mode="greedy"
+        ) as engine:
+            sharded = engine.run(flows)
+        assert _pinned(sharded) == _pinned(baseline)
+        # Every flow stayed inside its shard: the cross-shard lane is empty.
+        cross = next(
+            s for s in sharded.shard_stats if s.shard == "cross-shard"
+        )
+        assert cross.flows == 0
+
+
+class TestSnapshotRestore:
+    @pytest.mark.parametrize("cut", [1, 25, 55])
+    def test_greedy_restore_is_bit_identical(self, ft4, powerdown, cut):
+        flows = _trace(ft4, 70, seed=5)
+        with ShardedReplayEngine(
+            ft4, powerdown, window=1.0, mode="greedy"
+        ) as engine:
+            uninterrupted = engine.run(flows)
+        with ShardedReplayEngine(
+            ft4, powerdown, window=1.0, mode="greedy"
+        ) as first:
+            for flow in flows[:cut]:
+                first.feed(flow)
+            state = first.snapshot_state()
+        restored = ShardedReplayEngine.restore_state(ft4, powerdown, state)
+        try:
+            for flow in flows[cut:]:
+                restored.feed(flow)
+            resumed = restored.finish()
+        finally:
+            restored.close()
+        assert _normalized(resumed) == _normalized(uninterrupted)
+
+    def test_relax_restore_is_bit_identical(self, small_leafspine, quadratic):
+        flows = _trace(small_leafspine, 30, seed=9)
+        kwargs = dict(
+            window=1.0, mode="relax", seed=4, fw_max_iterations=12
+        )
+        with ShardedReplayEngine(
+            small_leafspine, quadratic, **kwargs
+        ) as engine:
+            uninterrupted = engine.run(flows)
+        with ShardedReplayEngine(
+            small_leafspine, quadratic, **kwargs
+        ) as first:
+            for flow in flows[:13]:
+                first.feed(flow)
+            state = first.snapshot_state()
+        restored = ShardedReplayEngine.restore_state(
+            small_leafspine, quadratic, state
+        )
+        try:
+            for flow in flows[13:]:
+                restored.feed(flow)
+            resumed = restored.finish()
+        finally:
+            restored.close()
+        assert _normalized(resumed) == _normalized(uninterrupted)
+
+    def test_restore_rejects_wrong_topology(self, ft4, quadratic):
+        with ShardedReplayEngine(
+            ft4, quadratic, window=1.0, mode="greedy"
+        ) as engine:
+            engine.feed(_trace(ft4, 5, seed=0)[0])
+            state = engine.snapshot_state()
+        other = fat_tree(6)
+        with pytest.raises(ValidationError):
+            ShardedReplayEngine.restore_state(other, quadratic, state)
+
+
+class TestRelaxMode:
+    def test_deterministic_and_beats_greedy_energy(self, ft4, quadratic):
+        flows = _trace(ft4, 60, seed=21)
+        kwargs = dict(window=1.0, mode="relax", seed=2, fw_max_iterations=20)
+        reports = []
+        for _ in range(2):
+            with ShardedReplayEngine(ft4, quadratic, **kwargs) as engine:
+                reports.append(engine.run(flows))
+        assert _normalized(reports[0]) == _normalized(reports[1])
+        with ShardedReplayEngine(
+            ft4, quadratic, window=1.0, mode="greedy"
+        ) as engine:
+            greedy = engine.run(flows)
+        relax = reports[0]
+        assert relax.flows_served >= greedy.flows_served
+        assert relax.dynamic_energy < greedy.dynamic_energy
+        assert relax.capacity_violations == 0
+
+    def test_summary_has_per_shard_breakdown(self, ft4, quadratic):
+        flows = _trace(ft4, 40, seed=13)
+        with ShardedReplayEngine(
+            ft4, quadratic, window=1.0, mode="greedy"
+        ) as engine:
+            report = engine.run(flows)
+        text = report.summary()
+        assert "shard0[pod00]" in text
+        assert "cross-shard" in text
+        assert report.shard_stats is not None
+        assert sum(s.flows for s in report.shard_stats) == report.flows_served
+
+
+class TestDegrade:
+    def test_zero_budget_degrades_and_recovers(self, ft4, quadratic):
+        flows = _trace(ft4, 60, seed=17)
+        with ShardedReplayEngine(
+            ft4,
+            quadratic,
+            window=1.0,
+            mode="relax",
+            fw_max_iterations=15,
+            budget=SolveBudget(per_window_s=0.0),
+        ) as engine:
+            report = engine.run(flows)
+        # Honest accounting: some windows degraded, and the probing
+        # recovery means not every window did.
+        assert 0 < report.degraded_windows < report.windows
+        assert "degraded to greedy" in report.summary()
+
+    def test_queue_depth_trigger(self, ft4, quadratic):
+        flows = _trace(ft4, 60, seed=17)
+        with ShardedReplayEngine(
+            ft4,
+            quadratic,
+            window=1.0,
+            mode="relax",
+            fw_max_iterations=15,
+            budget=SolveBudget(max_in_flight=0),
+        ) as engine:
+            report = engine.run(flows)
+        assert report.degraded_windows > 0
+
+    def test_unlimited_budget_never_degrades(self, ft4, quadratic):
+        flows = _trace(ft4, 30, seed=17)
+        with ShardedReplayEngine(
+            ft4, quadratic, window=1.0, mode="relax", fw_max_iterations=10
+        ) as engine:
+            report = engine.run(flows)
+        assert report.degraded_windows == 0
+
+    def test_budget_validation(self):
+        with pytest.raises(ValidationError):
+            SolveBudget(per_window_s=-1.0)
+        with pytest.raises(ValidationError):
+            SolveBudget(max_in_flight=-3)
+
+
+class TestReplayService:
+    def test_submit_poll_drain(self, ft4, quadratic):
+        flows = _trace(ft4, 50, seed=8)
+        with ReplayService(
+            ft4, quadratic, window=1.0, mode="greedy"
+        ) as service:
+            assert service.submit_many(flows[:40]) == 40
+            seen = service.poll()
+            assert all(w.arrivals >= 0 for w in seen)
+            later = service.poll()
+            # poll() is a cursor: already-reported windows do not repeat.
+            assert not set(w.index for w in seen) & set(
+                w.index for w in later
+            )
+            service.submit_many(flows[40:])
+            report = service.drain()
+        assert report.flows_seen == 50
+
+    def test_snapshot_restore_round_trip(self, ft4, powerdown, tmp_path):
+        trace_path = str(tmp_path / "trace.jsonl")
+        flows = _trace(ft4, 60, seed=15)
+        write_trace_jsonl(flows, trace_path)
+
+        with ReplayService(
+            ft4, powerdown, window=1.0, mode="greedy"
+        ) as service:
+            service.serve_trace(trace_path)
+            uninterrupted = service.drain()
+
+        service = ReplayService(ft4, powerdown, window=1.0, mode="greedy")
+        served = service.serve_trace(trace_path, limit=25)
+        assert served == 25
+        blob_path = str(tmp_path / "service.snap")
+        service.snapshot(blob_path)
+        service.close()
+
+        resumed = ReplayService.restore(ft4, powerdown, blob_path)
+        try:
+            assert resumed.flows_submitted == 25
+            resumed.resume_trace()
+            report = resumed.drain()
+        finally:
+            resumed.close()
+        assert _normalized(report) == _normalized(uninterrupted)
+
+    def test_explicit_partition_is_honored(self, ft4, quadratic):
+        partition = partition_topology(ft4, num_shards=2)
+        with ReplayService(
+            ft4, quadratic, window=1.0, mode="greedy", partition=partition
+        ) as service:
+            assert service.partition.num_shards == 2
+            service.submit_many(_trace(ft4, 20, seed=2))
+            report = service.drain()
+        labels = [s.shard for s in report.shard_stats]
+        assert len(labels) == 3  # 2 shards + cross-shard lane

@@ -344,3 +344,92 @@ class TestStore:
         write_trace_csv([flow], csv)
         assert list(read_trace_jsonl(jsonl)) == [flow]
         assert list(read_trace_csv(csv)) == [flow]
+
+
+class TestTraceReader:
+    """Seekable byte-offset cursors over the JSONL store."""
+
+    def _write(self, tmp_path, n=20, seed=5):
+        from repro.topology import fat_tree
+        from repro.traces import TraceReader  # noqa: F401 - import check
+
+        topology = fat_tree(4)
+        flows = list(
+            generate_trace(
+                topology,
+                TraceSpec(
+                    arrivals=PoissonProcess(4.0),
+                    duration=float(n),
+                    size_sampler=lognormal_sizes(1.0, 0.5),
+                    slack_model=proportional_slack(2.0, 1.0),
+                    seed=seed,
+                ),
+            )
+        )
+        path = str(tmp_path / "trace.jsonl")
+        write_trace_jsonl(flows, path)
+        return path, flows
+
+    def test_reader_yields_same_flows_as_plain_iterator(self, tmp_path):
+        from repro.traces import TraceReader
+
+        path, flows = self._write(tmp_path)
+        with TraceReader(path) as reader:
+            assert list(reader) == flows
+
+    def test_cursor_round_trip_at_every_position(self, tmp_path):
+        from repro.traces import TraceReader
+
+        path, flows = self._write(tmp_path, n=8)
+        cursors = []
+        with TraceReader(path) as reader:
+            for _ in reader:
+                cursors.append(reader.tell())
+        assert len(cursors) == len(flows)
+        for i, cursor in enumerate(cursors):
+            fresh = TraceReader(path)
+            fresh.seek(cursor)
+            assert list(fresh) == flows[i + 1 :]
+            fresh.close()
+
+    def test_seek_zero_and_start_rewind(self, tmp_path):
+        from repro.traces import TraceReader
+
+        path, flows = self._write(tmp_path, n=6)
+        with TraceReader(path) as reader:
+            first = next(iter(reader))
+            assert first == flows[0]
+            reader.seek(0)
+            assert next(iter(reader)) == flows[0]
+            reader.seek(reader.start)
+            assert list(reader) == flows
+
+    def test_negative_cursor_rejected(self, tmp_path):
+        from repro.traces import TraceReader
+
+        path, _ = self._write(tmp_path, n=3)
+        with TraceReader(path) as reader:
+            with pytest.raises(ValidationError):
+                reader.seek(-1)
+
+    def test_bad_header_rejected(self, tmp_path):
+        from repro.traces import TraceReader
+
+        path = str(tmp_path / "bad.jsonl")
+        with open(path, "w") as handle:
+            handle.write('{"kind":"nope"}\n')
+        with pytest.raises(ValidationError):
+            TraceReader(path)
+
+    def test_mid_line_cursor_fails_loudly(self, tmp_path):
+        from repro.traces import TraceReader
+
+        path, _ = self._write(tmp_path, n=5)
+        with TraceReader(path) as reader:
+            next(iter(reader))
+            good = reader.tell()
+        broken = TraceReader(path)
+        broken.seek(good + 3)  # mid-line: must not yield a corrupt flow
+        with pytest.raises(ValidationError):
+            list(broken)
+        broken.close()
