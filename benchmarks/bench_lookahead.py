@@ -1,0 +1,108 @@
+"""Benchmark PERF-LOOKAHEAD: the predictive replay tier.
+
+Replays the ABL-LOOKAHEAD two-class diurnal workload (hotspot mice +
+cross-boundary elephants on the asymmetric :func:`~repro.topology.simple.
+pod_mesh` fabric) through the reactive
+:class:`~repro.traces.policies.RelaxationRoundingPolicy` and the
+predictive :class:`~repro.traces.forecast.LookaheadRelaxationPolicy`
+under identical seeds.  ``BENCH_lookahead.json`` records both wall
+clocks, the forecast overhead ratio (observe + phantom co-relaxation per
+window), and the energy delta the hedge buys — the longitudinal trend
+guard for the predictive tier: a regression shows up either as the
+overhead ratio creeping up or the delta drifting toward zero.
+
+``BENCH_LOOKAHEAD_DURATION`` overrides the trace horizon (CI smoke runs
+are short; the recorded numbers come from the default 48 time units,
+~200 flows, matching the full-size ablation lane).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from record import record_bench
+from repro.experiments.ablations import _lookahead_trace
+from repro.power import PowerModel
+from repro.topology import pod_mesh
+from repro.traces import (
+    DiurnalProcess,
+    LookaheadRelaxationPolicy,
+    RelaxationRoundingPolicy,
+    ReplayEngine,
+    TrafficForecaster,
+)
+
+TOPOLOGY = pod_mesh(4, 2)
+POWER = PowerModel.quadratic()
+WINDOW = 4.0
+DURATION = float(os.environ.get("BENCH_LOOKAHEAD_DURATION", "48"))
+ROUNDING_SEEDS = 4
+
+
+def _replay(policy) -> tuple[float, object]:
+    engine = ReplayEngine(TOPOLOGY, POWER, policy, window=WINDOW)
+    start = time.perf_counter()
+    report = engine.run(iter(trace()))
+    return time.perf_counter() - start, report
+
+
+_TRACE_CACHE: list | None = None
+
+
+def trace() -> list:
+    global _TRACE_CACHE
+    if _TRACE_CACHE is None:
+        process = DiurnalProcess(0.4, 9.0, 16.0)
+        _TRACE_CACHE = _lookahead_trace(TOPOLOGY, process, DURATION, seed=1)
+    return _TRACE_CACHE
+
+
+@pytest.mark.benchmark(group="trace-replay")
+def test_lookahead_replay(benchmark):
+    def run():
+        return _replay(
+            LookaheadRelaxationPolicy(seed=0, forecaster=TrafficForecaster())
+        )
+
+    look_s, look = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert look.flows_served == look.flows_seen
+    assert look.capacity_violations == 0
+
+    reactive_s, reactive = _replay(RelaxationRoundingPolicy(seed=0))
+    assert reactive.flows_served == look.flows_served
+    overhead = look_s / reactive_s
+    # Forecasting is one EW update + a handful of phantom commodities per
+    # window; it must stay a small constant factor on the relaxation.
+    assert overhead <= 1.5, f"lookahead overhead {overhead:.2f}x > 1.5x"
+
+    # Energy delta averaged over rounding seeds (single draws are noisy).
+    look_e = []
+    react_e = []
+    for seed in range(ROUNDING_SEEDS):
+        look_e.append(_replay(LookaheadRelaxationPolicy(seed=seed))[1])
+        react_e.append(_replay(RelaxationRoundingPolicy(seed=seed))[1])
+    look_energy = sum(r.total_energy for r in look_e) / ROUNDING_SEEDS
+    react_energy = sum(r.total_energy for r in react_e) / ROUNDING_SEEDS
+    delta = (look_energy - react_energy) / react_energy
+
+    record_bench(
+        "lookahead",
+        wall_clock_s=look_s,
+        flows_per_sec=look.flows_seen / look_s,
+        seed=1,
+        topology=f"pod_mesh(4,2) x {look.flows_seen} flows, window {WINDOW}",
+        extra={
+            "windows": look.windows,
+            "reactive_s": reactive_s,
+            "forecast_overhead": overhead,
+            "lookahead_energy": look_energy,
+            "reactive_energy": react_energy,
+            "energy_delta": delta,
+            "rounding_seeds": ROUNDING_SEEDS,
+        },
+    )
+    benchmark.extra_info["forecast_overhead"] = overhead
+    benchmark.extra_info["energy_delta"] = delta

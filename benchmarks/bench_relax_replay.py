@@ -3,15 +3,30 @@
 Replays a Poisson trace on the paper's k = 8 fat-tree through
 :class:`~repro.traces.policies.RelaxationRoundingPolicy` — the F-MCF
 relaxation + randomized rounding pipeline run window by window against
-the committed background.  Two measurements land in
+the committed background.  Three measurements land in
 ``BENCH_relax_replay.json``:
 
 * the headline 10k-flow warm replay (one persistent
   :class:`~repro.routing.mcflow.RelaxationSession` carried across every
-  interval and window), and
+  interval and window, interval-resolved background),
 * the warm-vs-cold speedup at a matched smaller trace, where "cold"
   means what the session replaces: a fresh solver per window and a cold
-  F-MCF solve per elementary interval.
+  F-MCF solve per elementary interval, and
+* the interval-background overhead: the matched smaller trace replayed
+  with ``background_mode="mean"`` (the retained window-averaged vector)
+  against the exact per-interval
+  :class:`~repro.routing.background.BackgroundProfile` view,
+  interleaved min-of-2 runs per mode.  The
+  profile *reads* are nearly free (a cumulative-integral slice per
+  interval); the measured ~1.6-1.9x overhead (load-dependent) is
+  re-certification — ~84% of elementary intervals see a changed
+  background, each shifted solve pays a corrective sweep plus at
+  least one extra shortest-path dual certificate.  The session's
+  path-pool pricing and pre-certification sweep hold the floor there;
+  pushing toward ~1.2x needs cheaper certificates (incremental
+  shortest-path trees / the compiled tier, ROADMAP direction 1), so
+  the assert below is a regression guard at 2.25x, not the
+  aspirational 1.2x.
 
 The arrival rate is lower than ``bench_traces.py``'s (25/s vs 100/s):
 the relaxation solves one F-MCF per elementary interval, so its natural
@@ -61,12 +76,15 @@ def _trace(target_flows: int) -> list:
     return list(generate_trace(TOPOLOGY, spec))
 
 
-def _run(trace: list, warm: bool) -> tuple[float, object]:
+def _run(
+    trace: list, warm: bool, background_mode: str = "interval"
+) -> tuple[float, object]:
     policy = RelaxationRoundingPolicy(
         seed=0,
         fw_max_iterations=40,
         fw_gap_tolerance=5e-3,
         warm_windows=warm,
+        background_mode=background_mode,
     )
     engine = ReplayEngine(TOPOLOGY, POWER, policy, window=WINDOW)
     start = time.perf_counter()
@@ -94,6 +112,25 @@ def test_relax_replay_throughput(benchmark):
     # wide margin (~5x measured; 3x is the acceptance floor).
     assert speedup >= 3.0, f"warm-vs-cold speedup {speedup:.2f}x < 3x"
 
+    # Interval-resolved background (the PR-7 default the headline run
+    # exercises) vs the retained window-mean vector: same trace, same
+    # session, only the background view differs.  Exact per-interval
+    # charging forces the session to re-certify after almost every
+    # interval's background shift (see the module docstring); ~1.6-1.9x
+    # is the measured structural floor, 2.25x the regression guard.  The
+    # ratio is measured on the matched smaller trace with interleaved
+    # min-of-2 runs per mode — a single-shot ratio of two multi-minute
+    # runs is dominated by shared-box load drift, not by the solver.
+    interval_1 = warm_small_s
+    mean_1, mean_small = _run(small, warm=True, background_mode="mean")
+    interval_2, _ = _run(small, warm=True)
+    mean_2, _ = _run(small, warm=True, background_mode="mean")
+    assert mean_small.flows_served == warm_small.flows_served
+    interval_overhead = min(interval_1, interval_2) / min(mean_1, mean_2)
+    assert interval_overhead <= 2.25, (
+        f"interval background overhead {interval_overhead:.2f}x > 2.25x"
+    )
+
     record_bench(
         "relax_replay",
         wall_clock_s=warm_s,
@@ -109,7 +146,11 @@ def test_relax_replay_throughput(benchmark):
             "cold_flows": len(small),
             "warm_small_s": warm_small_s,
             "cold_small_s": cold_small_s,
+            "interval_overhead_vs_mean": interval_overhead,
+            "mean_mode_s": min(mean_1, mean_2),
+            "mean_mode_energy": mean_small.total_energy,
         },
     )
     benchmark.extra_info["flows"] = report.flows_seen
     benchmark.extra_info["warm_vs_cold_speedup"] = speedup
+    benchmark.extra_info["interval_overhead_vs_mean"] = interval_overhead

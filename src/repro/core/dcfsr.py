@@ -51,6 +51,7 @@ from repro.errors import ValidationError
 from repro.flows.flow import Flow, FlowSet
 from repro.flows.intervals import TimeGrid
 from repro.power.model import PowerModel
+from repro.routing.background import BackgroundProfile
 from repro.routing.costs import EdgeCost
 from repro.routing.mcflow import FrankWolfeSolver, RelaxationSession
 from repro.routing.rounding import (
@@ -270,14 +271,18 @@ class RelaxationPipeline:
         self,
         flows: FlowSet,
         grid: TimeGrid | None = None,
-        background: np.ndarray | None = None,
+        background: np.ndarray | BackgroundProfile | None = None,
         warm: bool = True,
     ) -> RelaxationResult:
         """Solve the instance's interval relaxation through the session.
 
         ``background`` fixes committed per-edge loads every interval
-        routes around; ``warm=False`` bypasses the session entirely and
-        solves every interval cold (the benchmark baseline).
+        routes around — a flat vector charges all intervals alike, a
+        :class:`~repro.routing.background.BackgroundProfile` charges
+        each elementary interval its own exact slice (see
+        :func:`~repro.core.relaxation.solve_relaxation`); ``warm=False``
+        bypasses the session entirely and solves every interval cold
+        (the benchmark baseline).
         """
         return solve_relaxation(
             flows,

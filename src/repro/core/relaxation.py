@@ -21,6 +21,7 @@ from repro.errors import ValidationError
 from repro.flows.flow import FlowSet
 from repro.flows.intervals import Interval, TimeGrid
 from repro.power.model import PowerModel
+from repro.routing.background import BackgroundProfile
 from repro.routing.costs import EdgeCost, envelope_cost
 from repro.routing.mcflow import (
     Commodity,
@@ -110,7 +111,13 @@ def solve_relaxation(
     reference) fall back to dict-based warm starts.
 
     ``background`` fixes per-edge committed loads every interval routes
-    around (array solvers only; see :meth:`FrankWolfeSolver.solve`).
+    around (array solvers only; see :meth:`FrankWolfeSolver.solve`).  A
+    flat vector charges every interval the same loads.  A
+    :class:`~repro.routing.background.BackgroundProfile` is resolved
+    *per elementary interval*: interval ``[a, b)`` is charged
+    ``profile.mean_over(a, b)`` — its own exact background slice — not
+    the window mean, which is what retires the window-averaged
+    approximation at the relaxation layer.
     ``warm=False`` forces every interval to a cold F-MCF solve — no
     session, no dict warm start — which is what the streaming replay
     benchmarks compare the persistent-session policy against.
@@ -131,6 +138,7 @@ def solve_relaxation(
             raise ValidationError("warm=False cannot use a session")
     elif session is None and array_solver:
         session = RelaxationSession(solver)
+    profile = background if isinstance(background, BackgroundProfile) else None
     interval_solutions: list[IntervalSolution] = []
     previous: MCFSolution | None = None
     # One Commodity per flow for the whole sweep: a flow's demand is its
@@ -151,11 +159,16 @@ def solve_relaxation(
                 )
                 commodity_of[f.id] = commodity
             commodities.append(commodity)
+        bg = (
+            profile.mean_over(interval.start, interval.end)
+            if profile is not None
+            else background
+        )
         if session is not None:
-            solution = session.solve(commodities, background=background)
+            solution = session.solve(commodities, background=bg)
         elif not warm:
             if array_solver:
-                solution = solver.solve(commodities, background=background)
+                solution = solver.solve(commodities, background=bg)
             else:
                 solution = solver.solve(commodities)
         else:

@@ -32,6 +32,7 @@ from repro.experiments.ablations import (
     failure_ablation,
     online_ablation,
     lambda_ablation,
+    lookahead_ablation,
     relax_replay_ablation,
     rounding_ablation,
     rounding_mode_ablation,
@@ -52,6 +53,7 @@ ABLATIONS: dict[str, Callable[..., Table]] = {
     "online": online_ablation,
     "traces": trace_ablation,
     "relax-replay": relax_replay_ablation,
+    "lookahead": lookahead_ablation,
 }
 
 

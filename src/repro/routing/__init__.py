@@ -2,6 +2,7 @@
 reference), path decomposition, randomized rounding, and the array-native
 fast path (CSR Dijkstra + load ledger)."""
 
+from repro.routing.background import BackgroundProfile
 from repro.routing.costs import EdgeCost, envelope_cost
 from repro.routing.decomposition import decompose_flow, decompose_solution
 from repro.routing.fastpath import FastRouter, LoadLedger, csr_dijkstra
@@ -33,6 +34,7 @@ from repro.routing.rounding import (
 )
 
 __all__ = [
+    "BackgroundProfile",
     "EdgeCost",
     "envelope_cost",
     "ArrayPathFlows",

@@ -41,6 +41,7 @@ from weakref import WeakKeyDictionary
 import numpy as np
 
 from repro.errors import TopologyError, ValidationError
+from repro.routing.background import BackgroundProfile
 from repro.topology.base import Topology
 
 __all__ = ["csr_dijkstra", "FastRouter", "LoadLedger"]
@@ -503,9 +504,14 @@ class LoadLedger:
     :func:`numpy.bincount` over the deadline-sorted prefix), and a commit
     ending at or before ``a`` is expired from ``active`` exactly once.
 
-    ``background`` seeds a permanent base load (e.g. the replay engine's
-    window-averaged cross-window reservations) that never expires and
-    receives no corrections.
+    ``background`` seeds a base load the ledger itself never expires or
+    corrects.  A flat vector is added to ``active`` once at construction
+    (the retained window-mean path — bit-identical to the pre-profile
+    behavior).  A :class:`~repro.routing.background.BackgroundProfile`
+    (the replay engine's exact piecewise-constant cross-window
+    reservations) is kept aside and each :meth:`loads` query adds the
+    profile's exact mean over *its own* ``[start, end)`` — the
+    interval-resolved view, no window-averaging involved.
 
     Representation detail: commits land in a small *pending* list first
     and are merged into the deadline-sorted arrays in sorted blocks every
@@ -516,9 +522,20 @@ class LoadLedger:
     _MERGE_AT = 8
 
     def __init__(
-        self, topology: Topology, background: np.ndarray | None = None
+        self,
+        topology: Topology,
+        background: np.ndarray | BackgroundProfile | None = None,
     ) -> None:
+        self._profile: BackgroundProfile | None = None
         if background is None:
+            self._active = np.zeros(topology.num_edges)
+        elif isinstance(background, BackgroundProfile):
+            if background.num_edges != topology.num_edges:
+                raise ValidationError(
+                    f"background profile covers {background.num_edges} "
+                    f"edges, topology has {topology.num_edges}"
+                )
+            self._profile = background
             self._active = np.zeros(topology.num_edges)
         else:
             if len(background) != topology.num_edges:
@@ -539,6 +556,8 @@ class LoadLedger:
     @property
     def active(self) -> np.ndarray:
         """Sum of rates of live commits per edge (plus background)."""
+        if self._profile is not None:
+            return self._active + self._profile.mean()
         return self._active
 
     def _merge_pending(self) -> None:
@@ -642,4 +661,6 @@ class LoadLedger:
                             loads[eid] -= delta
             if len(survivors) != len(pending):
                 self._pending = survivors
+        if self._profile is not None:
+            loads += self._profile.mean_over(start, end)
         return loads

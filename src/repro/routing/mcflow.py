@@ -62,6 +62,7 @@ from scipy.sparse import csr_matrix
 from scipy.sparse.csgraph import dijkstra
 
 from repro.errors import SolverError, ValidationError
+from repro.routing.background import BackgroundProfile
 from repro.routing.costs import EdgeCost
 from repro.topology.base import Topology, path_edges
 
@@ -92,6 +93,11 @@ _STALL_STEP = 1e-12
 #: equal-cost path degeneracy; sweeping stops early once a sweep improves
 #: the objective by less than ``_PAIRWISE_STOP`` relatively.
 _PAIRWISE_ROUNDS = 8
+# Pre-certification corrective sweep budget after a background shift
+# (RelaxationSession): two projected-Newton rounds capture most of the
+# reallocation a shifted background asks for; further rounds cost more
+# than the Frank-Wolfe iteration they occasionally save.
+_PRESWEEP_ROUNDS = 2
 _PAIRWISE_STOP = 1e-7
 
 #: Certification-tail trim budget: while the stale certified bound says
@@ -731,10 +737,18 @@ class FrankWolfeSolver:
         background = self._background
         return loads if background is None else loads + background
 
-    def _set_background(self, background: np.ndarray | None) -> None:
+    def _set_background(
+        self, background: np.ndarray | BackgroundProfile | None
+    ) -> None:
         if background is None:
             self._background = None
             return
+        if isinstance(background, BackgroundProfile):
+            # The relaxation layer charges each elementary interval the
+            # profile's exact mean over that interval's own bounds; a
+            # profile arriving here whole means the caller wants one
+            # solver-wide vector — the stored window mean.
+            background = background.mean()
         background = np.asarray(background, dtype=float)
         if background.shape != (self._topology.num_edges,):
             raise ValidationError(
@@ -1021,11 +1035,26 @@ class FrankWolfeSolver:
         loads: np.ndarray,
         objective: float,
         rounds: int = _PAIRWISE_ROUNDS,
+        best_lower: float = -np.inf,
     ) -> tuple[np.ndarray, float]:
         """Up to ``rounds`` pairwise sweeps with the relative improvement
-        stop; returns the updated loads and objective."""
+        stop; returns the updated loads and objective.
+
+        ``best_lower`` (a certified dual bound for the *current* problem)
+        turns the sweep gap-aware: once the stale gap against it clears
+        the solver tolerance the loop top will certify without another
+        shortest-path batch, so any further polishing is wasted — the
+        sweep stops there.  The bound never exceeds the optimum, so the
+        stale gap over-estimates the true gap and the early stop cannot
+        under-certify.
+        """
         cost = self._cost
+        tolerance = self._gap_tolerance
         for _ in range(rounds):
+            if objective - best_lower <= tolerance * max(
+                abs(objective), 1e-30
+            ):
+                break
             previous = objective
             loads, moved = self._pairwise_step(state, loads, prep)
             if not moved:
@@ -1063,7 +1092,7 @@ class FrankWolfeSolver:
         self,
         commodities: Sequence[Commodity],
         warm_start: MCFSolution | None = None,
-        background: np.ndarray | None = None,
+        background: np.ndarray | BackgroundProfile | None = None,
     ) -> MCFSolution:
         """Solve the F-MCF instance to the configured duality gap.
 
@@ -1079,7 +1108,12 @@ class FrankWolfeSolver:
         across replay windows); the cost, its derivative, and the
         certified bound are all evaluated at ``commodity loads +
         background``, while ``link_loads``/``path_flows`` report the
-        commodity flow alone.
+        commodity flow alone.  A
+        :class:`~repro.routing.background.BackgroundProfile` is accepted
+        and collapsed to its stored window mean — per-interval resolution
+        happens one layer up, in :func:`repro.core.relaxation.
+        solve_relaxation`, which hands each elementary interval its own
+        ``mean_over`` slice.
         """
         _validate_commodities(commodities)
         prep = self._prep(commodities)
@@ -1172,7 +1206,9 @@ class FrankWolfeSolver:
                 break
             objective = cost.total(self._point(loads))
             if pairwise:
-                loads, objective = self._sweep_rounds(state, prep, loads, objective)
+                loads, objective = self._sweep_rounds(
+                    state, prep, loads, objective, best_lower=best_lower
+                )
                 if self._tail_trim:
                     # Certification-tail trim: a fresh certified bound
                     # needs ~(gap/2)^2 primal accuracy, so while the
@@ -1195,7 +1231,12 @@ class FrankWolfeSolver:
                         if stepped:
                             objective = cost.total(self._point(loads))
                         loads, objective = self._sweep_rounds(
-                            state, prep, loads, objective, rounds=2
+                            state,
+                            prep,
+                            loads,
+                            objective,
+                            rounds=2,
+                            best_lower=best_lower,
                         )
                         if previous - objective < _TRIM_GAIN * (
                             previous - best_lower
@@ -1247,6 +1288,14 @@ class FrankWolfeSolver:
         )
 
 
+def _same_background(
+    previous: np.ndarray | None, current: np.ndarray | None
+) -> bool:
+    if previous is None or current is None:
+        return previous is None and current is None
+    return np.array_equal(previous, current)
+
+
 class RelaxationSession:
     """Persistent F-MCF state across consecutive related solves.
 
@@ -1268,6 +1317,16 @@ class RelaxationSession:
         self._solver = solver
         self._state: _FlowState | None = None
         self._ids: list[int | str] = []
+        self._last_background: np.ndarray | None = None
+        # Path pool: every distinct path that ever carried flow in this
+        # session, keyed by its endpoint pair.  Pool candidates are
+        # re-priced (a gather + reduceat, no graph search) when the
+        # background shifts, so the warm start can re-discover a known
+        # detour without paying a shortest-path batch for it.  A path id
+        # fixes its endpoints, so one global seen-bitmap (indexed by pid)
+        # dedupes updates.
+        self._pool: dict[tuple[str, str], list[int]] = {}
+        self._pool_seen: np.ndarray = np.zeros(0, dtype=bool)
 
     @property
     def solver(self) -> FrankWolfeSolver:
@@ -1277,11 +1336,12 @@ class RelaxationSession:
         """Forget the carried state (the next solve is cold)."""
         self._state = None
         self._ids = []
+        self._last_background = None
 
     def solve(
         self,
         commodities: Sequence[Commodity],
-        background: np.ndarray | None = None,
+        background: np.ndarray | BackgroundProfile | None = None,
     ) -> MCFSolution:
         """Solve one instance, warm-started from the previous call.
 
@@ -1304,7 +1364,7 @@ class RelaxationSession:
     def _solve(
         self,
         commodities: Sequence[Commodity],
-        background: np.ndarray | None,
+        background: np.ndarray | BackgroundProfile | None,
     ) -> MCFSolution:
         solver = self._solver
         prep = solver._prep(commodities)
@@ -1335,18 +1395,126 @@ class RelaxationSession:
             fresh = np.flatnonzero(~persisting).tolist()
 
         solver._set_background(background)
+        resolved = solver._background
+        carried = len(fresh) < len(ids)
+        shifted = not _same_background(self._last_background, resolved)
+        self._last_background = None if resolved is None else resolved.copy()
         try:
             solver._seed_fresh(
                 state, commodities, prep, fresh, state.loads(num_edges)
             )
-            solution = solver._run(
-                state, commodities, prep, state.loads(num_edges)
-            )
+            loads = state.loads(num_edges)
+            if carried and shifted and solver._variant == "pairwise":
+                # A background shift (the per-interval profile sweep)
+                # moves the optimum mostly by reallocating flow among
+                # paths already in hand — plus the occasional detour the
+                # session has seen before.  Re-pricing the path pool and
+                # running a corrective sweep *before* the first dual
+                # certification usually brings the carried point back
+                # inside tolerance, so the first shortest-path batch
+                # certifies instead of opening a full Frank-Wolfe
+                # iteration.  Seeded-fresh commodities hold their
+                # current shortest path already, so this is a no-op on
+                # cold starts and certification in ``_run`` stays exact
+                # either way.
+                weights = solver._cost.derivative(solver._point(loads))
+                self._price_pool(state, prep, fresh, weights)
+                objective = solver._cost.total(solver._point(loads))
+                loads, _ = solver._sweep_rounds(
+                    state, prep, loads, objective, rounds=_PRESWEEP_ROUNDS
+                )
+                loads = state.loads(num_edges)
+            solution = solver._run(state, commodities, prep, loads)
         finally:
             solver._background = None
         self._state = state
         self._ids = ids
+        self._update_pool(state, prep)
         return solution
+
+    def _price_pool(
+        self,
+        state: _FlowState,
+        prep: _Prep,
+        fresh: list[int],
+        weights: np.ndarray,
+    ) -> None:
+        """Inject each commodity's cheapest pooled path as a zero-flow atom.
+
+        Candidates are priced at the current marginal weights with one
+        gather + ``reduceat``; a path strictly cheaper than the
+        commodity's best active atom enters with zero flow, where the
+        following pairwise sweep can drain mass into it.  Fresh slots
+        were just seeded with their true shortest path, so only
+        persisting commodities are priced.
+        """
+        pool = self._pool
+        if not pool or state.n == 0:
+            return
+        k = prep.demands.size
+        best = np.full(k, np.inf)
+        np.minimum.at(best, state.owner[: state.n], state.path_costs(weights))
+        skip = set(fresh)
+        owners: list[int] = []
+        cand_pids: list[int] = []
+        counts: list[int] = []
+        for slot in range(k):
+            if slot in skip:
+                continue
+            pids = pool.get((prep.srcs[slot], prep.dsts[slot]))
+            if not pids:
+                continue
+            owners.append(slot)
+            cand_pids.extend(pids)
+            counts.append(len(pids))
+        if not owners:
+            return
+        pid_arr = np.array(cand_pids, dtype=np.int64)
+        flat, lens, starts = state.registry.gather(pid_arr)
+        costs = np.add.reduceat(weights[flat], starts)
+        counts_arr = np.array(counts, dtype=np.int64)
+        gstarts = np.concatenate(([0], np.cumsum(counts_arr)[:-1]))
+        seg_min = np.minimum.reduceat(costs, gstarts)
+        owners_arr = np.array(owners, dtype=np.int64)
+        improve = seg_min < best[owners_arr] * (1.0 - 1e-9)
+        if not improve.any():
+            return
+        group_ids = np.repeat(np.arange(owners_arr.size), counts_arr)
+        is_min = costs == seg_min[group_ids]
+        idx_hit = np.flatnonzero(is_min)
+        uniq, first = np.unique(group_ids[idx_hit], return_index=True)
+        sel = idx_hit[first]
+        keep = improve[uniq]
+        inj_owner = owners_arr[uniq[keep]]
+        inj_pid = pid_arr[sel[keep]]
+        state.add_batch(inj_owner, inj_pid, np.zeros(inj_owner.size))
+
+    def _update_pool(self, state: _FlowState, prep: _Prep) -> None:
+        """Fold this solve's newly-seen paths into the endpoint pool."""
+        n = state.n
+        if n == 0:
+            return
+        pids = state.pid[:n]
+        seen = self._pool_seen
+        limit = int(pids.max()) + 1 if n else 0
+        if seen.size < limit:
+            grown = np.zeros(max(limit, 2 * seen.size), dtype=bool)
+            grown[: seen.size] = seen
+            self._pool_seen = seen = grown
+        new_rows = np.flatnonzero(~seen[pids])
+        if new_rows.size == 0:
+            return
+        seen[pids[new_rows]] = True
+        pool = self._pool
+        srcs, dsts = prep.srcs, prep.dsts
+        for row in new_rows.tolist():
+            slot = int(state.owner[row])
+            key = (srcs[slot], dsts[slot])
+            entry = pool.get(key)
+            if entry is None:
+                pool[key] = [int(pids[row])]
+            else:
+                entry.append(int(pids[row]))
 
 
 def _polynomial_step(base: np.ndarray, d: np.ndarray, degree: int) -> float:

@@ -8,8 +8,11 @@ partition_topology` into shards, each shard owns a **warm**
 :class:`~repro.experiments.parallel.WorkerGroup` process, and each window
 of arrivals is scattered to the shards that can solve its flows locally.
 Only two things ever cross a process boundary per window: the shard's
-slice of the background-load vector going out, and ``(flow id, path)``
-pairs coming back — the DESIGN.md Section 11 shard protocol.
+restriction of the background load going out (a
+:class:`~repro.routing.background.BackgroundProfile` in the default
+interval-resolved mode, the flat window-mean vector in ``"mean"`` mode),
+and ``(flow id, path)`` pairs coming back — the DESIGN.md Section 11
+shard protocol.
 
 Division of labor per window ``k``:
 
@@ -59,6 +62,7 @@ from repro.errors import ValidationError
 from repro.experiments.parallel import WorkerGroup
 from repro.flows.flow import Flow, FlowSet
 from repro.power.model import PowerModel
+from repro.routing.background import BackgroundProfile
 from repro.routing.costs import envelope_cost
 from repro.routing.fastpath import FastRouter, LoadLedger
 from repro.routing.rounding import argmax_paths, sample_paths
@@ -76,7 +80,9 @@ from repro.traces.replay import (
 __all__ = ["WindowStats", "ShardedReplayEngine"]
 
 SNAPSHOT_KIND = "repro-sharded-replay"
-SNAPSHOT_VERSION = 1
+# v2: the accountant snapshot switched from the per-flow "live" dict to
+# flat piece arrays, and the config grew ``background_mode``.
+SNAPSHOT_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -161,7 +167,7 @@ class _ShardSolver:
     def _solve_window(
         self,
         flows: Sequence[Flow],
-        background: np.ndarray | None,
+        background: np.ndarray | BackgroundProfile | None,
         relax: bool,
     ):
         t_start = perf_counter()
@@ -236,6 +242,13 @@ class ShardedReplayEngine:
         Windows in flight; window ``k`` sees the background of windows
         ``<= k - pipeline_depth``.  ``1`` disables overlap and recovers
         the single-owner engine's background semantics.
+    background_mode:
+        ``"interval"`` (default) ships each shard its restriction of the
+        exact piecewise-constant
+        :class:`~repro.routing.background.BackgroundProfile`, so shard
+        relaxations charge every elementary interval its own background
+        slice; ``"mean"`` ships the flat window-averaged vector — the
+        retained pre-profile behavior.
     budget:
         Optional :class:`~repro.service.degrade.SolveBudget`; exhausted
         windows degrade to greedy and are counted on the report.
@@ -255,6 +268,7 @@ class ShardedReplayEngine:
         fw_gap_tolerance: float = 1e-3,
         rounding: str = "random",
         pipeline_depth: int = 2,
+        background_mode: str = "interval",
         budget: SolveBudget | None = None,
         keep_schedules: bool = False,
         tol: float = 1e-6,
@@ -265,6 +279,10 @@ class ShardedReplayEngine:
             raise ValidationError(f"unknown mode {mode!r}")
         if rounding not in ("random", "deterministic"):
             raise ValidationError(f"unknown rounding mode {rounding!r}")
+        if background_mode not in ("interval", "mean"):
+            raise ValidationError(
+                f"unknown background mode {background_mode!r}"
+            )
         if pipeline_depth < 1:
             raise ValidationError(
                 f"pipeline_depth must be >= 1, got {pipeline_depth}"
@@ -285,6 +303,7 @@ class ShardedReplayEngine:
         self._fw_gap = fw_gap_tolerance
         self._rounding = rounding
         self._depth = pipeline_depth
+        self._background_mode = background_mode
         self._budget = budget
         self._tol = tol
         self._cost = envelope_cost(power)
@@ -444,14 +463,20 @@ class ShardedReplayEngine:
                 self._degraded_windows += 1
         background = None
         if self._mode == "relax":
-            background = self._acct.background(start, end)
+            if self._background_mode == "interval":
+                background = self._acct.background_profile(start, end)
+            else:
+                background = self._acct.background(start, end)
         shard_ids = tuple(sorted(per_shard))
         for shard_idx in shard_ids:
-            local_bg = (
-                background[self._partition.shards[shard_idx].edge_map]
-                if background is not None
-                else None
-            )
+            local_bg = None
+            if background is not None:
+                edge_map = self._partition.shards[shard_idx].edge_map
+                local_bg = (
+                    background.restrict(edge_map)
+                    if isinstance(background, BackgroundProfile)
+                    else background[edge_map]
+                )
             self._group.submit(
                 shard_idx,
                 ("window", per_shard[shard_idx], local_bg, relax),
@@ -464,7 +489,9 @@ class ShardedReplayEngine:
         )
 
     def _route_cross(
-        self, flows: list[Flow], background: np.ndarray | None
+        self,
+        flows: list[Flow],
+        background: np.ndarray | BackgroundProfile | None,
     ) -> dict:
         """Boundary-aware routing for flows no shard can solve locally."""
         if not flows:
@@ -738,6 +765,7 @@ class ShardedReplayEngine:
                 "fw_gap_tolerance": self._fw_gap,
                 "rounding": self._rounding,
                 "pipeline_depth": self._depth,
+                "background_mode": self._background_mode,
                 "budget": self._budget,
                 "keep_schedules": self._kept is not None,
                 "tol": self._tol,
@@ -813,6 +841,7 @@ class ShardedReplayEngine:
             fw_gap_tolerance=cfg["fw_gap_tolerance"],
             rounding=cfg["rounding"],
             pipeline_depth=cfg["pipeline_depth"],
+            background_mode=cfg["background_mode"],
             budget=cfg["budget"],
             keep_schedules=cfg["keep_schedules"],
             tol=cfg["tol"],

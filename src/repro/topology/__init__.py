@@ -16,6 +16,7 @@ from repro.topology.simple import (
     dumbbell,
     line,
     parallel_paths,
+    pod_mesh,
     star,
 )
 from repro.topology.vl2 import vl2
@@ -35,5 +36,6 @@ __all__ = [
     "star",
     "dumbbell",
     "parallel_paths",
+    "pod_mesh",
     "LINKS_PER_PARALLEL_PATH",
 ]

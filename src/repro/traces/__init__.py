@@ -14,6 +14,10 @@ from repro.traces.arrivals import (
     MarkovModulatedProcess,
     PoissonProcess,
 )
+from repro.traces.forecast import (
+    LookaheadRelaxationPolicy,
+    TrafficForecaster,
+)
 from repro.traces.generator import TraceSpec, generate_trace, materialize
 from repro.traces.policies import (
     EpochDcfsPolicy,
@@ -24,6 +28,7 @@ from repro.traces.policies import (
     RelaxationRoundingPolicy,
     ReplayPolicy,
     WindowContext,
+    resolve_background,
 )
 from repro.traces.replay import (
     ReplayEngine,
@@ -68,6 +73,9 @@ __all__ = [
     "read_trace_csv",
     "ReplayPolicy",
     "WindowContext",
+    "resolve_background",
+    "TrafficForecaster",
+    "LookaheadRelaxationPolicy",
     "GreedyDensityPolicy",
     "PowerOfTwoPolicy",
     "LeastLoadedPolicy",

@@ -46,6 +46,7 @@ from repro.core.dcfsr import RelaxationPipeline
 from repro.errors import InfeasibleError, ValidationError
 from repro.flows.flow import Flow, FlowSet
 from repro.power.model import PowerModel
+from repro.routing.background import BackgroundProfile
 from repro.routing.costs import envelope_cost
 from repro.routing.fastpath import FastRouter, LoadLedger
 from repro.routing.paths import k_shortest_paths
@@ -55,6 +56,7 @@ from repro.topology.base import Topology, path_edges
 
 __all__ = [
     "WindowContext",
+    "resolve_background",
     "ReplayPolicy",
     "GreedyDensityPolicy",
     "PowerOfTwoPolicy",
@@ -79,8 +81,17 @@ class WindowContext:
     background:
         Per-edge mean committed rate over the window, indexed by
         :meth:`Topology.edge_id` — the reservations earlier windows
-        carried across this boundary.  Computed lazily on first access,
-        so load-oblivious policies never pay for it.
+        carried across this boundary, window-averaged (the retained
+        reference view).  Computed lazily on first access, so
+        load-oblivious policies never pay for it.
+    background_profile:
+        The same reservations *unaveraged*: a
+        :class:`~repro.routing.background.BackgroundProfile` resolving
+        the committed load per edge as a step function over the window
+        span and beyond — what ``background_mode="interval"`` policies
+        read.  Lazy like ``background``; ``None`` when the engine
+        supplied no profile view (hand-built contexts), in which case
+        interval-mode policies fall back to the mean vector.
     carry:
         One mutable dict per replay run, handed to every window's
         context in order: whatever a policy stashes here in window ``k``
@@ -95,11 +106,41 @@ class WindowContext:
     start: float
     end: float
     background_fn: Callable[[], np.ndarray] = field(repr=False)
+    profile_fn: Callable[[], BackgroundProfile] | None = field(
+        default=None, repr=False
+    )
     carry: dict = field(default_factory=dict, repr=False)
 
     @cached_property
     def background(self) -> np.ndarray:
         return self.background_fn()
+
+    @cached_property
+    def background_profile(self) -> BackgroundProfile | None:
+        return None if self.profile_fn is None else self.profile_fn()
+
+
+def resolve_background(
+    ctx: WindowContext, mode: str
+) -> np.ndarray | BackgroundProfile:
+    """The background view a policy in ``mode`` schedules against.
+
+    ``"interval"`` reads the interval-resolved profile (falling back to
+    the window mean when the context carries none); ``"mean"`` is the
+    retained reference behavior — the window-averaged vector, followed
+    bit for bit.
+    """
+    if mode == "interval":
+        profile = ctx.background_profile
+        if profile is not None:
+            return profile
+    return ctx.background
+
+
+def _validate_background_mode(mode: str) -> str:
+    if mode not in ("interval", "mean"):
+        raise ValidationError(f"unknown background mode {mode!r}")
+    return mode
 
 
 class ReplayPolicy(ABC):
@@ -233,21 +274,29 @@ class PowerOfTwoPolicy(_CandidateSetMixin, ReplayPolicy):
     paths and takes the one whose bottleneck link carries less committed
     load over the flow's span (first sample wins ties).  Load is read
     from a :class:`~repro.routing.fastpath.LoadLedger` seeded with the
-    engine's carried background, so choices see both earlier windows and
+    engine's carried background — the interval-resolved profile by
+    default, the window-averaged reference under
+    ``background_mode="mean"`` — so choices see both earlier windows and
     earlier flows of this window.  Deadlines are met by construction.
     """
 
     name = "PowerOfTwo"
 
-    def __init__(self, k: int = 4, seed: int = 0) -> None:
+    def __init__(
+        self, k: int = 4, seed: int = 0, background_mode: str = "interval"
+    ) -> None:
         super().__init__(k)
         self._seed = seed
         self._rng = np.random.default_rng(seed)
+        self._background_mode = _validate_background_mode(background_mode)
 
     def schedule_window(
         self, flows: Sequence[Flow], ctx: WindowContext
     ) -> list[FlowSchedule]:
-        ledger = LoadLedger(ctx.topology, background=ctx.background)
+        ledger = LoadLedger(
+            ctx.topology,
+            background=resolve_background(ctx, self._background_mode),
+        )
         schedules = []
         for flow in flows:
             candidates = self._candidates_for(ctx.topology, flow.src, flow.dst)
@@ -285,13 +334,17 @@ class LeastLoadedPolicy(_CandidateSetMixin, ReplayPolicy):
 
     name = "LeastLoaded"
 
-    def __init__(self, k: int = 4) -> None:
+    def __init__(self, k: int = 4, background_mode: str = "interval") -> None:
         super().__init__(k)
+        self._background_mode = _validate_background_mode(background_mode)
 
     def schedule_window(
         self, flows: Sequence[Flow], ctx: WindowContext
     ) -> list[FlowSchedule]:
-        ledger = LoadLedger(ctx.topology, background=ctx.background)
+        ledger = LoadLedger(
+            ctx.topology,
+            background=resolve_background(ctx, self._background_mode),
+        )
         schedules = []
         for flow in flows:
             candidates = self._candidates_for(ctx.topology, flow.src, flow.dst)
@@ -316,18 +369,21 @@ class OnlineDensityPolicy(ReplayPolicy):
     while routing goes through a :class:`~repro.routing.fastpath.
     FastRouter` (cached bidirectional CSR Dijkstra).
 
-    One deliberate approximation remains: the background committed by
-    *earlier* windows is averaged over the window (a single vector
-    supplied by the engine) rather than over each flow's individual span.
-    Within the window, span accounting is exact.
+    Background accounting is interval-resolved by default: the ledger is
+    seeded with the engine's :class:`~repro.routing.background.
+    BackgroundProfile`, so each flow's load view charges the committed
+    cross-window traffic over *its own* span, exactly like the
+    within-window accounting.  ``background_mode="mean"`` retains the
+    historical window-averaged reference behavior bit for bit.
 
     Deadlines are met by construction (density rate over the full span).
     """
 
     name = "Online+Density"
 
-    def __init__(self) -> None:
+    def __init__(self, background_mode: str = "interval") -> None:
         self._router: FastRouter | None = None
+        self._background_mode = _validate_background_mode(background_mode)
 
     def schedule_window(
         self, flows: Sequence[Flow], ctx: WindowContext
@@ -337,7 +393,10 @@ class OnlineDensityPolicy(ReplayPolicy):
         router = self._router
         if router is None or router.topology is not topology:
             router = self._router = FastRouter(topology)
-        ledger = LoadLedger(topology, background=ctx.background)
+        ledger = LoadLedger(
+            topology,
+            background=resolve_background(ctx, self._background_mode),
+        )
         schedules = []
         for flow in sorted(flows, key=lambda f: (f.release, str(f.id))):
             loads = ledger.loads(flow.release, flow.deadline)
@@ -438,10 +497,14 @@ class RelaxationRoundingPolicy(ReplayPolicy):
       ``warm_windows=False`` forces the benchmark baseline: a fresh
       pipeline per window and a cold F-MCF solve per interval.
     * **Committed background**: the engine's carried reservations enter
-      the relaxation as fixed per-edge background loads (the window-mean
-      vector, the same approximation :class:`OnlineDensityPolicy`
-      documents), so new flows route around traffic committed by earlier
-      windows.  ``use_background=False`` solves each window in isolation
+      the relaxation so new flows route around traffic committed by
+      earlier windows.  By default the interval-resolved
+      :class:`~repro.routing.background.BackgroundProfile` is threaded
+      down to :func:`~repro.core.relaxation.solve_relaxation`, which
+      charges each elementary interval the profile's exact mean over
+      that interval's own bounds; ``background_mode="mean"`` retains the
+      historical single window-mean vector bit for bit.
+      ``use_background=False`` solves each window in isolation
       (cross-window stacking is still charged honestly by the engine).
     * **Drift accounting**: :attr:`max_weight_drift` tracks the worst
       pre-normalization deviation of any flow's aggregated ``w_bar``
@@ -459,6 +522,7 @@ class RelaxationRoundingPolicy(ReplayPolicy):
         warm_windows: bool = True,
         use_background: bool = True,
         rounding: str = "random",
+        background_mode: str = "interval",
     ) -> None:
         if rounding not in ("random", "deterministic"):
             raise ValidationError(f"unknown rounding mode {rounding!r}")
@@ -468,6 +532,7 @@ class RelaxationRoundingPolicy(ReplayPolicy):
         self._warm = warm_windows
         self._use_background = use_background
         self._rounding = rounding
+        self._background_mode = _validate_background_mode(background_mode)
         self._rng = np.random.default_rng(seed)
         self.max_weight_drift = 0.0
         self.windows_solved = 0
@@ -492,11 +557,24 @@ class RelaxationRoundingPolicy(ReplayPolicy):
     def schedule_window(
         self, flows: Sequence[Flow], ctx: WindowContext
     ) -> list[FlowSchedule]:
+        return self._schedule(flows, ctx, extra=())
+
+    def _schedule(
+        self, flows: Sequence[Flow], ctx: WindowContext, extra: Sequence[Flow]
+    ) -> list[FlowSchedule]:
+        """Relax + round ``flows``, optionally co-relaxing ``extra``
+        commodities (the lookahead policy's forecast phantoms) that shape
+        the fractional routing but are never rounded or committed."""
         pipeline = self._pipeline(ctx)
         flow_set = FlowSet(flows)
-        background = ctx.background if self._use_background else None
+        solve_set = FlowSet(list(flows) + list(extra)) if extra else flow_set
+        background = (
+            resolve_background(ctx, self._background_mode)
+            if self._use_background
+            else None
+        )
         relaxation = pipeline.solve(
-            flow_set, background=background, warm=self._warm
+            solve_set, background=background, warm=self._warm
         )
         weights = pipeline.weights(flow_set, relaxation)
         if weights.max_drift > self.max_weight_drift:

@@ -41,6 +41,7 @@ import numpy as np
 from repro.errors import ValidationError
 from repro.flows.flow import Flow
 from repro.power.model import PowerModel
+from repro.routing.background import BackgroundProfile
 from repro.scheduling.schedule import FlowSchedule
 from repro.topology.base import Edge, Topology
 from repro.traces.policies import ReplayPolicy, WindowContext
@@ -52,9 +53,6 @@ __all__ = [
     "WindowAccountant",
     "flow_verdict",
 ]
-
-#: A committed constant-rate piece ``(start, end, rate)`` on one link.
-_Piece = tuple[float, float, float]
 
 
 @dataclass(frozen=True)
@@ -190,13 +188,24 @@ class WindowAccountant:
     """Exact bounded-memory accounting of committed reservations.
 
     Owns everything downstream of a policy's decision: the live-piece
-    ledger per link, the global two-event-per-segment energy heap, peak
-    rate / capacity tracking, and the lazily computed per-window
-    background vector.  The single-owner :class:`ReplayEngine` and the
-    sharded service engine both commit through this class, which is what
-    keeps their energy accounting bit-identical, and its state is plain
-    data so a service can :meth:`snapshot_state` mid-replay and restore
-    an equivalent accountant later.
+    ledger, the global two-event-per-segment energy heap, peak rate /
+    capacity tracking, and the per-window background views.  The
+    single-owner :class:`ReplayEngine` and the sharded service engine
+    both commit through this class, which is what keeps their energy
+    accounting bit-identical, and its state is plain data so a service
+    can :meth:`snapshot_state` mid-replay and restore an equivalent
+    accountant later.
+
+    Live pieces are stored array-backed: four parallel columns
+    ``(start, end, rate, edge id)`` in commit order, materialized into
+    numpy arrays lazily and invalidated on mutation.  :meth:`background`
+    (the window-mean vector) is a single vectorized overlap +
+    :func:`numpy.bincount` pass over those columns, pinned bit-identical
+    to :meth:`background_reference` — the PR-2 per-edge Python loop,
+    retained as the oracle — because both accumulate each edge's
+    ``rate * overlap`` terms in the same (commit) order.
+    :meth:`background_profile` exposes the same pieces *unaveraged*, as
+    a :class:`~repro.routing.background.BackgroundProfile`.
     """
 
     def __init__(
@@ -205,7 +214,14 @@ class WindowAccountant:
         self.topology = topology
         self.power = power
         self.tol = tol
-        self.live: dict[Edge, list[_Piece]] = {}
+        # Array-backed live-piece storage (parallel columns, commit order).
+        self._piece_start: list[float] = []
+        self._piece_end: list[float] = []
+        self._piece_rate: list[float] = []
+        self._piece_eid: list[int] = []
+        self._piece_arrays: (
+            tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray] | None
+        ) = None
         self.active_links: set[Edge] = set()
         # Global energy sweep state: one (time, edge_id, rate_delta) heap,
         # plus each link's current stacked rate and last event time.
@@ -239,15 +255,35 @@ class WindowAccountant:
 
     def commit(self, fs: FlowSchedule) -> None:
         """Register one irrevocable schedule: pieces, events, activity."""
+        p_start, p_end = self._piece_start, self._piece_end
+        p_rate, p_eid = self._piece_rate, self._piece_eid
         for edge, eid in self.route_of(fs):
             self.active_links.add(edge)
-            pieces = self.live.setdefault(edge, [])
             for seg in fs.segments:
-                pieces.append((seg.start, seg.end, seg.rate))
+                p_start.append(seg.start)
+                p_end.append(seg.end)
+                p_rate.append(seg.rate)
+                p_eid.append(eid)
                 heappush(self.events, (seg.start, eid, seg.rate))
                 heappush(self.events, (seg.end, eid, -seg.rate))
                 if seg.end > self.last_segment_end:
                     self.last_segment_end = seg.end
+        self._piece_arrays = None
+
+    def _arrays(
+        self,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """The live pieces as ``(starts, ends, rates, edge ids)`` arrays."""
+        arrays = self._piece_arrays
+        if arrays is None:
+            arrays = (
+                np.asarray(self._piece_start, dtype=float),
+                np.asarray(self._piece_end, dtype=float),
+                np.asarray(self._piece_rate, dtype=float),
+                np.asarray(self._piece_eid, dtype=np.int64),
+            )
+            self._piece_arrays = arrays
+        return arrays
 
     # ------------------------------------------------------------------
     # Energy sweep and garbage collection.
@@ -281,17 +317,19 @@ class WindowAccountant:
 
     def finalize(self, end: float) -> None:
         """Close a window ending at ``end``: sweep energy, drop dead pieces."""
-        live = self.live
-        self.max_resident = max(
-            self.max_resident, sum(len(v) for v in live.values())
-        )
+        n = len(self._piece_start)
+        if n > self.max_resident:
+            self.max_resident = n
         self.sweep(end)
-        for edge in list(live):
-            remaining = [p for p in live[edge] if p[1] > end]
-            if remaining:
-                live[edge] = remaining
-            else:
-                del live[edge]
+        if n:
+            starts, ends, rates, eids = self._arrays()
+            keep = ends > end
+            if not keep.all():
+                self._piece_start = starts[keep].tolist()
+                self._piece_end = ends[keep].tolist()
+                self._piece_rate = rates[keep].tolist()
+                self._piece_eid = eids[keep].tolist()
+                self._piece_arrays = None
 
     def drain(self) -> None:
         """Charge any boundary-exact trailing events (end of replay)."""
@@ -301,33 +339,108 @@ class WindowAccountant:
     # Views.
     # ------------------------------------------------------------------
     def background(self, start: float, end: float) -> np.ndarray:
-        """Per-edge mean committed rate over ``[start, end)``."""
+        """Per-edge mean committed rate over ``[start, end)``.
+
+        One vectorized overlap computation plus one weighted
+        :func:`numpy.bincount` over the array-backed piece columns.
+        Bincount accumulates weights in row order, which restricted to
+        any one edge is exactly the commit order the retained
+        :meth:`background_reference` loop sums in — the Hypothesis suite
+        pins the two bit-identical.
+        """
+        num_edges = self.topology.num_edges
+        loads = np.zeros(num_edges)
+        if not self._piece_start:
+            return loads
+        starts, ends, rates, eids = self._arrays()
+        overlap = np.minimum(ends, end) - np.maximum(starts, start)
+        mask = overlap > 0.0
+        if not mask.any():
+            return loads
+        totals = np.bincount(
+            eids[mask], weights=rates[mask] * overlap[mask],
+            minlength=num_edges,
+        )
+        covered = totals > 0.0
+        loads[covered] = totals[covered] / (end - start)
+        return loads
+
+    def background_reference(self, start: float, end: float) -> np.ndarray:
+        """The PR-2 window-averaged background loop, retained verbatim as
+        the pinning oracle for the vectorized :meth:`background`."""
         loads = np.zeros(self.topology.num_edges)
         span = end - start
-        for edge, pieces in self.live.items():
-            total = 0.0
-            for s, e, r in pieces:
-                overlap = min(e, end) - max(s, start)
-                if overlap > 0.0:
-                    total += r * overlap
+        totals: dict[int, float] = {}
+        for s, e, r, eid in zip(
+            self._piece_start, self._piece_end,
+            self._piece_rate, self._piece_eid,
+        ):
+            overlap = min(e, end) - max(s, start)
+            if overlap > 0.0:
+                totals[eid] = totals.get(eid, 0.0) + r * overlap
+        for eid, total in totals.items():
             if total > 0.0:
-                loads[self._edge_id(edge)] = total / span
+                loads[eid] = total / span
         return loads
+
+    def background_profile(self, start: float, end: float) -> BackgroundProfile:
+        """The committed load over ``[start, end)`` *unaveraged*: a
+        per-edge piecewise-constant :class:`BackgroundProfile`.
+
+        The profile's support extends to the last live piece end (pieces
+        outlive their window, and a window's elementary intervals reach
+        past its boundary), and its :meth:`~BackgroundProfile.mean` is
+        the exact :meth:`background` vector — stored, not re-integrated —
+        so the mean path through a profile stays bit-identical to the
+        retained window-averaged reference.
+        """
+        num_edges = self.topology.num_edges
+        mean = self.background(start, end)
+        if self._piece_start:
+            starts, ends, rates, eids = self._arrays()
+            mask = ends > start
+        else:
+            mask = None
+        if mask is None or not mask.any():
+            return BackgroundProfile(
+                num_edges,
+                start,
+                end,
+                np.array([start, end]),
+                np.zeros((1, num_edges)),
+                mean=mean,
+            )
+        piece_starts = np.maximum(starts[mask], start)
+        piece_ends = ends[mask]
+        horizon = max(end, float(piece_ends.max()))
+        times = np.unique(
+            np.concatenate((piece_starts, piece_ends, [start, end, horizon]))
+        )
+        k = len(times) - 1
+        piece_rates = rates[mask]
+        piece_eids = eids[mask]
+        delta = np.zeros((k + 1, num_edges))
+        lo = np.searchsorted(times, piece_starts)
+        hi = np.searchsorted(times, piece_ends)
+        np.add.at(delta, (lo, piece_eids), piece_rates)
+        np.subtract.at(delta, (hi, piece_eids), piece_rates)
+        loads = np.cumsum(delta[:k], axis=0)
+        # Cancellation residue from stacked +rate/-rate sums can leave
+        # -1e-16-scale noise; the profile contract is loads >= 0.
+        np.maximum(loads, 0.0, out=loads)
+        return BackgroundProfile(num_edges, start, end, times, loads, mean=mean)
 
     def next_live_start(self, floor: float) -> float | None:
         """Earliest live-piece start clipped below at ``floor`` (None when
         no pieces remain) — the engine's quiet-gap skip primitive."""
-        if not self.live:
+        if not self._piece_start:
             return None
-        return min(
-            s if s > floor else floor
-            for pieces in self.live.values()
-            for s, _e, _r in pieces
-        )
+        starts = self._arrays()[0]
+        return float(np.maximum(starts, floor).min())
 
     @property
     def has_live(self) -> bool:
-        return bool(self.live)
+        return bool(self._piece_start)
 
     def idle_energy(self, t0: float, t1: float) -> float:
         return self.power.sigma * (t1 - t0) * len(self.active_links)
@@ -338,7 +451,12 @@ class WindowAccountant:
     def snapshot_state(self) -> dict:
         """Plain-data snapshot of all accounting state (picklable)."""
         return {
-            "live": {edge: list(pieces) for edge, pieces in self.live.items()},
+            "pieces": {
+                "start": list(self._piece_start),
+                "end": list(self._piece_end),
+                "rate": list(self._piece_rate),
+                "edge_id": list(self._piece_eid),
+            },
             "active_links": sorted(self.active_links),
             "events": list(self.events),
             "cur_rate": list(self.cur_rate),
@@ -352,10 +470,12 @@ class WindowAccountant:
 
     def restore_state(self, state: dict) -> None:
         """Adopt a :meth:`snapshot_state` payload (same topology/power)."""
-        self.live = {
-            tuple(edge): [tuple(p) for p in pieces]
-            for edge, pieces in state["live"].items()
-        }
+        pieces = state["pieces"]
+        self._piece_start = list(pieces["start"])
+        self._piece_end = list(pieces["end"])
+        self._piece_rate = list(pieces["rate"])
+        self._piece_eid = list(pieces["edge_id"])
+        self._piece_arrays = None
         self.active_links = {tuple(e) for e in state["active_links"]}
         self.events = [tuple(e) for e in state["events"]]
         self.events.sort()  # heap invariant (sorted list is a valid heap)
@@ -406,6 +526,12 @@ class ReplayEngine:
         self._keep = keep_schedules
         self._tol = tol
 
+    def _accountant(self) -> WindowAccountant:
+        """Accountant factory — a seam the reference-pin suite overrides
+        (swapping :meth:`WindowAccountant.background` for the retained
+        loop) to pin whole replays against the pre-vectorization path."""
+        return WindowAccountant(self._topology, self._power, tol=self._tol)
+
     # ------------------------------------------------------------------
     # Main loop.
     # ------------------------------------------------------------------
@@ -414,7 +540,7 @@ class ReplayEngine:
         topology, power, window = self._topology, self._power, self._window
         self._policy.reset()
 
-        acct = WindowAccountant(topology, power, tol=self._tol)
+        acct = self._accountant()
         kept: list[FlowSchedule] | None = [] if self._keep else None
         # One dict per run, threaded through every WindowContext so a
         # policy's warm state (e.g. a relaxation session) survives window
@@ -449,14 +575,16 @@ class ReplayEngine:
             if not arrivals:
                 return
             start, end = window_bounds(k)
-            # The background view reads the live ledger lazily; the policy
-            # runs before any of this window's commits, so it is consistent.
+            # Both background views read the live ledger lazily; the policy
+            # runs before any of this window's commits, so they are
+            # consistent, and a policy pays only for the view it reads.
             ctx = WindowContext(
                 topology=topology,
                 power=power,
                 start=start,
                 end=end,
                 background_fn=lambda: acct.background(start, end),
+                profile_fn=lambda: acct.background_profile(start, end),
                 carry=carry,
             )
             by_id = {flow.id: flow for flow in arrivals}

@@ -1,0 +1,460 @@
+"""Tests for the interval-resolved background layer (PR 7).
+
+Three tiers of pins:
+
+* :class:`BackgroundProfile` itself — construction contracts, integral /
+  mean_over / slice / restrict algebra against brute-force piece sums;
+* the :class:`WindowAccountant` views — the vectorized
+  :meth:`~repro.traces.replay.WindowAccountant.background` bincount pass
+  pinned **bit-identical** to the retained PR-2 reference loop, and
+  :meth:`~repro.traces.replay.WindowAccountant.background_profile`
+  integrating back to that exact vector;
+* whole replays — every background-consuming policy in ``mean`` mode,
+  run through an engine whose accountant swaps in the reference loop,
+  must produce the bit-identical report (the
+  :meth:`~repro.traces.replay.ReplayEngine._accountant` seam), and
+  ``use_background=False`` must be blind to the mode knob entirely.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.flows import Flow
+from repro.power import PowerModel
+from repro.routing.background import BackgroundProfile
+from repro.scheduling import FlowSchedule, Segment
+from repro.topology import line
+from repro.traces import (
+    GreedyDensityPolicy,
+    LeastLoadedPolicy,
+    OnlineDensityPolicy,
+    PoissonProcess,
+    PowerOfTwoPolicy,
+    RelaxationRoundingPolicy,
+    ReplayEngine,
+    TraceSpec,
+    generate_trace,
+    lognormal_sizes,
+    proportional_slack,
+)
+from repro.traces.policies import WindowContext, resolve_background
+from repro.traces.replay import WindowAccountant
+
+# ----------------------------------------------------------------------
+# BackgroundProfile unit contracts.
+# ----------------------------------------------------------------------
+
+
+class TestProfileValidation:
+    def test_minimal_profile(self):
+        p = BackgroundProfile(2, 0.0, 1.0, [0.0, 1.0], [[1.0, 0.0]])
+        assert p.num_pieces == 1
+        assert np.array_equal(p.mean(), [1.0, 0.0])
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ValidationError):
+            BackgroundProfile(1, 1.0, 1.0, [1.0, 2.0], [[0.0]])
+
+    def test_breakpoints_must_increase(self):
+        with pytest.raises(ValidationError):
+            BackgroundProfile(1, 0.0, 1.0, [0.0, 0.5, 0.5, 1.0], np.zeros((3, 1)))
+
+    def test_support_must_cover_window(self):
+        with pytest.raises(ValidationError):
+            BackgroundProfile(1, 0.0, 2.0, [0.0, 1.0], [[0.0]])
+        with pytest.raises(ValidationError):
+            BackgroundProfile(1, 0.0, 1.0, [0.5, 1.0], [[0.0]])
+
+    def test_loads_shape_and_sign(self):
+        with pytest.raises(ValidationError):
+            BackgroundProfile(2, 0.0, 1.0, [0.0, 1.0], [[1.0]])
+        with pytest.raises(ValidationError):
+            BackgroundProfile(1, 0.0, 1.0, [0.0, 1.0], [[-0.1]])
+
+    def test_mean_shape_checked(self):
+        with pytest.raises(ValidationError):
+            BackgroundProfile(
+                2, 0.0, 1.0, [0.0, 1.0], [[0.0, 0.0]], mean=[1.0]
+            )
+
+    def test_degenerate_queries_rejected(self):
+        p = BackgroundProfile(1, 0.0, 1.0, [0.0, 1.0], [[2.0]])
+        with pytest.raises(ValidationError):
+            p.integral(0.5, 0.5)
+        with pytest.raises(ValidationError):
+            p.slice(0.7, 0.2)
+
+    def test_stored_mean_returned_verbatim(self):
+        mean = np.array([3.25, 0.125])
+        p = BackgroundProfile(
+            2, 0.0, 4.0, [0.0, 4.0], [[1.0, 1.0]], mean=mean
+        )
+        assert p.mean() is not None
+        assert np.array_equal(p.mean(), mean)
+
+
+@st.composite
+def step_profiles(draw):
+    """A random piecewise-constant profile plus its raw (times, loads)."""
+    k = draw(st.integers(1, 6))
+    edges = draw(st.integers(1, 3))
+    gaps = draw(
+        st.lists(st.floats(0.25, 4.0), min_size=k, max_size=k)
+    )
+    times = np.concatenate(([0.0], np.cumsum(gaps)))
+    loads = np.array(
+        draw(
+            st.lists(
+                st.lists(st.floats(0.0, 8.0), min_size=edges, max_size=edges),
+                min_size=k,
+                max_size=k,
+            )
+        )
+    )
+    end = draw(st.floats(0.25, float(times[-1])))
+    return BackgroundProfile(edges, 0.0, end, times, loads), times, loads
+
+
+def _brute_integral(times, loads, t0, t1):
+    """Piece-by-piece overlap sum — the oracle for integral queries."""
+    total = np.zeros(loads.shape[1])
+    for k in range(len(times) - 1):
+        overlap = min(times[k + 1], t1) - max(times[k], t0)
+        if overlap > 0:
+            total += loads[k] * overlap
+    return total
+
+
+class TestProfileAlgebra:
+    @settings(max_examples=60, deadline=None)
+    @given(case=step_profiles(), data=st.data())
+    def test_integral_matches_brute_force(self, case, data):
+        profile, times, loads = case
+        horizon = float(times[-1])
+        t0 = data.draw(st.floats(-1.0, horizon + 1.0))
+        t1 = data.draw(st.floats(t0 + 1e-3, horizon + 2.0))
+        expected = _brute_integral(times, loads, t0, t1)
+        np.testing.assert_allclose(
+            profile.integral(t0, t1), expected, rtol=1e-9, atol=1e-9
+        )
+        np.testing.assert_allclose(
+            profile.mean_over(t0, t1), expected / (t1 - t0),
+            rtol=1e-9, atol=1e-9,
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(case=step_profiles(), data=st.data())
+    def test_integral_is_additive(self, case, data):
+        profile, times, _ = case
+        horizon = float(times[-1])
+        a = data.draw(st.floats(0.0, horizon - 0.2))
+        b = data.draw(st.floats(a + 0.05, horizon - 0.1))
+        c = data.draw(st.floats(b + 0.05, horizon))
+        np.testing.assert_allclose(
+            profile.integral(a, b) + profile.integral(b, c),
+            profile.integral(a, c),
+            rtol=1e-9,
+            atol=1e-9,
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(case=step_profiles(), data=st.data())
+    def test_slice_preserves_queries(self, case, data):
+        profile, times, _ = case
+        horizon = float(times[-1])
+        t0 = data.draw(st.floats(0.0, horizon - 0.2))
+        t1 = data.draw(st.floats(t0 + 0.1, horizon + 1.0))
+        sliced = profile.slice(t0, t1)
+        assert sliced.start == t0 and sliced.end == t1
+        a = data.draw(st.floats(t0, t1 - 0.05))
+        b = data.draw(st.floats(a + 0.01, t1))
+        np.testing.assert_allclose(
+            sliced.integral(a, b), profile.integral(a, b),
+            rtol=1e-9, atol=1e-9,
+        )
+
+    def test_zero_outside_support(self):
+        p = BackgroundProfile(1, 0.0, 2.0, [0.0, 2.0], [[5.0]])
+        assert p.integral(2.0, 4.0) == pytest.approx(0.0)
+        assert p.mean_over(-3.0, -1.0) == pytest.approx(0.0)
+        # Half inside, half outside: the mean dilutes accordingly.
+        assert p.mean_over(1.0, 3.0) == pytest.approx(2.5)
+
+    def test_restrict_selects_columns(self):
+        loads = np.array([[1.0, 2.0, 3.0], [4.0, 5.0, 6.0]])
+        p = BackgroundProfile(3, 0.0, 2.0, [0.0, 1.0, 2.0], loads)
+        sub = p.restrict([2, 0])
+        assert sub.num_edges == 2
+        np.testing.assert_array_equal(sub.loads, loads[:, [2, 0]])
+        np.testing.assert_array_equal(sub.mean(), p.mean()[[2, 0]])
+
+
+# ----------------------------------------------------------------------
+# WindowAccountant views: bincount pinned to the retained loop,
+# profile pinned to integrate back to the mean vector.
+# ----------------------------------------------------------------------
+
+LINE4 = line(4)
+QUAD = PowerModel.quadratic()
+PATHS = [
+    ("n0", "n1"),
+    ("n1", "n2"),
+    ("n2", "n3"),
+    ("n0", "n1", "n2"),
+    ("n1", "n2", "n3"),
+    ("n0", "n1", "n2", "n3"),
+]
+
+
+@st.composite
+def committed_accountants(draw):
+    """An accountant with random committed single-segment schedules."""
+    acct = WindowAccountant(LINE4, QUAD)
+    n = draw(st.integers(0, 12))
+    for i in range(n):
+        path = PATHS[draw(st.integers(0, len(PATHS) - 1))]
+        start = draw(st.floats(0.0, 10.0))
+        dur = draw(st.floats(0.125, 6.0))
+        rate = draw(st.floats(0.05, 3.0))
+        flow = Flow(
+            id=f"f{i}",
+            src=path[0],
+            dst=path[-1],
+            size=rate * dur,
+            release=start,
+            deadline=start + dur,
+        )
+        acct.commit(
+            FlowSchedule(
+                flow=flow,
+                path=path,
+                segments=(Segment(start=start, end=start + dur, rate=rate),),
+            )
+        )
+    return acct
+
+
+class TestAccountantViews:
+    @settings(max_examples=60, deadline=None)
+    @given(acct=committed_accountants(), data=st.data())
+    def test_background_bit_identical_to_reference(self, acct, data):
+        start = data.draw(st.floats(0.0, 12.0))
+        end = start + data.draw(st.floats(0.25, 6.0))
+        fast = acct.background(start, end)
+        slow = acct.background_reference(start, end)
+        assert np.array_equal(fast, slow)  # bit-identical, not approx
+
+    @settings(max_examples=60, deadline=None)
+    @given(acct=committed_accountants(), data=st.data())
+    def test_profile_mean_is_the_pinned_vector(self, acct, data):
+        start = data.draw(st.floats(0.0, 12.0))
+        end = start + data.draw(st.floats(0.25, 6.0))
+        profile = acct.background_profile(start, end)
+        # The stored mean IS the accountant's (reference-pinned) vector.
+        assert np.array_equal(profile.mean(), acct.background(start, end))
+        # And integrating the pieces reproduces it to fp accuracy.
+        np.testing.assert_allclose(
+            profile.mean_over(start, end),
+            profile.mean(),
+            rtol=1e-9,
+            atol=1e-12,
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(acct=committed_accountants(), data=st.data())
+    def test_profile_resolves_subintervals_exactly(self, acct, data):
+        start = data.draw(st.floats(0.0, 10.0))
+        end = start + data.draw(st.floats(0.5, 6.0))
+        profile = acct.background_profile(start, end)
+        a = data.draw(st.floats(start, end - 0.1))
+        b = data.draw(st.floats(a + 0.05, end + 4.0))
+        # Oracle: the reference loop over an arbitrary query window.
+        np.testing.assert_allclose(
+            profile.mean_over(a, b),
+            acct.background_reference(a, b),
+            rtol=1e-9,
+            atol=1e-12,
+        )
+
+    def test_empty_accountant_views(self):
+        acct = WindowAccountant(LINE4, QUAD)
+        assert np.array_equal(
+            acct.background(0.0, 1.0), np.zeros(LINE4.num_edges)
+        )
+        profile = acct.background_profile(0.0, 1.0)
+        assert profile.num_pieces == 1
+        assert np.array_equal(profile.mean(), np.zeros(LINE4.num_edges))
+
+    def test_profile_support_reaches_last_piece(self):
+        acct = WindowAccountant(LINE4, QUAD)
+        flow = Flow(
+            id="f", src="n0", dst="n1", size=9.0, release=0.0, deadline=9.0
+        )
+        acct.commit(
+            FlowSchedule(
+                flow=flow,
+                path=("n0", "n1"),
+                segments=(Segment(start=0.0, end=9.0, rate=1.0),),
+            )
+        )
+        profile = acct.background_profile(0.0, 2.0)
+        assert profile.times[-1] == pytest.approx(9.0)
+        eid = LINE4.edge_id(("n0", "n1"))
+        # Beyond the window but inside the piece: full rate, not a mean.
+        assert profile.mean_over(5.0, 7.0)[eid] == pytest.approx(1.0)
+
+
+# ----------------------------------------------------------------------
+# Context plumbing.
+# ----------------------------------------------------------------------
+
+
+class TestResolveBackground:
+    def _ctx(self, profile=None):
+        vec = np.array([1.0, 2.0, 3.0])
+        return WindowContext(
+            topology=LINE4,
+            power=QUAD,
+            start=0.0,
+            end=1.0,
+            background_fn=lambda: vec,
+            profile_fn=(lambda: profile) if profile is not None else None,
+        ), vec
+
+    def test_mean_mode_reads_the_vector(self):
+        ctx, vec = self._ctx()
+        assert resolve_background(ctx, "mean") is vec
+
+    def test_interval_mode_returns_profile(self):
+        profile = BackgroundProfile(3, 0.0, 1.0, [0.0, 1.0], [[0.0] * 3])
+        ctx, _ = self._ctx(profile=profile)
+        assert resolve_background(ctx, "interval") is profile
+
+    def test_interval_mode_falls_back_to_mean(self):
+        # Hand-built contexts without a profile view stay usable.
+        ctx, vec = self._ctx()
+        assert resolve_background(ctx, "interval") is vec
+
+    def test_unknown_mode_rejected(self):
+        for factory in (
+            lambda: PowerOfTwoPolicy(background_mode="bogus"),
+            lambda: LeastLoadedPolicy(background_mode="bogus"),
+            lambda: OnlineDensityPolicy(background_mode="bogus"),
+            lambda: RelaxationRoundingPolicy(background_mode="bogus"),
+        ):
+            with pytest.raises(ValidationError):
+                factory()
+
+
+# ----------------------------------------------------------------------
+# Whole-replay pins through the accountant seam.
+# ----------------------------------------------------------------------
+
+
+class _ReferenceAccountant(WindowAccountant):
+    """Accountant whose every background read runs the retained loop —
+    including the mean stored on the profile, which it derives from
+    :meth:`background`."""
+
+    def background(self, start, end):
+        return self.background_reference(start, end)
+
+
+class _ReferenceEngine(ReplayEngine):
+    def _accountant(self):
+        return _ReferenceAccountant(
+            self._topology, self._power, tol=self._tol
+        )
+
+
+def _small_trace(topology, seed=7):
+    spec = TraceSpec(
+        arrivals=PoissonProcess(3.0),
+        duration=20.0,
+        size_sampler=lognormal_sizes(1.0, 0.6),
+        slack_model=proportional_slack(3.0, 1.0),
+        seed=seed,
+    )
+    return list(generate_trace(topology, spec))
+
+
+MEAN_POLICIES = [
+    ("greedy", lambda: GreedyDensityPolicy()),
+    ("p2", lambda: PowerOfTwoPolicy(k=4, seed=0, background_mode="mean")),
+    ("least", lambda: LeastLoadedPolicy(k=4, background_mode="mean")),
+    ("online", lambda: OnlineDensityPolicy(background_mode="mean")),
+    (
+        "relax-warm",
+        lambda: RelaxationRoundingPolicy(
+            seed=0, fw_max_iterations=25, background_mode="mean"
+        ),
+    ),
+    (
+        "relax-cold",
+        lambda: RelaxationRoundingPolicy(
+            seed=0,
+            fw_max_iterations=25,
+            warm_windows=False,
+            background_mode="mean",
+        ),
+    ),
+]
+
+
+class TestMeanModeReferencePin:
+    @pytest.mark.parametrize(
+        "factory", [f for _, f in MEAN_POLICIES], ids=[n for n, _ in MEAN_POLICIES]
+    )
+    def test_replay_bit_identical_to_reference_loop(
+        self, ft4, quadratic, factory
+    ):
+        flows = _small_trace(ft4)
+        fast = ReplayEngine(
+            ft4, quadratic, factory(), window=5.0
+        ).run(iter(flows))
+        slow = _ReferenceEngine(
+            ft4, quadratic, factory(), window=5.0
+        ).run(iter(flows))
+        assert fast.total_energy == slow.total_energy  # bit-identical
+        assert fast.dynamic_energy == slow.dynamic_energy
+        assert fast.flows_served == slow.flows_served
+        assert fast.deadline_misses == slow.deadline_misses
+        assert fast.peak_link_rate == slow.peak_link_rate
+
+    def test_no_background_is_blind_to_mode(self, ft4, quadratic):
+        # use_background=False must short-circuit both views entirely.
+        flows = _small_trace(ft4, seed=11)
+        reports = [
+            ReplayEngine(
+                ft4,
+                quadratic,
+                RelaxationRoundingPolicy(
+                    seed=0,
+                    fw_max_iterations=25,
+                    use_background=False,
+                    background_mode=mode,
+                ),
+                window=5.0,
+            ).run(iter(flows))
+            for mode in ("interval", "mean")
+        ]
+        assert reports[0].total_energy == reports[1].total_energy
+        assert reports[0].flows_served == reports[1].flows_served
+
+    def test_interval_mode_serves_and_verifies(self, ft4, quadratic):
+        flows = _small_trace(ft4, seed=13)
+        report = ReplayEngine(
+            ft4,
+            quadratic,
+            RelaxationRoundingPolicy(seed=0, fw_max_iterations=25),
+            window=5.0,
+        ).run(iter(flows))
+        assert report.flows_served == len(flows)
+        assert report.deadline_misses == 0
+        assert report.capacity_violations == 0
+        assert report.total_energy > 0.0

@@ -1,0 +1,229 @@
+"""Tests for the predictive tier (traces/forecast.py).
+
+The forecaster's contracts: online estimates converge on stationary
+input, confidence lives in ``[0, 1]`` and gates phantoms until warmup,
+the pair mix is a normalized distribution, and process-backed (oracle)
+forecasts defer to the arrival process's closed-form ``forecast``.  The
+policy's contracts: phantoms never leak into committed schedules, a
+zero hedge is bit-identical to the reactive policy, and reset clears
+the learned state between runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.flows import Flow
+from repro.traces import (
+    DiurnalProcess,
+    LookaheadRelaxationPolicy,
+    PoissonProcess,
+    RelaxationRoundingPolicy,
+    ReplayEngine,
+    TraceSpec,
+    TrafficForecaster,
+    generate_trace,
+    lognormal_sizes,
+    proportional_slack,
+)
+from repro.traces.forecast import PHANTOM_PREFIX
+
+
+def _window(pairs, start, end, size=2.0, n_per_pair=3):
+    """n_per_pair flows per (src, dst) pair, spread over [start, end)."""
+    flows = []
+    span = end - start
+    i = 0
+    for src, dst in pairs:
+        for k in range(n_per_pair):
+            release = start + span * (k + 0.5) / n_per_pair
+            flows.append(
+                Flow(
+                    id=f"w{start:g}-{i}",
+                    src=src,
+                    dst=dst,
+                    size=size,
+                    release=release,
+                    deadline=release + 1.0,
+                )
+            )
+            i += 1
+    return flows
+
+
+HOT = [("p2h0", "p1h0"), ("p2h1", "p1h1")]
+
+
+class TestForecasterValidation:
+    def test_parameter_validation(self):
+        with pytest.raises(ValidationError):
+            TrafficForecaster(alpha=0.0)
+        with pytest.raises(ValidationError):
+            TrafficForecaster(alpha=1.5)
+        with pytest.raises(ValidationError):
+            TrafficForecaster(bias=0.0)
+        with pytest.raises(ValidationError):
+            TrafficForecaster(top_pairs=0)
+        with pytest.raises(ValidationError):
+            TrafficForecaster(warmup=0)
+
+    def test_observe_rejects_empty_window(self):
+        fc = TrafficForecaster()
+        with pytest.raises(ValidationError):
+            fc.observe([], 3.0, 3.0)
+
+
+class TestForecasterLearning:
+    def test_cold_start_is_silent(self):
+        fc = TrafficForecaster()
+        assert fc.confidence() == 0.0
+        assert fc.pair_mix() == []
+        assert fc.phantoms(0.0, 4.0) == []
+        assert fc.forecast_volume(0.0, 4.0) == 0.0
+
+    def test_warmup_gates_confidence(self):
+        fc = TrafficForecaster(warmup=3)
+        for w in range(3):
+            fc.observe(_window(HOT, 4.0 * w, 4.0 * (w + 1)), 4.0 * w, 4.0 * (w + 1))
+            if w < 2:
+                assert fc.confidence() == 0.0
+                assert fc.phantoms(4.0 * (w + 1), 4.0 * (w + 2)) == []
+        assert fc.confidence() > 0.0
+
+    def test_stationary_input_converges(self):
+        fc = TrafficForecaster(alpha=0.5, warmup=2)
+        for w in range(8):
+            flows = _window(HOT, 4.0 * w, 4.0 * (w + 1), size=2.0)
+            fc.observe(flows, 4.0 * w, 4.0 * (w + 1))
+        # 6 flows of size 2 per window of 4: rate 1.5/t, volume 3/t.
+        assert fc.forecast_count(32.0, 36.0) == pytest.approx(6.0, rel=0.05)
+        assert fc.forecast_volume(32.0, 36.0) == pytest.approx(12.0, rel=0.05)
+        # Perfect self-prediction on a stationary stream.
+        assert fc.confidence() > 0.9
+        mix = dict(fc.pair_mix())
+        assert set(mix) == set(HOT)
+        assert sum(mix.values()) == pytest.approx(1.0)
+        for share in mix.values():
+            assert share == pytest.approx(0.5, rel=0.05)
+
+    def test_bias_inflates_forecast_and_erodes_confidence(self):
+        honest = TrafficForecaster(alpha=0.5, warmup=2)
+        biased = TrafficForecaster(alpha=0.5, warmup=2, bias=4.0)
+        for w in range(8):
+            flows = _window(HOT, 4.0 * w, 4.0 * (w + 1))
+            honest.observe(flows, 4.0 * w, 4.0 * (w + 1))
+            biased.observe(flows, 4.0 * w, 4.0 * (w + 1))
+        assert biased.forecast_volume(32.0, 36.0) == pytest.approx(
+            4.0 * honest.forecast_volume(32.0, 36.0)
+        )
+        # The graceful half of the hedge: mispredicting costs confidence.
+        assert biased.confidence() < honest.confidence() - 0.3
+
+    def test_process_oracle_defers_to_closed_form(self):
+        proc = DiurnalProcess(0.5, 8.0, 16.0)
+        fc = TrafficForecaster(process=proc, warmup=2)
+        for w in range(4):
+            fc.observe(_window(HOT, 4.0 * w, 4.0 * (w + 1)), 4.0 * w, 4.0 * (w + 1))
+        assert fc.forecast_count(16.0, 20.0) == pytest.approx(
+            proc.forecast(16.0, 20.0)
+        )
+
+    def test_reset_forgets_everything(self):
+        fc = TrafficForecaster(warmup=2)
+        for w in range(4):
+            fc.observe(_window(HOT, 4.0 * w, 4.0 * (w + 1)), 4.0 * w, 4.0 * (w + 1))
+        assert fc.windows_observed == 4
+        fc.reset()
+        assert fc.windows_observed == 0
+        assert fc.confidence() == 0.0
+        assert fc.pair_mix() == []
+
+
+class TestPhantoms:
+    def _trained(self, **kwargs):
+        fc = TrafficForecaster(warmup=2, **kwargs)
+        for w in range(6):
+            fc.observe(_window(HOT, 4.0 * w, 4.0 * (w + 1)), 4.0 * w, 4.0 * (w + 1))
+        return fc
+
+    def test_phantoms_span_horizon_and_carry_hedged_volume(self):
+        fc = self._trained()
+        phantoms = fc.phantoms(24.0, 28.0, hedge=1.0)
+        assert phantoms
+        total = 0.0
+        for p in phantoms:
+            assert p.id.startswith(PHANTOM_PREFIX)
+            assert p.release == 24.0 and p.deadline == 28.0
+            assert (p.src, p.dst) in HOT
+            total += p.size
+        budget = fc.forecast_volume(24.0, 28.0) * fc.confidence()
+        assert total == pytest.approx(budget, rel=1e-6)
+        # Halving the hedge halves the carried volume.
+        half = sum(p.size for p in fc.phantoms(24.0, 28.0, hedge=0.5))
+        assert half == pytest.approx(total / 2.0, rel=1e-6)
+
+    def test_zero_hedge_means_no_phantoms(self):
+        fc = self._trained()
+        assert fc.phantoms(24.0, 28.0, hedge=0.0) == []
+
+
+def _pod_trace(topology, seed=3):
+    spec = TraceSpec(
+        arrivals=PoissonProcess(2.5),
+        duration=24.0,
+        size_sampler=lognormal_sizes(0.8, 0.5),
+        slack_model=proportional_slack(3.0, 1.0),
+        seed=seed,
+    )
+    return list(generate_trace(topology, spec))
+
+
+class TestLookaheadPolicy:
+    def test_parameter_validation(self):
+        with pytest.raises(ValidationError):
+            LookaheadRelaxationPolicy(lookahead=0.0)
+        with pytest.raises(ValidationError):
+            LookaheadRelaxationPolicy(hedge=-0.5)
+
+    def test_phantoms_never_commit(self, ft4, quadratic):
+        flows = _pod_trace(ft4)
+        policy = LookaheadRelaxationPolicy(seed=0, fw_max_iterations=25)
+        engine = ReplayEngine(
+            ft4, quadratic, policy, window=4.0, keep_schedules=True
+        )
+        report = engine.run(iter(flows))
+        assert report.flows_served == len(flows)
+        assert report.deadline_misses == 0
+        ids = {fs.flow.id for fs in report.schedules}
+        assert not any(str(i).startswith(PHANTOM_PREFIX) for i in ids)
+        # The forecaster really engaged past warmup (quiet windows are
+        # skipped by the engine, so observed <= total).
+        assert 2 < policy.forecaster.windows_observed <= report.windows
+
+    def test_zero_hedge_is_bit_identical_to_reactive(self, ft4, quadratic):
+        flows = _pod_trace(ft4, seed=9)
+        lookahead = ReplayEngine(
+            ft4,
+            quadratic,
+            LookaheadRelaxationPolicy(hedge=0.0, seed=1, fw_max_iterations=25),
+            window=4.0,
+        ).run(iter(flows))
+        reactive = ReplayEngine(
+            ft4,
+            quadratic,
+            RelaxationRoundingPolicy(seed=1, fw_max_iterations=25),
+            window=4.0,
+        ).run(iter(flows))
+        assert lookahead.total_energy == reactive.total_energy
+        assert lookahead.flows_served == reactive.flows_served
+        assert lookahead.peak_link_rate == reactive.peak_link_rate
+
+    def test_reset_clears_forecaster_between_runs(self, ft4, quadratic):
+        flows = _pod_trace(ft4, seed=5)
+        policy = LookaheadRelaxationPolicy(seed=0, fw_max_iterations=20)
+        engine = ReplayEngine(ft4, quadratic, policy, window=4.0)
+        first = engine.run(iter(flows))
+        second = engine.run(iter(flows))
+        # A stale forecaster would warp the second run's early windows.
+        assert first.total_energy == second.total_energy

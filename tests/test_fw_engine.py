@@ -420,6 +420,72 @@ class TestBackgroundLoads:
                 commodities, background=np.full(topology.num_edges, -1.0)
             )
 
+    def test_session_certified_under_shifting_backgrounds(self):
+        """A warm session chased by a different background every solve
+        (the per-interval profile sweep's access pattern) must stay
+        certified and agree with cold solves of the same instances.
+
+        This drives the pre-certification corrective sweep and the
+        path-pool pricing: by the later solves the pool holds every
+        detour the chain discovered, so injections fire, yet the dual
+        certificate in ``_run`` keeps every answer exact.
+        """
+        topology = fat_tree(4)
+        cost = envelope_cost(PowerModel.quadratic())
+        solver = FrankWolfeSolver(
+            topology, cost, max_iterations=500, gap_tolerance=GAP
+        )
+        session = RelaxationSession(solver)
+        commodities = make_commodities(topology, 10, seed=3)
+        rng = np.random.default_rng(7)
+        for step in range(6):
+            background = rng.uniform(0.0, 4.0, topology.num_edges)
+            subset = commodities[: 6 + (step % 4)]
+            warm = session.solve(subset, background=background)
+            # Numerically-stalled runs may stop marginally above GAP
+            # (same latitude assert_objectives_agree grants).
+            assert warm.relative_gap <= 5 * GAP
+            assert_solution_consistent(warm, subset, topology)
+            cold = FrankWolfeSolver(
+                topology, cost, max_iterations=500, gap_tolerance=GAP
+            ).solve(subset, background=background)
+            assert_objectives_agree(warm, cold)
+        # The chain fed the pool: endpoint pairs with known paths.
+        assert session._pool
+        assert all(pids for pids in session._pool.values())
+
+    def test_pool_pricing_injects_only_cheaper_paths(self):
+        """Pool candidates enter as zero-flow atoms only when strictly
+        cheaper than the commodity's best active atom at the current
+        marginal weights — never for fresh (just-seeded) slots."""
+        topology = fat_tree(4)
+        cost = envelope_cost(PowerModel.quadratic())
+        solver = FrankWolfeSolver(topology, cost, gap_tolerance=GAP)
+        session = RelaxationSession(solver)
+        commodities = make_commodities(topology, 8, seed=11)
+        session.solve(commodities)
+        # Load the first commodity's committed edges so its pooled
+        # alternatives become attractive on the next shifted solve.
+        state = session._state
+        assert state is not None
+        weights = np.ones(topology.num_edges)
+        prep = solver._prep(commodities)
+        n_before = state.n
+        session._price_pool(state, prep, fresh=[], weights=weights)
+        # Whatever was injected carries zero flow and a strictly
+        # cheaper path cost than the owner's previous best atom.
+        new_rows = range(n_before, state.n)
+        costs = state.path_costs(weights)
+        for row in new_rows:
+            assert state.flow[row] == 0.0
+            owner = int(state.owner[row])
+            old_rows = [
+                r
+                for r in range(n_before)
+                if int(state.owner[r]) == owner
+            ]
+            assert costs[row] < min(costs[r] for r in old_rows)
+
     def test_reference_solver_rejects_background_in_sweep(self):
         from repro.core.relaxation import solve_relaxation
         from repro.flows.workloads import paper_workload

@@ -38,7 +38,7 @@ class TestRunnerCli:
     def test_registry_complete(self):
         assert set(ABLATIONS) == {
             "sigma", "lambda", "rounding", "rounding-mode", "topology",
-            "failures", "online", "traces", "relax-replay",
+            "failures", "online", "traces", "relax-replay", "lookahead",
         }
 
     def test_single_ablation_runs(self, capsys, monkeypatch, tmp_path):

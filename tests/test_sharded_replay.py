@@ -31,6 +31,7 @@ from repro.service import (
 from repro.traces import (
     GreedyDensityPolicy,
     PoissonProcess,
+    RelaxationRoundingPolicy,
     ReplayEngine,
     TraceSpec,
     generate_trace,
@@ -173,6 +174,92 @@ class TestIntraShardPin:
             s for s in sharded.shard_stats if s.shard == "cross-shard"
         )
         assert cross.flows == 0
+
+
+@st.composite
+def same_leaf_workloads(draw):
+    """Same-leaf pairs on the leaf-spine fabric: every flow's shortest
+    path (host - leaf - host) is unique, so relaxation + rounding is
+    forced onto the same schedules the single-owner engine commits and
+    the pin isolates the background-profile exchange itself."""
+    topology = FABRICS["leaf_spine"]
+    groups = _hosts_by_group(topology)
+    n = draw(st.integers(2, 8))
+    flows = []
+    release = 0.0
+    for i in range(n):
+        release += draw(st.floats(0.0, 1.5, allow_nan=False))
+        members = groups[draw(st.integers(0, len(groups) - 1))]
+        src, dst = draw(
+            st.lists(
+                st.sampled_from(members), min_size=2, max_size=2, unique=True
+            )
+        )
+        flows.append(
+            Flow(
+                id=i,
+                src=src,
+                dst=dst,
+                size=draw(st.floats(0.5, 6.0, allow_nan=False)),
+                release=release,
+                deadline=release + draw(st.floats(0.5, 5.0, allow_nan=False)),
+            )
+        )
+    return topology, flows
+
+
+class TestIntervalProfileExchange:
+    """The PR-7 boundary-load exchange ships BackgroundProfile
+    restrictions instead of flat vectors; these pin it end to end."""
+
+    @settings(max_examples=12, deadline=None)
+    @given(case=same_leaf_workloads())
+    def test_relax_with_profiles_matches_unsharded_engine(self, case):
+        topology, flows = case
+        baseline = ReplayEngine(
+            topology,
+            POWER,
+            RelaxationRoundingPolicy(
+                seed=0, fw_max_iterations=12, rounding="deterministic"
+            ),
+            window=1.5,
+        ).run(flows)
+        with ShardedReplayEngine(
+            topology,
+            POWER,
+            window=1.5,
+            mode="relax",
+            seed=0,
+            fw_max_iterations=12,
+            rounding="deterministic",
+            pipeline_depth=1,
+            background_mode="interval",
+        ) as engine:
+            sharded = engine.run(flows)
+        assert _pinned(sharded) == _pinned(baseline)
+
+    def test_mean_mode_retained_and_deterministic(self, ft4, quadratic):
+        flows = _trace(ft4, 40, seed=19)
+        reports = []
+        for _ in range(2):
+            with ShardedReplayEngine(
+                ft4,
+                quadratic,
+                window=1.0,
+                mode="relax",
+                seed=3,
+                fw_max_iterations=15,
+                background_mode="mean",
+            ) as engine:
+                reports.append(engine.run(flows))
+        assert _normalized(reports[0]) == _normalized(reports[1])
+        assert reports[0].capacity_violations == 0
+
+    def test_background_mode_validation(self, ft4, quadratic):
+        with pytest.raises(ValidationError):
+            ShardedReplayEngine(
+                ft4, quadratic, window=1.0, background_mode="bogus"
+            )
 
 
 class TestSnapshotRestore:
