@@ -1,6 +1,7 @@
 """Experiments: the paper's Figure 2 and the library's ablations."""
 
 from repro.experiments.ablations import (
+    churn_ablation,
     failure_ablation,
     lambda_ablation,
     online_ablation,
@@ -36,5 +37,6 @@ __all__ = [
     "topology_ablation",
     "failure_ablation",
     "online_ablation",
+    "churn_ablation",
     "approximation_study",
 ]

@@ -47,7 +47,24 @@ __all__ = [
     "available_parallelism",
     "worker_slots",
     "WorkerGroup",
+    "WorkerCrash",
 ]
+
+
+class WorkerCrash(RuntimeError):
+    """A :class:`WorkerGroup` worker died (or timed out) with work pending.
+
+    Distinct from the ``RuntimeError`` a worker ships back when its
+    *handler* raises: a crash means the process itself is gone — the pipe
+    hit EOF, a send found it closed, or a bounded :meth:`WorkerGroup.
+    collect` expired.  The pending count is left untouched, so a caller
+    holding its own ledger of submitted work can
+    :meth:`~WorkerGroup.restart` the worker and resubmit.
+    """
+
+    def __init__(self, index: int, reason: str) -> None:
+        super().__init__(f"worker {index} crashed: {reason}")
+        self.index = index
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -223,6 +240,7 @@ class WorkerGroup:
         if n < 1:
             raise ValidationError(f"worker group needs n >= 1, got {n}")
         self._n = n
+        self._factory = factory  # kept for restart()
         self._pending = [0] * n
         self._closed = False
         self._serial = (
@@ -232,28 +250,48 @@ class WorkerGroup:
             self._handlers = [factory(i) for i in range(n)]
             self._results: list[list] = [[] for _ in range(n)]
             return
-        token = next(_TOKENS)
-        _GROUP_WORK[token] = factory
-        ctx = mp.get_context("fork")
         self._conns = []
         self._procs = []
         try:
-            with _POOL_CREATE_LOCK:
-                for index in range(n):
-                    parent_conn, child_conn = ctx.Pipe()
-                    proc = ctx.Process(
-                        target=_group_worker_main,
-                        args=(token, index, child_conn),
-                        daemon=True,
-                    )
-                    proc.start()
-                    child_conn.close()
-                    self._conns.append(parent_conn)
-                    self._procs.append(proc)
-        finally:
-            del _GROUP_WORK[token]
-        for index, conn in enumerate(self._conns):
-            self._receive(index, conn.recv())  # factory handshake
+            token = next(_TOKENS)
+            _GROUP_WORK[token] = factory
+            try:
+                with _POOL_CREATE_LOCK:
+                    for index in range(n):
+                        self._spawn(index, token, replace=False)
+            finally:
+                del _GROUP_WORK[token]
+            for index, conn in enumerate(self._conns):
+                self._receive(index, conn.recv())  # factory handshake
+        except BaseException:
+            # A failed spawn or handshake must not leak the workers that
+            # DID start: reap them before re-raising.
+            for proc in self._procs:
+                if proc.is_alive():
+                    proc.terminate()
+            for conn in self._conns:
+                conn.close()
+            for proc in self._procs:
+                proc.join(timeout=5.0)
+            raise
+
+    def _spawn(self, index: int, token: int, replace: bool) -> None:
+        """Fork one worker process (factory token must be registered)."""
+        ctx = mp.get_context("fork")
+        parent_conn, child_conn = ctx.Pipe()
+        proc = ctx.Process(
+            target=_group_worker_main,
+            args=(token, index, child_conn),
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        if replace:
+            self._conns[index] = parent_conn
+            self._procs[index] = proc
+        else:
+            self._conns.append(parent_conn)
+            self._procs.append(proc)
 
     @property
     def serial(self) -> bool:
@@ -270,23 +308,109 @@ class WorkerGroup:
         return rest[0]
 
     def submit(self, index: int, msg) -> None:
-        """Queue ``msg`` for worker ``index`` (non-blocking)."""
+        """Queue ``msg`` for worker ``index`` (non-blocking).
+
+        Raises :class:`WorkerCrash` when the worker is dead (killed or
+        exited); the message is NOT counted as pending in that case.
+        """
         if self._closed:
             raise ValidationError("worker group is closed")
-        self._pending[index] += 1
         if self._serial:
-            self._results[index].append(self._handlers[index](msg))
-        else:
+            handler = self._handlers[index]
+            if handler is None:
+                raise WorkerCrash(index, "worker was killed")
+            self._pending[index] += 1
+            self._results[index].append(handler(msg))
+            return
+        try:
             self._conns[index].send(msg)
+        except (BrokenPipeError, OSError) as exc:
+            raise WorkerCrash(index, f"submit failed ({exc!r})") from exc
+        self._pending[index] += 1
 
-    def collect(self, index: int):
-        """Block for worker ``index``'s oldest pending result."""
+    def collect(self, index: int, timeout: float | None = None):
+        """Block for worker ``index``'s oldest pending result.
+
+        ``timeout`` (seconds; fork mode only — serial results are already
+        computed) bounds the wait.  A dead pipe or an expired wait raises
+        :class:`WorkerCrash` WITHOUT decrementing the pending count — the
+        caller decides what to resubmit after :meth:`restart`.
+        """
         if self._pending[index] <= 0:
             raise ValidationError(f"worker {index} has no pending work")
-        self._pending[index] -= 1
         if self._serial:
+            if self._handlers[index] is None:
+                raise WorkerCrash(index, "worker was killed")
+            self._pending[index] -= 1
             return self._results[index].pop(0)
-        return self._receive(index, self._conns[index].recv())
+        conn = self._conns[index]
+        try:
+            if timeout is not None and not conn.poll(timeout):
+                raise WorkerCrash(
+                    index, f"no heartbeat within {timeout:g}s"
+                )
+            reply = conn.recv()
+        except WorkerCrash:
+            raise
+        except (EOFError, OSError) as exc:
+            raise WorkerCrash(index, f"pipe closed ({exc!r})") from exc
+        self._pending[index] -= 1
+        return self._receive(index, reply)
+
+    def pending(self, index: int) -> int:
+        """Results submitted to worker ``index`` and not yet collected."""
+        return self._pending[index]
+
+    def alive(self, index: int) -> bool:
+        """True while worker ``index`` can take messages."""
+        if self._serial:
+            return self._handlers[index] is not None
+        return self._procs[index].is_alive()
+
+    def kill(self, index: int) -> None:
+        """Hard-kill worker ``index`` (crash injection for fault drills).
+
+        Its pending results are unrecoverable; :meth:`collect` raises
+        :class:`WorkerCrash` until :meth:`restart` respawns it.  In
+        serial mode the handler is dropped, which models the same loss.
+        """
+        if self._serial:
+            self._handlers[index] = None
+            self._results[index] = []
+            return
+        proc = self._procs[index]
+        if proc.is_alive():
+            proc.kill()
+            proc.join(timeout=5.0)
+        self._conns[index].close()
+
+    def restart(self, index: int) -> None:
+        """Respawn worker ``index`` with fresh factory state.
+
+        Anything it had pending is forfeited (the pending count resets to
+        zero); the caller resubmits whatever it still needs — restoring a
+        checkpoint first, if it kept one.
+        """
+        if self._closed:
+            raise ValidationError("worker group is closed")
+        self._pending[index] = 0
+        if self._serial:
+            self._handlers[index] = self._factory(index)
+            self._results[index] = []
+            return
+        proc = self._procs[index]
+        if proc.is_alive():
+            proc.kill()
+            proc.join(timeout=5.0)
+        self._conns[index].close()
+        token = next(_TOKENS)
+        _GROUP_WORK[token] = self._factory
+        try:
+            with _POOL_CREATE_LOCK:
+                self._spawn(index, token, replace=True)
+        finally:
+            del _GROUP_WORK[token]
+        self._receive(index, self._conns[index].recv())  # factory handshake
 
     def broadcast(self, msg) -> list:
         """Send ``msg`` to every worker and collect all replies in order."""

@@ -29,6 +29,7 @@ from typing import Callable, Sequence
 from repro.analysis.reporting import Table
 from repro.experiments.parallel import available_parallelism, worker_slots
 from repro.experiments.ablations import (
+    churn_ablation,
     failure_ablation,
     online_ablation,
     lambda_ablation,
@@ -54,6 +55,7 @@ ABLATIONS: dict[str, Callable[..., Table]] = {
     "traces": trace_ablation,
     "relax-replay": relax_replay_ablation,
     "lookahead": lookahead_ablation,
+    "churn": churn_ablation,
 }
 
 

@@ -80,6 +80,14 @@ class ReplayService:
             count += 1
         return count
 
+    def submit_fault(self, event) -> None:
+        """Admit one :class:`~repro.sim.churn.FaultEvent` inline."""
+        self._engine.feed_fault(event)
+
+    def inject_worker_crash(self, index: int) -> None:
+        """Kill one shard worker now; the next collect recovers it."""
+        self._engine.inject_worker_crash(index)
+
     def serve_trace(self, path: str, limit: int | None = None) -> int:
         """Stream flows from a JSONL trace file, tracking a resume cursor.
 

@@ -52,14 +52,14 @@ from __future__ import annotations
 import pickle
 from collections import deque
 from dataclasses import dataclass, field
-from time import perf_counter
+from time import perf_counter, sleep
 from typing import Iterable, Sequence
 
 import numpy as np
 
 from repro.core.dcfsr import RelaxationPipeline
-from repro.errors import ValidationError
-from repro.experiments.parallel import WorkerGroup
+from repro.errors import TopologyError, ValidationError
+from repro.experiments.parallel import WorkerCrash, WorkerGroup
 from repro.flows.flow import Flow, FlowSet
 from repro.power.model import PowerModel
 from repro.routing.background import BackgroundProfile
@@ -69,7 +69,14 @@ from repro.routing.rounding import argmax_paths, sample_paths
 from repro.scheduling.schedule import FlowSchedule, Segment
 from repro.service.degrade import DegradeController, SolveBudget
 from repro.service.partition import TopologyPartition, partition_topology
-from repro.topology.base import Topology
+from repro.sim.churn import (
+    WORKER_CRASH,
+    FaultEvent,
+    FaultSchedule,
+    survivor_shortest_path,
+)
+from repro.topology.base import Topology, path_edges
+from repro.traces.repair import DEAD_EDGE_WEIGHT, ChurnManager
 from repro.traces.replay import (
     ReplayReport,
     ShardStats,
@@ -82,7 +89,9 @@ __all__ = ["WindowStats", "ShardedReplayEngine"]
 SNAPSHOT_KIND = "repro-sharded-replay"
 # v2: the accountant snapshot switched from the per-flow "live" dict to
 # flat piece arrays, and the config grew ``background_mode``.
-SNAPSHOT_VERSION = 2
+# v3: churn — link-fault/repair state, worker-crash events, per-shard
+# checkpoints, and the dead-link element in window messages.
+SNAPSHOT_VERSION = 3
 
 
 @dataclass(frozen=True)
@@ -137,7 +146,7 @@ class _ShardSolver:
     def __call__(self, msg):
         kind = msg[0]
         if kind == "window":
-            return self._solve_window(msg[1], msg[2], msg[3])
+            return self._solve_window(msg[1], msg[2], msg[3], msg[4])
         if kind == "drift":
             return self.max_weight_drift
         if kind == "snapshot":
@@ -169,6 +178,7 @@ class _ShardSolver:
         flows: Sequence[Flow],
         background: np.ndarray | BackgroundProfile | None,
         relax: bool,
+        down_local: frozenset[int],
     ):
         t_start = perf_counter()
         if relax:
@@ -192,6 +202,26 @@ class _ShardSolver:
                 paths = sample_paths(weights, self._rng)
         else:
             paths = [self._shortest(f.src, f.dst) for f in flows]
+        if down_local:
+            # Fault fix-up: any solved/cached route crossing a dead local
+            # link is replaced by the survivor BFS route; a pair with no
+            # surviving route ships ``None`` (the parent leaves the flow
+            # unserved).  The empty-set path above stays byte-identical.
+            topo = self._shard.topology
+            edge_id = topo.edge_id
+            fixed = []
+            for flow, path in zip(flows, paths):
+                if any(
+                    edge_id(e) in down_local for e in path_edges(path)
+                ):
+                    try:
+                        path = survivor_shortest_path(
+                            topo, down_local, flow.src, flow.dst
+                        )
+                    except TopologyError:
+                        path = None
+                fixed.append(path)
+            paths = fixed
         pairs = [(flow.id, path) for flow, path in zip(flows, paths)]
         return pairs, perf_counter() - t_start, not relax
 
@@ -252,6 +282,31 @@ class ShardedReplayEngine:
     budget:
         Optional :class:`~repro.service.degrade.SolveBudget`; exhausted
         windows degrade to greedy and are counted on the report.
+    faults:
+        Optional :class:`~repro.sim.churn.FaultSchedule`.  Link events
+        feed the same :class:`~repro.traces.repair.ChurnManager` the
+        single-owner engine uses (greedy repair tier only — it is the
+        deterministic one under snapshot/restore); ``worker_crash``
+        events kill the named shard worker at the next window dispatch,
+        exercising the recovery machinery below.
+    heartbeat_s:
+        Bound on each worker collect; a worker silent for this long is
+        declared crashed and restarted.  ``None`` waits forever (crashes
+        are still detected via pipe EOF).
+    max_worker_restarts:
+        Consecutive failed recoveries of one shard before giving up
+        (successful collects reset the count).
+    checkpoint_every:
+        Opportunistically snapshot each shard worker's state every this
+        many windows (only while the shard is quiescent, i.e. has no
+        results in flight); a restarted worker restores the latest
+        checkpoint before uncollected windows are resubmitted.  ``None``
+        disables checkpoints — recovery then resubmits against fresh
+        (cold) worker state, which is slower but loses nothing: committed
+        flows live in the parent accountant, never in a worker.
+    resync_windows:
+        Windows a freshly restarted shard solves greedily (deterministic,
+        cheap) while its relaxation state re-warms.
     """
 
     def __init__(
@@ -272,6 +327,11 @@ class ShardedReplayEngine:
         budget: SolveBudget | None = None,
         keep_schedules: bool = False,
         tol: float = 1e-6,
+        faults: FaultSchedule | None = None,
+        heartbeat_s: float | None = None,
+        max_worker_restarts: int = 3,
+        checkpoint_every: int | None = None,
+        resync_windows: int = 2,
     ) -> None:
         if not window > 0:
             raise ValidationError(f"window must be > 0, got {window}")
@@ -308,6 +368,14 @@ class ShardedReplayEngine:
         self._tol = tol
         self._cost = envelope_cost(power)
 
+        if max_worker_restarts < 1:
+            raise ValidationError(
+                f"max_worker_restarts must be >= 1, got {max_worker_restarts}"
+            )
+        if resync_windows < 0:
+            raise ValidationError(
+                f"resync_windows must be >= 0, got {resync_windows}"
+            )
         shards = partition.shards
         config = (seed, fw_max_iterations, fw_gap_tolerance, rounding)
         self._group = WorkerGroup(
@@ -319,6 +387,34 @@ class ShardedReplayEngine:
         self._kept: list[FlowSchedule] | None = [] if keep_schedules else None
         self._cross_paths: dict[tuple[str, str], tuple[str, ...]] = {}
         self.window_log: list[WindowStats] = []
+
+        # Fault injection + crash tolerance.
+        self._faults = faults
+        self._heartbeat_s = heartbeat_s
+        self._max_worker_restarts = max_worker_restarts
+        self._ckpt_every = checkpoint_every
+        self._resync = resync_windows
+        self._churn: ChurnManager | None = None
+        self._stash_events: list[FaultEvent] = []
+        self._worker_events: list[FaultEvent] = sorted(
+            faults.worker_events() if faults is not None else (),
+            key=lambda e: e.time,
+        )
+        self._worker_event_pos = 0
+        n = len(shards)
+        #: Per-shard ledger of submitted-but-uncollected window messages
+        #: (append at submit, popleft on successful collect) — exactly
+        #: what recovery resubmits after a restart.
+        self._sent: list[deque] = [deque() for _ in range(n)]
+        self._checkpoints: list = [None] * n
+        self._last_ckpt = [0] * n
+        self._restart_attempts = [0] * n
+        self._resync_left = [0] * n
+        self._worker_restarts = 0
+        self._rev_edge_maps = [
+            {int(pid): li for li, pid in enumerate(shard.edge_map)}
+            for shard in shards
+        ]
 
         # Stream state (established by the first feed).
         self._t0: float | None = None
@@ -375,6 +471,7 @@ class ShardedReplayEngine:
             self._last_release = flow.release
             self._pending = [flow]
             self._flows_seen = 1
+            self._init_churn()
             return
         if flow.release < self._last_release - 1e-9:
             raise ValidationError(
@@ -392,10 +489,57 @@ class ShardedReplayEngine:
                 self._current = self._next_busy_window(self._current, k)
         self._pending.append(flow)
 
+    def feed_fault(self, event: FaultEvent) -> None:
+        """Admit one fault event (same nondecreasing-time stream as flows).
+
+        Link events queue on the churn manager (stashed until the first
+        flow fixes the window origin); ``worker_crash`` events join the
+        dispatch-time kill schedule.
+        """
+        if event.kind == WORKER_CRASH:
+            if event.shard >= self._partition.num_shards:
+                raise ValidationError(
+                    f"worker_crash targets shard {event.shard}; partition "
+                    f"has {self._partition.num_shards}"
+                )
+            self._worker_events.append(event)
+            self._worker_events.sort(key=lambda e: e.time)
+        elif self._churn is None:
+            self._stash_events.append(event)
+        else:
+            self._churn.add_events((event,))
+
+    def _init_churn(self) -> None:
+        """Build the churn manager once the window origin is known."""
+        churn = ChurnManager(
+            self._topology,
+            self._power,
+            self._acct,
+            origin=self._t0,
+            window=self._window,
+            repair="greedy",  # the snapshot-deterministic tier
+            tol=self._tol,
+        )
+        churn.kept = self._kept
+        if self._faults is not None:
+            churn.add_events(self._faults.link_events())
+        if self._stash_events:
+            churn.add_events(self._stash_events)
+            self._stash_events = []
+        churn.apply_upto(self._t0)
+        self._churn = churn
+
     def run(self, trace: Iterable[Flow]) -> ReplayReport:
-        """Feed an entire trace and :meth:`finish` — whole-trace sugar."""
-        for flow in trace:
-            self.feed(flow)
+        """Feed an entire trace and :meth:`finish` — whole-trace sugar.
+
+        The stream may interleave :class:`~repro.sim.churn.FaultEvent`
+        items (``TraceReader(path, include_faults=True)``).
+        """
+        for item in trace:
+            if isinstance(item, FaultEvent):
+                self.feed_fault(item)
+            else:
+                self.feed(item)
         return self.finish()
 
     def _window_bounds(self, k: int) -> tuple[float, float]:
@@ -426,6 +570,10 @@ class ShardedReplayEngine:
         while self._inflight and self._inflight[0].index <= k - self._depth:
             self._collect_one()
         start, end = self._window_bounds(k)
+        # Enact scheduled worker crashes older than this window, then
+        # recover immediately so the submits below reach a live worker.
+        self._consume_worker_events(start)
+        self._maybe_checkpoint(k)
         self._max_window_arrivals = max(
             self._max_window_arrivals, len(arrivals)
         )
@@ -467,6 +615,11 @@ class ShardedReplayEngine:
                 background = self._acct.background_profile(start, end)
             else:
                 background = self._acct.background(start, end)
+        # The dead-link view a window dispatches against changes only at
+        # collect boundaries (settle applies events before finalize), so
+        # it is structurally lagged like the background — a function of
+        # the dispatch/collect schedule, never of worker timing.
+        down = self._churn.down_key()
         shard_ids = tuple(sorted(per_shard))
         for shard_idx in shard_ids:
             local_bg = None
@@ -477,13 +630,28 @@ class ShardedReplayEngine:
                     if isinstance(background, BackgroundProfile)
                     else background[edge_map]
                 )
-            self._group.submit(
+            rev = self._rev_edge_maps[shard_idx]
+            down_local = frozenset(
+                rev[pid] for pid in down if pid in rev
+            )
+            shard_relax = relax
+            if self._resync_left[shard_idx] > 0:
+                # Degrade-to-greedy while the restarted worker resyncs.
+                shard_relax = False
+                self._resync_left[shard_idx] -= 1
+            self._submit_shard(
                 shard_idx,
-                ("window", per_shard[shard_idx], local_bg, relax),
+                (
+                    "window",
+                    per_shard[shard_idx],
+                    local_bg,
+                    shard_relax,
+                    down_local,
+                ),
             )
         # Route cross-shard flows in the parent while the shard solves
         # run; with the async submit above this is the window's overlap.
-        cross = self._route_cross(cross_flows, background)
+        cross = self._route_cross(cross_flows, background, down)
         self._inflight.append(
             _InFlight(k, start, end, arrivals, assign, shard_ids, cross, relax)
         )
@@ -492,8 +660,13 @@ class ShardedReplayEngine:
         self,
         flows: list[Flow],
         background: np.ndarray | BackgroundProfile | None,
+        down: frozenset[int],
     ) -> dict:
-        """Boundary-aware routing for flows no shard can solve locally."""
+        """Boundary-aware routing for flows no shard can solve locally.
+
+        With ``down`` nonempty, routes avoid the dead links; a flow with
+        no surviving route is omitted (the collect counts it unserved).
+        """
         if not flows:
             return {}
         schedules: dict = {}
@@ -502,10 +675,18 @@ class ShardedReplayEngine:
             # makes, which is what the equivalence pin compares against.
             for flow in flows:
                 key = (flow.src, flow.dst)
-                path = self._cross_paths.get(key)
-                if path is None:
-                    path = self._topology.shortest_path(*key)
-                    self._cross_paths[key] = path
+                if down:
+                    try:
+                        path = survivor_shortest_path(
+                            self._topology, down, *key
+                        )
+                    except TopologyError:
+                        continue  # no surviving route -> unserved
+                else:
+                    path = self._cross_paths.get(key)
+                    if path is None:
+                        path = self._topology.shortest_path(*key)
+                        self._cross_paths[key] = path
                 schedules[flow.id] = _density_schedule(flow, path)
             return schedules
         # Marginal envelope-cost routing on the global view (the
@@ -514,13 +695,16 @@ class ShardedReplayEngine:
         # run must not inherit a different cache than the original.
         router = FastRouter(self._topology)
         ledger = LoadLedger(self._topology, background=background)
+        down_idx = np.asarray(sorted(down), dtype=np.int64) if down else None
         for flow in sorted(flows, key=lambda f: (f.release, str(f.id))):
             loads = ledger.loads(flow.release, flow.deadline)
-            router.set_marginal(
-                np.maximum(self._cost.derivative(loads), 1e-12),
-                decreased=True,
-            )
+            weights = np.maximum(self._cost.derivative(loads), 1e-12)
+            if down_idx is not None:
+                weights[down_idx] = DEAD_EDGE_WEIGHT
+            router.set_marginal(weights, decreased=True)
             path, edge_ids = router.route(flow.src, flow.dst)
+            if down and any(int(eid) in down for eid in edge_ids):
+                continue  # no surviving route -> unserved
             ledger.commit(
                 edge_ids, flow.release, flow.deadline, flow.density
             )
@@ -538,19 +722,162 @@ class ShardedReplayEngine:
         return schedules
 
     # ------------------------------------------------------------------
+    # Crash tolerance: heartbeat collects, backoff restart, resubmission.
+    # ------------------------------------------------------------------
+    def _settle(self, end: float) -> None:
+        """Apply fault events strictly before ``end``, then finalize.
+
+        The one ordering invariant of the fault model: every finalize is
+        preceded by the churn application for the same boundary, so
+        repair commitments land before the sweep that prices them.
+        """
+        self._churn.apply_upto(end)
+        self._acct.finalize(end)
+
+    @staticmethod
+    def _degrade_msg(msg):
+        """Rewrite a window message to the greedy path for resubmission.
+
+        A restarted worker re-solves its uncollected windows; forcing
+        them greedy makes recovery deterministic (no warm-start state to
+        reproduce) and fast.  The parent entry keeps its original
+        ``relax`` flag — the report's degraded counters come from the
+        worker's own ``degraded`` result bit, which reflects what
+        actually ran.
+        """
+        return ("window", msg[1], msg[2], False, msg[4])
+
+    def _submit_shard(self, index: int, msg) -> None:
+        """Ledger-tracked submit; a dead pipe triggers recovery (which
+        resubmits the ledger, including this message)."""
+        self._sent[index].append(msg)
+        try:
+            self._group.submit(index, msg)
+        except WorkerCrash:
+            self._recover_worker(index)
+
+    def _collect_shard(self, index: int):
+        """Collect one window result, restarting the worker on crash or
+        heartbeat expiry until it answers (or the restart budget dies)."""
+        while True:
+            try:
+                result = self._group.collect(
+                    index, timeout=self._heartbeat_s
+                )
+            except WorkerCrash:
+                self._recover_worker(index)
+                continue
+            self._restart_attempts[index] = 0
+            self._sent[index].popleft()
+            return result
+
+    def _recover_worker(self, index: int) -> None:
+        """Backoff-restart one shard worker and replay its ledger.
+
+        Restores the latest checkpoint (when one exists), then resubmits
+        every submitted-but-uncollected window message degraded to
+        greedy.  Committed flows are never at risk — they live in the
+        parent accountant; only in-flight window *solves* are redone.
+        A crash during recovery itself returns early: the next collect
+        raises again and retries with a doubled backoff.
+        """
+        self._restart_attempts[index] += 1
+        if self._restart_attempts[index] > self._max_worker_restarts:
+            raise RuntimeError(
+                f"shard {index} failed {self._max_worker_restarts} "
+                "consecutive restarts; giving up"
+            )
+        sleep(min(0.02 * 2 ** (self._restart_attempts[index] - 1), 1.0))
+        self._group.restart(index)
+        self._worker_restarts += 1
+        self._resync_left[index] = self._resync
+        try:
+            blob = self._checkpoints[index]
+            if blob is not None:
+                self._group.submit(index, ("restore", blob))
+                self._group.collect(index, timeout=self._heartbeat_s)
+            for msg in self._sent[index]:
+                self._group.submit(index, self._degrade_msg(msg))
+        except WorkerCrash:
+            return
+
+    def _consume_worker_events(self, start: float) -> None:
+        """Enact scheduled ``worker_crash`` events older than ``start``.
+
+        Kill-then-recover in one step so the dispatch about to run
+        submits to a live worker; the crash still exercises the full
+        restart/restore/resubmit path.  (:meth:`inject_worker_crash`
+        kills *without* recovering, leaving detection to the next
+        collect's heartbeat — the chaos-test variant.)
+        """
+        events = self._worker_events
+        while (
+            self._worker_event_pos < len(events)
+            and events[self._worker_event_pos].time < start
+        ):
+            event = events[self._worker_event_pos]
+            self._worker_event_pos += 1
+            self._group.kill(event.shard)
+            self._recover_worker(event.shard)
+
+    def _maybe_checkpoint(self, k: int) -> None:
+        """Opportunistic per-shard worker checkpoints.
+
+        Only quiescent shards (no results in flight) snapshot — the
+        result pipe is FIFO, so a snapshot request behind pending window
+        results would stall the window pipeline to wait for them.
+        """
+        if self._ckpt_every is None:
+            return
+        for index in range(self._partition.num_shards):
+            if k - self._last_ckpt[index] < self._ckpt_every:
+                continue
+            if self._group.pending(index) or not self._group.alive(index):
+                continue
+            try:
+                self._group.submit(index, ("snapshot",))
+                blob = self._group.collect(
+                    index, timeout=self._heartbeat_s
+                )
+            except WorkerCrash:
+                self._recover_worker(index)
+                continue
+            self._checkpoints[index] = blob
+            self._last_ckpt[index] = k
+
+    def inject_worker_crash(self, index: int) -> None:
+        """Kill one shard worker mid-replay, with no recovery action.
+
+        The next collect touching the shard sees the dead pipe (or
+        heartbeat expiry), restarts it, and resubmits its uncollected
+        windows — the zero-lost-flows guarantee the chaos tests pin.
+        """
+        if not 0 <= index < self._partition.num_shards:
+            raise ValidationError(
+                f"no shard {index}; partition has "
+                f"{self._partition.num_shards}"
+            )
+        self._group.kill(index)
+
+    # ------------------------------------------------------------------
     # Window collect (gather + commit).
     # ------------------------------------------------------------------
     def _collect_one(self) -> None:
-        entry = self._inflight.popleft()
+        # Peek, don't pop: if a collect below dies hard (restart budget
+        # exhausted) the entry stays in flight for error reporting.
+        entry = self._inflight[0]
         if not entry.arrivals:
-            self._acct.finalize(entry.end)
+            self._inflight.popleft()
+            self._settle(entry.end)
             return
         results = entry.results
         if results is None:
             results = {
-                shard_idx: self._group.collect(shard_idx)
+                shard_idx: self._collect_shard(shard_idx)
                 for shard_idx in entry.shard_ids
             }
+            entry.results = results
+        self._inflight.popleft()
         path_of: dict = {}
         window_solve = 0.0
         for shard_idx in entry.shard_ids:
@@ -573,14 +900,15 @@ class ShardedReplayEngine:
             if shard_idx is None:
                 fs = entry.cross.get(flow.id)
             else:
-                path = path_of.get(flow.id)
-                if path is None:
+                if flow.id not in path_of:
                     raise ValidationError(
-                        f"shard {shard_idx} returned no path for flow "
+                        f"shard {shard_idx} returned no result for flow "
                         f"{flow.id!r} in window {entry.index}"
                     )
-                fs = _density_schedule(flow, path)
-            if fs is None:  # pragma: no cover - cross router serves all
+                path = path_of[flow.id]
+                # ``None`` path: no surviving route past the dead links.
+                fs = None if path is None else _density_schedule(flow, path)
+            if fs is None:
                 continue
             in_span, delivered, missed = flow_verdict(fs, flow, self._tol)
             if not in_span:
@@ -613,10 +941,11 @@ class ShardedReplayEngine:
                 if missed:
                     stats["misses"] += 1
             self._acct.commit(fs)
+            self._churn.register(flow, fs, missed)
             if self._kept is not None:
                 self._kept.append(fs)
         self._unserved += len(entry.arrivals) - served
-        self._acct.finalize(entry.end)
+        self._settle(entry.end)
         if entry.shard_ids and self._mode == "relax":
             self._controller.observe(window_solve, not entry.relax)
         self.window_log.append(
@@ -653,15 +982,20 @@ class ShardedReplayEngine:
         # Trailing sweep over still-transmitting reservations: everything
         # is committed now, so this mirrors the single-owner engine's
         # epilogue verbatim (same window arithmetic, same skip rule).
-        while acct.has_live:
+        churn = self._churn
+        while acct.has_live or churn.has_pending:
             next_t = acct.next_live_start(self._t0 + current * self._window)
             if next_t is not None:
                 current = max(
                     current,
                     min(1 << 62, int((next_t - self._t0) // self._window)),
                 )
-            acct.finalize(self._window_bounds(current)[1])
+            elif not acct.has_live:
+                # Only fault events remain; one jump settles them all.
+                current = 1 << 62
+            self._settle(self._window_bounds(current)[1])
             current += 1
+        churn.flush()
         acct.drain()
 
         drift = 0.0
@@ -702,10 +1036,10 @@ class ShardedReplayEngine:
             horizon=(self._t0, t1),
             flows_seen=self._flows_seen,
             flows_served=self._flows_served,
-            deadline_misses=self._misses,
+            deadline_misses=self._misses + churn.extra_misses,
             unserved=self._unserved,
             volume_offered=self._volume_offered,
-            volume_delivered=self._volume_delivered,
+            volume_delivered=self._volume_delivered + churn.delivered_delta,
             idle_energy=acct.idle_energy(self._t0, t1),
             dynamic_energy=acct.dynamic_energy,
             active_links=len(acct.active_links),
@@ -716,12 +1050,25 @@ class ShardedReplayEngine:
             max_window_arrivals=self._max_window_arrivals,
             max_weight_drift=float(drift),
             degraded_windows=self._degraded_windows,
+            link_failures=churn.link_downs,
+            link_recoveries=churn.link_ups,
+            flows_rerouted=churn.flows_rerouted,
+            repair_energy_delta=churn.repair_energy_delta,
+            time_to_recover=churn.time_to_recover,
+            misses_attributed_to_failure=churn.misses_attributed,
+            worker_restarts=self._worker_restarts,
             shard_stats=tuple(shard_stats),
             schedules=self._kept,
         )
 
     def close(self) -> None:
-        """Stop the shard workers (idempotent)."""
+        """Stop the shard workers (idempotent, exception-safe).
+
+        Safe to call repeatedly and from ``__exit__`` after a
+        :meth:`finish` that raised mid-collect: the group reaps each
+        fork worker exactly once and tolerates already-dead pipes, so no
+        child process leaks whichever way the replay ended.
+        """
         self._closed = True
         self._group.close()
 
@@ -748,8 +1095,11 @@ class ShardedReplayEngine:
             raise ValidationError("cannot snapshot a finished engine")
         for entry in self._inflight:
             if entry.results is None and entry.shard_ids:
+                # _collect_shard (not a bare collect) so the resubmission
+                # ledger drains too — a snapshot holds results, never
+                # uncollected sends.
                 entry.results = {
-                    shard_idx: self._group.collect(shard_idx)
+                    shard_idx: self._collect_shard(shard_idx)
                     for shard_idx in entry.shard_ids
                 }
         workers = self._group.broadcast(("snapshot",))
@@ -769,6 +1119,10 @@ class ShardedReplayEngine:
                 "budget": self._budget,
                 "keep_schedules": self._kept is not None,
                 "tol": self._tol,
+                "heartbeat_s": self._heartbeat_s,
+                "max_worker_restarts": self._max_worker_restarts,
+                "checkpoint_every": self._ckpt_every,
+                "resync_windows": self._resync,
                 "topology_name": self._topology.name,
                 "num_edges": self._topology.num_edges,
             },
@@ -797,6 +1151,22 @@ class ShardedReplayEngine:
             "window_log": list(self.window_log),
             "kept": self._kept,
             "workers": workers,
+            "churn": (
+                self._churn.snapshot_state()
+                if self._churn is not None
+                else None
+            ),
+            "service_churn": {
+                "stash_events": list(self._stash_events),
+                "worker_events": self._worker_events[
+                    self._worker_event_pos:
+                ],
+                "worker_restarts": self._worker_restarts,
+                "restart_attempts": list(self._restart_attempts),
+                "resync_left": list(self._resync_left),
+                "checkpoints": list(self._checkpoints),
+                "last_ckpt": list(self._last_ckpt),
+            },
         }
 
     @classmethod
@@ -845,6 +1215,10 @@ class ShardedReplayEngine:
             budget=cfg["budget"],
             keep_schedules=cfg["keep_schedules"],
             tol=cfg["tol"],
+            heartbeat_s=cfg["heartbeat_s"],
+            max_worker_restarts=cfg["max_worker_restarts"],
+            checkpoint_every=cfg["checkpoint_every"],
+            resync_windows=cfg["resync_windows"],
         )
         if engine._partition.num_shards != cfg["num_shards"]:
             raise ValidationError(
@@ -877,6 +1251,21 @@ class ShardedReplayEngine:
         engine._inflight = deque(state["inflight"])
         engine.window_log = list(state["window_log"])
         engine._kept = state["kept"]
+        if engine._t0 is not None and state["churn"] is not None:
+            # Rebuild on the restored accountant, then overwrite with the
+            # snapshotted fault state (events, down set, live registry).
+            engine._init_churn()
+            engine._churn.restore_state(state["churn"])
+            engine._churn.kept = engine._kept
+        sc = state["service_churn"]
+        engine._stash_events = list(sc["stash_events"])
+        engine._worker_events = list(sc["worker_events"])
+        engine._worker_event_pos = 0
+        engine._worker_restarts = sc["worker_restarts"]
+        engine._restart_attempts = list(sc["restart_attempts"])
+        engine._resync_left = list(sc["resync_left"])
+        engine._checkpoints = list(sc["checkpoints"])
+        engine._last_ckpt = list(sc["last_ckpt"])
         return engine
 
 

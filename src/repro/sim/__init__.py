@@ -1,5 +1,11 @@
-"""Simulators: fluid replay and store-and-forward packet validation."""
+"""Simulators: fluid replay, packet validation, and fault injection."""
 
+from repro.sim.churn import (
+    FaultEvent,
+    FaultSchedule,
+    survivor_shortest_path,
+    survivor_topology,
+)
 from repro.sim.failures import fail_links
 from repro.sim.fluid import (
     LinkStats,
@@ -17,4 +23,8 @@ __all__ = [
     "PacketReport",
     "simulate_packets",
     "fail_links",
+    "FaultEvent",
+    "FaultSchedule",
+    "survivor_shortest_path",
+    "survivor_topology",
 ]

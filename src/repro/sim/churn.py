@@ -1,0 +1,344 @@
+"""Mid-replay fault injection: seeded link churn and worker crashes.
+
+:mod:`repro.sim.failures` degrades a fabric *before* a run.  This module
+is the streaming counterpart (ROADMAP direction 3): a
+:class:`FaultSchedule` is a time-ordered sequence of :class:`FaultEvent`
+items — link-down, link-up, and shard-worker-crash — that the replay
+engines merge into the arrival stream and apply at window boundaries.
+Events are first-class trace citizens: the JSONL trace store serializes
+them (:meth:`FaultEvent.to_record`), :class:`~repro.traces.store.
+TraceReader` can yield them inline, and
+:meth:`FaultSchedule.generate` draws a seeded, connectivity-safe churn
+process so policy × failure-rate grids are reproducible.
+
+Two small routing helpers live here too, because everything that must
+reason about "the fabric minus the currently dead links" shares them:
+
+* :func:`survivor_shortest_path` — the deterministic BFS of
+  :meth:`~repro.topology.base.Topology.shortest_path` restricted to the
+  surviving links (same sorted-neighbor tie-break, so with no dead links
+  it returns the identical route);
+* :func:`survivor_topology` — the induced :class:`Topology` on the
+  surviving links plus the edge-id map back to the parent, which is what
+  lets the relaxation repair tier re-solve affected flows on the honest
+  survivor fabric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+import networkx as nx
+import numpy as np
+
+from repro.errors import TopologyError, ValidationError
+from repro.topology.base import Edge, Topology, canonical_edge
+
+__all__ = [
+    "FaultEvent",
+    "FaultSchedule",
+    "survivor_shortest_path",
+    "survivor_topology",
+]
+
+LINK_DOWN = "link_down"
+LINK_UP = "link_up"
+WORKER_CRASH = "worker_crash"
+
+_KINDS = (LINK_DOWN, LINK_UP, WORKER_CRASH)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault or recovery, timestamped in trace time.
+
+    ``edge`` (canonical, sorted endpoints) is required for the link
+    kinds; ``shard`` is required for ``worker_crash`` and names the shard
+    worker index the sharded service should kill.
+    """
+
+    time: float
+    kind: str
+    edge: Edge | None = None
+    shard: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValidationError(
+                f"unknown fault kind {self.kind!r} (expected one of {_KINDS})"
+            )
+        if self.kind in (LINK_DOWN, LINK_UP):
+            if self.edge is None:
+                raise ValidationError(f"{self.kind} event requires an edge")
+            object.__setattr__(self, "edge", canonical_edge(*self.edge))
+        elif self.shard is None or self.shard < 0:
+            raise ValidationError(
+                f"worker_crash event requires a shard index >= 0, "
+                f"got {self.shard!r}"
+            )
+
+    @property
+    def is_link(self) -> bool:
+        return self.kind in (LINK_DOWN, LINK_UP)
+
+    def to_record(self) -> dict:
+        """JSONL-ready plain-data form (see :mod:`repro.traces.store`)."""
+        record: dict = {"event": self.kind, "time": self.time}
+        if self.edge is not None:
+            record["edge"] = list(self.edge)
+        if self.shard is not None:
+            record["shard"] = self.shard
+        return record
+
+    @classmethod
+    def from_record(cls, record: dict, where: str = "fault") -> "FaultEvent":
+        try:
+            edge = record.get("edge")
+            return cls(
+                time=float(record["time"]),
+                kind=record["event"],
+                edge=tuple(edge) if edge is not None else None,
+                shard=record.get("shard"),
+            )
+        except KeyError as exc:
+            raise ValidationError(f"{where}: missing field {exc}") from exc
+        except (TypeError, ValueError) as exc:
+            raise ValidationError(f"{where}: bad field value ({exc})") from exc
+
+
+class FaultSchedule:
+    """A time-ordered, immutable sequence of :class:`FaultEvent` items.
+
+    The constructor sorts stably by time (events at equal times keep
+    their given order — a down and an up of the same link at the same
+    instant apply in sequence) and validates link-event pairing: a link
+    may not go down twice without an up in between, nor up while up.
+    """
+
+    def __init__(self, events: Iterable[FaultEvent] = ()) -> None:
+        ordered = sorted(events, key=lambda e: e.time)
+        down: set[Edge] = set()
+        for event in ordered:
+            if event.kind == LINK_DOWN:
+                if event.edge in down:
+                    raise ValidationError(
+                        f"link {event.edge!r} goes down twice (at t="
+                        f"{event.time}) without recovering"
+                    )
+                down.add(event.edge)
+            elif event.kind == LINK_UP:
+                if event.edge not in down:
+                    raise ValidationError(
+                        f"link {event.edge!r} recovers at t={event.time} "
+                        "without having failed"
+                    )
+                down.discard(event.edge)
+        self._events: tuple[FaultEvent, ...] = tuple(ordered)
+
+    # ------------------------------------------------------------------
+    # Container protocol.
+    # ------------------------------------------------------------------
+    @property
+    def events(self) -> tuple[FaultEvent, ...]:
+        return self._events
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self._events)
+
+    def __bool__(self) -> bool:
+        return bool(self._events)
+
+    def link_events(self) -> tuple[FaultEvent, ...]:
+        return tuple(e for e in self._events if e.is_link)
+
+    def worker_events(self) -> tuple[FaultEvent, ...]:
+        return tuple(e for e in self._events if e.kind == WORKER_CRASH)
+
+    # ------------------------------------------------------------------
+    # Construction helpers.
+    # ------------------------------------------------------------------
+    @classmethod
+    def scripted(
+        cls, items: Sequence[tuple]
+    ) -> "FaultSchedule":
+        """Build from ``(time, kind, edge-or-shard)`` tuples.
+
+        ``("down"``/``"up"``, edge)`` shorthands are accepted for the
+        link kinds; an int third element with kind ``"crash"`` (or
+        ``worker_crash``) names a shard worker.
+        """
+        alias = {"down": LINK_DOWN, "up": LINK_UP, "crash": WORKER_CRASH}
+        events = []
+        for time, kind, target in items:
+            kind = alias.get(kind, kind)
+            if kind == WORKER_CRASH:
+                events.append(FaultEvent(time=time, kind=kind, shard=target))
+            else:
+                events.append(
+                    FaultEvent(time=time, kind=kind, edge=tuple(target))
+                )
+        return cls(events)
+
+    @classmethod
+    def generate(
+        cls,
+        topology: Topology,
+        *,
+        rate: float,
+        duration: float,
+        start: float = 0.0,
+        mttr: float | None = None,
+        seed: int = 0,
+        protect_host_links: bool = True,
+        rng: np.random.Generator | None = None,
+    ) -> "FaultSchedule":
+        """Draw a seeded, connectivity-safe link-churn process.
+
+        Failure attempts arrive Poisson at ``rate`` per unit time over
+        ``[start, start + duration)``; each picks a uniformly random live
+        non-host link and fails it iff every host stays connected given
+        the links already down — unsafe attempts are skipped, so every
+        prefix of the schedule leaves the fabric serving.  Each failed
+        link recovers after an Exp(``mttr``) repair delay (default: one
+        tenth of ``duration``).  Identical ``(topology, parameters,
+        seed)`` always yield the identical schedule.
+        """
+        if rate < 0:
+            raise ValidationError(f"rate must be >= 0, got {rate}")
+        if duration <= 0:
+            raise ValidationError(f"duration must be > 0, got {duration}")
+        if mttr is None:
+            mttr = duration / 10.0
+        if mttr <= 0:
+            raise ValidationError(f"mttr must be > 0, got {mttr}")
+        if rng is None:
+            rng = np.random.default_rng(seed)
+        hosts = set(topology.hosts)
+        candidates = [
+            edge
+            for edge in topology.edges
+            if not (
+                protect_host_links
+                and (edge[0] in hosts or edge[1] in hosts)
+            )
+        ]
+        events: list[FaultEvent] = []
+        if rate == 0 or not candidates:
+            return cls(events)
+        graph = topology.graph.copy()
+        down: set[Edge] = set()
+        # (recovery time, edge) of pending repairs, kept time-sorted.
+        repairs: list[tuple[float, Edge]] = []
+        t = start
+        while True:
+            t += float(rng.exponential(1.0 / rate))
+            if t >= start + duration:
+                break
+            # Apply repairs that completed before this attempt, so the
+            # safety check sees the honest current fabric.
+            while repairs and repairs[0][0] <= t:
+                _, edge = repairs.pop(0)
+                graph.add_edge(*edge)
+                down.discard(edge)
+            edge = candidates[int(rng.integers(len(candidates)))]
+            if edge in down:
+                continue
+            graph.remove_edge(*edge)
+            if not nx.is_connected(graph):
+                graph.add_edge(*edge)
+                continue
+            down.add(edge)
+            events.append(FaultEvent(time=t, kind=LINK_DOWN, edge=edge))
+            up_at = t + float(rng.exponential(mttr))
+            events.append(FaultEvent(time=up_at, kind=LINK_UP, edge=edge))
+            repairs.append((up_at, edge))
+            repairs.sort()
+        return cls(events)
+
+    # ------------------------------------------------------------------
+    # Serialization (trace-store records).
+    # ------------------------------------------------------------------
+    def to_records(self) -> list[dict]:
+        return [event.to_record() for event in self._events]
+
+    @classmethod
+    def from_records(cls, records: Iterable[dict]) -> "FaultSchedule":
+        return cls(FaultEvent.from_record(r) for r in records)
+
+
+# ----------------------------------------------------------------------
+# Survivor-fabric helpers.
+# ----------------------------------------------------------------------
+def survivor_shortest_path(
+    topology: Topology,
+    down_edge_ids: frozenset[int] | set[int],
+    src: str,
+    dst: str,
+) -> tuple[str, ...]:
+    """Deterministic hop-shortest path avoiding the dead links.
+
+    The same sorted-neighbor BFS as :meth:`Topology.shortest_path`, with
+    edges in ``down_edge_ids`` (dense parent edge ids) skipped — so with
+    an empty dead set it returns the identical route.  Raises
+    :class:`TopologyError` when no surviving path exists.
+    """
+    if src == dst:
+        raise TopologyError("shortest_path requires distinct endpoints")
+    if not topology.has_node(src) or not topology.has_node(dst):
+        raise TopologyError(f"unknown endpoint in ({src!r}, {dst!r})")
+    edge_id = topology.edge_id
+    graph = topology.graph
+    parent: dict[str, str] = {src: src}
+    frontier = [src]
+    while frontier:
+        next_frontier: list[str] = []
+        for node in frontier:
+            for nbr in sorted(graph.neighbors(node)):
+                if nbr in parent:
+                    continue
+                if edge_id(canonical_edge(node, nbr)) in down_edge_ids:
+                    continue
+                parent[nbr] = node
+                if nbr == dst:
+                    path = [dst]
+                    while path[-1] != src:
+                        path.append(parent[path[-1]])
+                    return tuple(reversed(path))
+                next_frontier.append(nbr)
+        frontier = next_frontier
+    raise TopologyError(
+        f"no surviving path between {src!r} and {dst!r} "
+        f"({len(down_edge_ids)} links down)"
+    )
+
+
+def survivor_topology(
+    topology: Topology, down_edge_ids: frozenset[int] | set[int]
+) -> tuple[Topology, np.ndarray]:
+    """The fabric minus the dead links, plus the parent edge-id map.
+
+    Returns ``(survivor, edge_map)`` where ``edge_map[i]`` is the parent
+    edge id of survivor edge ``i`` — ``parent_vector[edge_map]``
+    restricts any dense per-edge vector (background loads) to the
+    survivor fabric, and survivor node paths are valid parent paths
+    verbatim.  The survivor graph may be disconnected; per-pair
+    reachability is the caller's concern.
+    """
+    graph = topology.graph.copy()
+    edges = topology.edges
+    for eid in sorted(down_edge_ids):
+        u, v = edges[eid]
+        graph.remove_edge(u, v)
+    survivor = Topology(
+        graph,
+        name=f"{topology.name}-down{len(down_edge_ids)}",
+        groups=topology.node_groups or None,
+    )
+    edge_map = np.asarray(
+        [topology.edge_id(e) for e in survivor.edges], dtype=np.int64
+    )
+    return survivor, edge_map

@@ -23,13 +23,16 @@ def fail_links(
     count: int,
     seed: int = 0,
     protect_host_links: bool = True,
+    rng: np.random.Generator | None = None,
 ) -> tuple[Topology, tuple[Edge, ...]]:
     """Remove ``count`` random links while keeping every host reachable.
 
     Candidate links are drawn uniformly (host access links excluded when
     ``protect_host_links``); a candidate whose removal disconnects the
     graph is skipped.  Raises when fewer than ``count`` safe removals
-    exist.
+    exist.  A pre-seeded ``rng`` overrides ``seed`` — callers drawing
+    several correlated failure sets (churn grids) can share one
+    generator stream.
 
     Returns the degraded :class:`Topology` and the failed edges.
     """
@@ -43,10 +46,12 @@ def fail_links(
         for edge in topology.edges
         if not (protect_host_links and (edge[0] in hosts or edge[1] in hosts))
     ]
-    rng = np.random.default_rng(seed)
+    if rng is None:
+        rng = np.random.default_rng(seed)
     order = list(rng.permutation(len(candidates)))
 
     failed: list[Edge] = []
+    skipped = 0
     for index in order:
         if len(failed) >= count:
             break
@@ -56,10 +61,12 @@ def fail_links(
             failed.append((u, v))
         else:
             graph.add_edge(u, v)
+            skipped += 1
     if len(failed) < count:
         raise TopologyError(
             f"only {len(failed)} of {count} links can fail without "
-            f"disconnecting the fabric"
+            f"disconnecting the fabric ({skipped} unsafe candidates "
+            f"skipped of {len(candidates)})"
         )
     degraded = Topology(graph, name=f"{topology.name}-minus{count}")
     return degraded, tuple(sorted(failed))

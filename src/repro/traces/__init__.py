@@ -30,6 +30,7 @@ from repro.traces.policies import (
     WindowContext,
     resolve_background,
 )
+from repro.traces.repair import ChurnManager
 from repro.traces.replay import (
     ReplayEngine,
     ReplayReport,
@@ -47,6 +48,7 @@ from repro.traces.store import (
     TRACE_VERSION,
     TraceReader,
     read_trace_csv,
+    read_trace_faults,
     read_trace_jsonl,
     write_trace_csv,
     write_trace_jsonl,
@@ -69,8 +71,10 @@ __all__ = [
     "TraceReader",
     "write_trace_jsonl",
     "read_trace_jsonl",
+    "read_trace_faults",
     "write_trace_csv",
     "read_trace_csv",
+    "ChurnManager",
     "ReplayPolicy",
     "WindowContext",
     "resolve_background",

@@ -43,8 +43,9 @@ import numpy as np
 
 from repro.core.dcfs import solve_dcfs
 from repro.core.dcfsr import RelaxationPipeline
-from repro.errors import InfeasibleError, ValidationError
+from repro.errors import InfeasibleError, TopologyError, ValidationError
 from repro.flows.flow import Flow, FlowSet
+from repro.sim.churn import survivor_shortest_path, survivor_topology
 from repro.power.model import PowerModel
 from repro.routing.background import BackgroundProfile
 from repro.routing.costs import envelope_cost
@@ -99,6 +100,13 @@ class WindowContext:
         exactly what it finds in window ``k + 1``.  The engine creates a
         fresh dict per :meth:`~repro.traces.replay.ReplayEngine.run`, so
         carried state can never leak across runs.
+    down_edge_ids:
+        Dense edge ids of links currently dead (mid-replay fault
+        injection; see :mod:`repro.sim.churn`).  Empty on fault-free
+        runs — and every policy's empty-set code path is byte-identical
+        to its pre-churn behavior, RNG streams included.  Policies must
+        not route new flows across these links; a flow with no surviving
+        route is left unserved.
     """
 
     topology: Topology
@@ -110,6 +118,7 @@ class WindowContext:
         default=None, repr=False
     )
     carry: dict = field(default_factory=dict, repr=False)
+    down_edge_ids: frozenset[int] = frozenset()
 
     @cached_property
     def background(self) -> np.ndarray:
@@ -196,9 +205,18 @@ class GreedyDensityPolicy(_PathCacheMixin, ReplayPolicy):
     def schedule_window(
         self, flows: Sequence[Flow], ctx: WindowContext
     ) -> list[FlowSchedule]:
+        down = ctx.down_edge_ids
         schedules = []
         for flow in flows:
-            path = self._shortest_path(ctx.topology, flow.src, flow.dst)
+            if down:
+                try:
+                    path = survivor_shortest_path(
+                        ctx.topology, down, flow.src, flow.dst
+                    )
+                except TopologyError:
+                    continue  # no surviving route -> unserved
+            else:
+                path = self._shortest_path(ctx.topology, flow.src, flow.dst)
             schedules.append(
                 FlowSchedule(
                     flow=flow,
@@ -252,6 +270,32 @@ class _CandidateSetMixin:
             self._candidates[key] = got
         return got
 
+    def _survivor_candidates(
+        self,
+        topology: Topology,
+        down: frozenset[int],
+        src: str,
+        dst: str,
+    ) -> tuple[tuple[tuple[str, ...], np.ndarray], ...] | None:
+        """Candidates avoiding the dead links.  When every precomputed
+        candidate is hit, falls back to one survivor-BFS route; ``None``
+        when the pair is unroutable on the survivor fabric."""
+        candidates = tuple(
+            cand
+            for cand in self._candidates_for(topology, src, dst)
+            if not any(int(eid) in down for eid in cand[1])
+        )
+        if candidates:
+            return candidates
+        try:
+            path = survivor_shortest_path(topology, down, src, dst)
+        except TopologyError:
+            return None
+        edge_ids = np.asarray(
+            [topology.edge_id(e) for e in path_edges(path)], dtype=np.int64
+        )
+        return ((path, edge_ids),)
+
     def reset(self) -> None:
         self._candidates.clear()
 
@@ -297,9 +341,19 @@ class PowerOfTwoPolicy(_CandidateSetMixin, ReplayPolicy):
             ctx.topology,
             background=resolve_background(ctx, self._background_mode),
         )
+        down = ctx.down_edge_ids
         schedules = []
         for flow in flows:
-            candidates = self._candidates_for(ctx.topology, flow.src, flow.dst)
+            if down:
+                candidates = self._survivor_candidates(
+                    ctx.topology, down, flow.src, flow.dst
+                )
+                if candidates is None:
+                    continue  # no surviving route -> unserved
+            else:
+                candidates = self._candidates_for(
+                    ctx.topology, flow.src, flow.dst
+                )
             if len(candidates) == 1:
                 path, edge_ids = candidates[0]
             else:
@@ -345,9 +399,19 @@ class LeastLoadedPolicy(_CandidateSetMixin, ReplayPolicy):
             ctx.topology,
             background=resolve_background(ctx, self._background_mode),
         )
+        down = ctx.down_edge_ids
         schedules = []
         for flow in flows:
-            candidates = self._candidates_for(ctx.topology, flow.src, flow.dst)
+            if down:
+                candidates = self._survivor_candidates(
+                    ctx.topology, down, flow.src, flow.dst
+                )
+                if candidates is None:
+                    continue  # no surviving route -> unserved
+            else:
+                candidates = self._candidates_for(
+                    ctx.topology, flow.src, flow.dst
+                )
             loads = ledger.loads(flow.release, flow.deadline)
             path, edge_ids = min(
                 candidates, key=lambda cand: float(loads[cand[1]].max())
@@ -397,6 +461,8 @@ class OnlineDensityPolicy(ReplayPolicy):
             topology,
             background=resolve_background(ctx, self._background_mode),
         )
+        down = ctx.down_edge_ids
+        down_idx = np.asarray(sorted(down), dtype=np.int64) if down else None
         schedules = []
         for flow in sorted(flows, key=lambda f: (f.release, str(f.id))):
             loads = ledger.loads(flow.release, flow.deadline)
@@ -404,10 +470,15 @@ class OnlineDensityPolicy(ReplayPolicy):
             # so weights may drop anywhere; invalidate conservatively
             # rather than pay a full-vector scan per flow (the bound-seeded
             # search still re-proves cached candidates cheaply).
-            router.set_marginal(
-                np.maximum(cost.derivative(loads), 1e-12), decreased=True
-            )
+            weights = np.maximum(cost.derivative(loads), 1e-12)
+            if down_idx is not None:
+                # Dead links cost (finitely) everything; a route that
+                # still crosses one proves no survivor path exists.
+                weights[down_idx] = 1e15
+            router.set_marginal(weights, decreased=True)
             path, edge_ids = router.route(flow.src, flow.dst)
+            if down and any(int(eid) in down for eid in edge_ids):
+                continue  # no surviving route -> unserved
             ledger.commit(edge_ids, flow.release, flow.deadline, flow.density)
             schedules.append(
                 FlowSchedule(
@@ -450,11 +521,27 @@ class EpochDcfsPolicy(_PathCacheMixin, ReplayPolicy):
     def schedule_window(
         self, flows: Sequence[Flow], ctx: WindowContext
     ) -> list[FlowSchedule]:
+        down = ctx.down_edge_ids
+        if down:
+            routable: list[Flow] = []
+            paths = {}
+            for flow in flows:
+                try:
+                    paths[flow.id] = survivor_shortest_path(
+                        ctx.topology, down, flow.src, flow.dst
+                    )
+                except TopologyError:
+                    continue  # no surviving route -> unserved
+                routable.append(flow)
+            if not routable:
+                return []
+            flows = routable
+        else:
+            paths = {
+                flow.id: self._shortest_path(ctx.topology, flow.src, flow.dst)
+                for flow in flows
+            }
         flow_set = FlowSet(flows)
-        paths = {
-            flow.id: self._shortest_path(ctx.topology, flow.src, flow.dst)
-            for flow in flows
-        }
         try:
             result = solve_dcfs(flow_set, ctx.topology, paths, ctx.power)
         except InfeasibleError:
@@ -471,6 +558,11 @@ class EpochDcfsPolicy(_PathCacheMixin, ReplayPolicy):
 #: Key under which the relaxation policy stashes its warm pipeline in
 #: :attr:`WindowContext.carry`.
 _RELAXATION_CARRY = "relaxation_pipeline"
+
+#: Separate carry key for the survivor-fabric pipeline used while links
+#: are down — the base pipeline's warm session is left untouched, so a
+#: replay that never sees a fault follows the base path byte for byte.
+_RELAXATION_DOWN_CARRY = "relaxation_pipeline_down"
 
 
 class RelaxationRoundingPolicy(ReplayPolicy):
@@ -565,6 +657,8 @@ class RelaxationRoundingPolicy(ReplayPolicy):
         """Relax + round ``flows``, optionally co-relaxing ``extra``
         commodities (the lookahead policy's forecast phantoms) that shape
         the fractional routing but are never rounded or committed."""
+        if ctx.down_edge_ids:
+            return self._schedule_survivor(flows, ctx, extra)
         pipeline = self._pipeline(ctx)
         flow_set = FlowSet(flows)
         solve_set = FlowSet(list(flows) + list(extra)) if extra else flow_set
@@ -597,6 +691,91 @@ class RelaxationRoundingPolicy(ReplayPolicy):
                 ),
             )
             for flow, path in zip(flows, paths)
+        ]
+
+    def _schedule_survivor(
+        self, flows: Sequence[Flow], ctx: WindowContext, extra: Sequence[Flow]
+    ) -> list[FlowSchedule]:
+        """The dead-link branch: relax + round on the survivor fabric.
+
+        A survivor :class:`~repro.core.dcfsr.RelaxationPipeline` (its own
+        topology, registry, and warm session) is carried under a separate
+        key, rebuilt whenever the dead-link set changes; survivor node
+        paths are valid parent paths verbatim, so commits need no
+        translation.  Flows with no surviving route are left unserved.
+        """
+        down = ctx.down_edge_ids
+        entry = ctx.carry.get(_RELAXATION_DOWN_CARRY) if self._warm else None
+        if (
+            entry is None
+            or entry["down"] != down
+            or entry["parent"] is not ctx.topology
+        ):
+            survivor, edge_map = survivor_topology(ctx.topology, down)
+            entry = {
+                "down": down,
+                "parent": ctx.topology,
+                "survivor": survivor,
+                "edge_map": edge_map,
+                "pipeline": RelaxationPipeline(
+                    survivor,
+                    ctx.power,
+                    max_iterations=self._fw_max_iterations,
+                    gap_tolerance=self._fw_gap_tolerance,
+                ),
+            }
+            if self._warm:
+                ctx.carry[_RELAXATION_DOWN_CARRY] = entry
+        pipeline = entry["pipeline"]
+        edge_map = entry["edge_map"]
+
+        def routable(flow: Flow) -> bool:
+            try:
+                survivor_shortest_path(ctx.topology, down, flow.src, flow.dst)
+            except TopologyError:
+                return False
+            return True
+
+        served = [flow for flow in flows if routable(flow)]
+        if not served:
+            return []
+        live_extra = [flow for flow in extra if routable(flow)]
+        flow_set = FlowSet(served)
+        solve_set = (
+            FlowSet(list(served) + live_extra) if live_extra else flow_set
+        )
+        background = None
+        if self._use_background:
+            view = resolve_background(ctx, self._background_mode)
+            background = (
+                view.restrict(edge_map)
+                if isinstance(view, BackgroundProfile)
+                else view[edge_map]
+            )
+        relaxation = pipeline.solve(
+            solve_set, background=background, warm=self._warm
+        )
+        weights = pipeline.weights(flow_set, relaxation)
+        if weights.max_drift > self.max_weight_drift:
+            self.max_weight_drift = weights.max_drift
+        if self._rounding == "deterministic":
+            paths = argmax_paths(weights)
+        else:
+            paths = sample_paths(weights, self._rng)
+        self.windows_solved += 1
+        return [
+            FlowSchedule(
+                flow=flow,
+                path=path,
+                segments=(
+                    Segment(
+                        start=flow.release,
+                        end=flow.deadline,
+                        rate=flow.density,
+                    ),
+                ),
+            )
+            for flow, path in zip(served, paths)
         ]
 
     def reset(self) -> None:

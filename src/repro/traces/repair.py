@@ -1,0 +1,495 @@
+"""Self-healing replay: apply link churn to committed reservations.
+
+:class:`ChurnManager` is the component both replay engines delegate
+mid-replay faults to.  It owns the current dead-link set, the pending
+:class:`~repro.sim.churn.FaultEvent` queue, a registry of still-live
+committed flows, and the repair machinery that keeps the replay honest
+when a link dies under committed traffic.
+
+**Fault semantics** (DESIGN.md §13).  Events are detected at window
+granularity: an event timestamped ``t`` inside window ``k`` is applied
+after window ``k``'s arrivals are scheduled and before the window is
+finalized.  A link-down at ``t``:
+
+1. truncates every committed reservation crossing the dead link at ``t``
+   (:meth:`~repro.traces.replay.WindowAccountant.truncate_commit` — the
+   voided tail's volume and standalone energy are returned, so delivered
+   volume and the energy sweep stay exact);
+2. classifies each affected flow — **unaffected** (already past the cut,
+   up to a tolerance sliver), **repairable** (a surviving route exists
+   and the deadline leaves room past the recommit boundary ``b`` = end
+   of window ``k``), or **doomed** (no survivor path, or no time left);
+3. recommits each repairable flow on the survivor fabric at the constant
+   rate that delivers the truncated remainder by its deadline, starting
+   at ``b`` — so ``time_to_recover`` is exactly ``b - t``, bounded by
+   one window.
+
+Doomed flows surface as ``misses_attributed_to_failure`` and their lost
+volume is subtracted from delivered; nothing is silently forgiven.
+
+**Repair tiers.**  The greedy tier (always available, and the only tier
+the sharded engine uses — it must stay deterministic under
+snapshot/restore) routes each repair with marginal envelope-cost
+Dijkstra against the currently committed background, dead links clamped
+to an avoid-at-all-costs weight; a returned route still crossing a dead
+link means no survivor path exists.  The relaxation tier
+(``repair="relax"``) batches an event's repairable flows into an F-MCF
+re-solve on the honest survivor topology, reusing one warm
+:class:`~repro.core.dcfsr.RelaxationPipeline` per outage state (the
+session's commodity diffs make consecutive repairs under the same dead
+set cheap), falling back to the greedy tier per flow when the solve is
+infeasible or the optional ``repair_budget_s`` is exhausted.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from dataclasses import replace
+from heapq import heappop, heappush
+from time import perf_counter
+from typing import Iterable
+
+import numpy as np
+
+from repro.errors import InfeasibleError, TopologyError, ValidationError
+from repro.flows.flow import Flow, FlowSet
+from repro.power.model import PowerModel
+from repro.routing.costs import envelope_cost
+from repro.routing.fastpath import FastRouter
+from repro.routing.rounding import argmax_paths
+from repro.scheduling.schedule import FlowSchedule, Segment
+from repro.sim.churn import (
+    LINK_DOWN,
+    LINK_UP,
+    FaultEvent,
+    survivor_topology,
+)
+from repro.topology.base import Topology
+
+__all__ = ["ChurnManager", "DEAD_EDGE_WEIGHT"]
+
+#: Marginal weight assigned to dead links: high enough that any surviving
+#: route wins, finite so Dijkstra stays well-defined — a route that still
+#: crosses a dead link after the clamp proves no survivor path exists.
+DEAD_EDGE_WEIGHT = 1e15
+
+
+class _LiveFlow:
+    """Registry entry for one committed, not-yet-settled flow."""
+
+    __slots__ = ("flow", "path", "eids", "segments", "missed")
+
+    def __init__(self, flow, path, eids, segments, missed):
+        self.flow = flow
+        self.path = path
+        self.eids = eids
+        self.segments = segments
+        self.missed = missed
+
+    @property
+    def completion(self) -> float:
+        return self.segments[-1].end if self.segments else -np.inf
+
+
+class ChurnManager:
+    """Dead-link state, live-flow registry, and committed-flow repair.
+
+    Built by an engine once a fault source exists (a
+    :class:`~repro.sim.churn.FaultSchedule` or inline trace events);
+    fault-free runs never construct one, which is what keeps them
+    bit-identical to the pre-churn engines for free.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        power: PowerModel,
+        acct,
+        *,
+        origin: float,
+        window: float,
+        repair: str = "greedy",
+        repair_budget_s: float | None = None,
+        fw_max_iterations: int = 40,
+        fw_gap_tolerance: float = 1e-3,
+        tol: float = 1e-6,
+    ) -> None:
+        if repair not in ("greedy", "relax"):
+            raise ValidationError(f"unknown repair tier {repair!r}")
+        self._topology = topology
+        self._power = power
+        self._acct = acct
+        self._origin = origin
+        self._window = window
+        self._repair = repair
+        self._budget = repair_budget_s
+        self._fw_iters = fw_max_iterations
+        self._fw_gap = fw_gap_tolerance
+        self._tol = tol
+        self._cost = envelope_cost(power)
+
+        #: Pending events, time-sorted; ``_applied_upto`` guards ordering.
+        self._events: list[FaultEvent] = []
+        self._applied_upto = -np.inf
+        self.down: set[int] = set()
+        self.epoch = 0
+
+        self._live: dict = {}  # flow id -> _LiveFlow, commit order
+        self._completions: list[tuple[float, object]] = []  # lazy heap
+        self._pending_void: list = []  # flow ids committed onto dead links
+
+        self._router: FastRouter | None = None
+        # Relaxation tier: one warm pipeline per outage state.
+        self._relax_key: frozenset | None = None
+        self._relax_pipeline = None
+        self._relax_edge_map: np.ndarray | None = None
+        self._relax_ok = True
+
+        #: Optional sink for repair commitments (the engine's
+        #: ``keep_schedules`` list).
+        self.kept: list | None = None
+
+        # Disruption counters (merged into the report by the engine).
+        self.link_downs = 0
+        self.link_ups = 0
+        self.flows_rerouted = 0
+        self.repair_energy_delta = 0.0
+        self.time_to_recover = 0.0
+        self.misses_attributed = 0
+        self.extra_misses = 0
+        self.delivered_delta = 0.0
+        self.repair_fallbacks = 0
+
+    # ------------------------------------------------------------------
+    # Event intake.
+    # ------------------------------------------------------------------
+    def add_events(self, events: Iterable[FaultEvent]) -> None:
+        """Queue link events (worker crashes are not ours to apply)."""
+        for event in events:
+            if not event.is_link:
+                continue
+            if event.time < self._applied_upto:
+                raise ValidationError(
+                    f"fault event at t={event.time} arrived after the "
+                    f"replay already settled through {self._applied_upto}"
+                )
+            insort(self._events, event, key=lambda e: e.time)
+
+    @property
+    def has_pending(self) -> bool:
+        return bool(self._events)
+
+    def down_key(self) -> frozenset[int]:
+        return frozenset(self.down)
+
+    # ------------------------------------------------------------------
+    # Live-flow registry.
+    # ------------------------------------------------------------------
+    def register(self, flow: Flow, fs: FlowSchedule, missed: bool) -> None:
+        """Track one freshly committed schedule for future repair."""
+        eids = frozenset(
+            int(eid) for _e, eid in self._acct.route_edges(fs.path)
+        )
+        lf = _LiveFlow(flow, fs.path, eids, tuple(fs.segments), missed)
+        self._live[flow.id] = lf
+        heappush(self._completions, (lf.completion, str(flow.id), flow.id))
+        if self.down and eids & self.down:
+            # Safety net for policies that are not fault-aware: the
+            # commitment crosses a link that is already dead, so it never
+            # transmits — voided and repaired at the window boundary.
+            self._pending_void.append(flow.id)
+
+    def _prune(self, upto: float) -> None:
+        """Drop registry entries fully settled before ``upto``."""
+        heap = self._completions
+        while heap and heap[0][0] <= upto:
+            completion, _key, flow_id = heappop(heap)
+            lf = self._live.get(flow_id)
+            if lf is not None and lf.completion == completion:
+                del self._live[flow_id]
+
+    # ------------------------------------------------------------------
+    # Application.
+    # ------------------------------------------------------------------
+    def _boundary(self, t: float) -> float:
+        """End of the window containing ``t`` — the recommit boundary."""
+        k = int((t - self._origin) // self._window)
+        return self._origin + (k + 1) * self._window
+
+    def apply_upto(self, end: float) -> None:
+        """Apply every pending event with ``time < end``, in time order.
+
+        Engines call this immediately before each accountant
+        ``finalize(end)`` — events must truncate and recommit *ahead* of
+        the energy sweep passing their timestamps.
+        """
+        if self._pending_void:
+            # Flows committed onto an already-dead link during the window
+            # now being settled: voided at release, recommitted at ``end``.
+            self._void_pending(end)
+        while self._events and self._events[0].time < end:
+            event = self._events.pop(0)
+            boundary = min(self._boundary(event.time), end)
+            if event.kind == LINK_DOWN:
+                self._apply_down(event, boundary)
+            elif event.kind == LINK_UP:
+                self._apply_up(event)
+        self._applied_upto = max(self._applied_upto, end)
+
+    def flush(self) -> None:
+        """Apply any events beyond the last settled window (no live
+        reservations can remain there — pure state toggles)."""
+        self.apply_upto(np.inf)
+
+    def _void_pending(self, boundary: float) -> None:
+        ids, self._pending_void = self._pending_void, []
+        for flow_id in ids:
+            lf = self._live.get(flow_id)
+            if lf is None or not (lf.eids & self.down):
+                continue
+            self._disrupt(lf, cut=lf.flow.release, boundary=boundary)
+
+    def _apply_up(self, event: FaultEvent) -> None:
+        eid = self._topology.edge_id(event.edge)
+        if eid in self.down:
+            self.down.discard(eid)
+            self.epoch += 1
+            self.link_ups += 1
+
+    def _apply_down(self, event: FaultEvent, boundary: float) -> None:
+        eid = self._topology.edge_id(event.edge)
+        if eid in self.down:
+            return
+        self.down.add(eid)
+        self.epoch += 1
+        self.link_downs += 1
+        t = event.time
+        self._prune(t)
+        affected = [
+            lf
+            for lf in list(self._live.values())
+            if eid in lf.eids and lf.completion > t
+        ]
+        if not affected:
+            return
+        if self._repair == "relax" and self._relax_ok:
+            self._repair_relax(affected, t, boundary)
+        else:
+            for lf in affected:
+                self._disrupt(lf, cut=max(t, lf.flow.release),
+                              boundary=boundary)
+
+    # ------------------------------------------------------------------
+    # Disruption core (truncate + classify + greedy repair).
+    # ------------------------------------------------------------------
+    def _disrupt(
+        self,
+        lf: _LiveFlow,
+        cut: float,
+        boundary: float,
+        repair_path: tuple[str, ...] | None = None,
+    ) -> None:
+        """Truncate ``lf`` at ``cut`` and repair or doom it at
+        ``boundary``.  ``repair_path`` short-circuits route discovery
+        (the relaxation tier passes its solved routes)."""
+        flow = lf.flow
+        removed_volume, removed_energy = self._acct.truncate_commit(
+            lf.path, lf.segments, cut
+        )
+        # Mirror the truncation onto the registry entry so a later event
+        # matches the accountant's (modified) live pieces exactly.
+        lf.segments = tuple(
+            seg if seg.end <= cut else Segment(seg.start, cut, seg.rate)
+            for seg in lf.segments
+            if seg.start < cut
+        )
+        if removed_volume <= self._tol * flow.size:
+            # Effectively complete: accept the sliver loss, no repair.
+            self.delivered_delta -= removed_volume
+            return
+        path = repair_path
+        if path is None and flow.deadline > boundary + self._tol:
+            path = self._greedy_route(flow, boundary)
+        if path is None or not flow.deadline > boundary + self._tol:
+            # Doomed: no survivor route, or no time left to recommit.
+            self.delivered_delta -= removed_volume
+            if not lf.missed:
+                lf.missed = True
+                self.extra_misses += 1
+                self.misses_attributed += 1
+            self._live.pop(flow.id, None)
+            return
+        rate = removed_volume / (flow.deadline - boundary)
+        fs = FlowSchedule(
+            flow=flow,
+            path=path,
+            segments=(Segment(boundary, flow.deadline, rate),),
+        )
+        self._acct.commit(fs)
+        if self.kept is not None:
+            self.kept.append(fs)
+        lf.path = path
+        lf.eids = frozenset(
+            int(eid) for _e, eid in self._acct.route_edges(path)
+        )
+        lf.segments = tuple(fs.segments)
+        heappush(
+            self._completions, (lf.completion, str(flow.id), flow.id)
+        )
+        self.flows_rerouted += 1
+        self.repair_energy_delta += (
+            self._power.mu
+            * rate**self._power.alpha
+            * (flow.deadline - boundary)
+            * (len(path) - 1)
+            - removed_energy
+        )
+        recover = boundary - cut
+        if recover > self.time_to_recover:
+            self.time_to_recover = recover
+
+    def _greedy_route(
+        self, flow: Flow, boundary: float
+    ) -> tuple[str, ...] | None:
+        """Marginal-cost survivor route, or None when no survivor path."""
+        router = self._router
+        if router is None:
+            router = self._router = FastRouter(self._topology)
+        loads = self._acct.background(boundary, flow.deadline)
+        weights = np.maximum(self._cost.derivative(loads), 1e-12)
+        if self.down:
+            weights[sorted(self.down)] = DEAD_EDGE_WEIGHT
+        router.set_marginal(weights, decreased=True)
+        try:
+            path, eids = router.route(flow.src, flow.dst)
+        except TopologyError:
+            return None
+        if self.down and any(int(eid) in self.down for eid in eids):
+            return None
+        return path
+
+    # ------------------------------------------------------------------
+    # Relaxation repair tier.
+    # ------------------------------------------------------------------
+    def _repair_relax(self, affected, t: float, boundary: float) -> None:
+        """Batch an event's repairable flows through F-MCF on the honest
+        survivor topology; greedy fallback per flow on any failure."""
+        from repro.core.dcfsr import RelaxationPipeline
+
+        # Classify with the greedy router first: flows without a survivor
+        # route (or without time) go straight to the doom/sliver path.
+        batch: list[tuple[_LiveFlow, float]] = []
+        for lf in affected:
+            cut = max(t, lf.flow.release)
+            remaining = sum(
+                seg.rate * (seg.end - max(cut, seg.start))
+                for seg in lf.segments
+                if seg.end > cut
+            )
+            if (
+                remaining <= self._tol * lf.flow.size
+                or not lf.flow.deadline > boundary + self._tol
+                or self._greedy_route(lf.flow, boundary) is None
+            ):
+                self._disrupt(lf, cut=cut, boundary=boundary)
+            else:
+                batch.append((lf, remaining))
+        if not batch:
+            return
+        t_solve = perf_counter()
+        paths: dict = {}
+        try:
+            key = self.down_key()
+            if self._relax_key != key or self._relax_pipeline is None:
+                survivor, edge_map = survivor_topology(self._topology, key)
+                self._relax_key = key
+                self._relax_edge_map = edge_map
+                self._relax_pipeline = RelaxationPipeline(
+                    survivor,
+                    self._power,
+                    max_iterations=self._fw_iters,
+                    gap_tolerance=self._fw_gap,
+                )
+            pipeline = self._relax_pipeline
+            horizon = max(lf.flow.deadline for lf, _r in batch)
+            profile = self._acct.background_profile(boundary, horizon)
+            commodities = FlowSet(
+                [
+                    replace(lf.flow, size=remaining, release=boundary)
+                    for lf, remaining in batch
+                ]
+            )
+            relaxation = pipeline.solve(
+                commodities,
+                background=profile.restrict(self._relax_edge_map),
+                warm=True,
+            )
+            weights = pipeline.weights(commodities, relaxation)
+            for (lf, _r), path in zip(batch, argmax_paths(weights)):
+                paths[lf.flow.id] = path
+        except (ValidationError, InfeasibleError, TopologyError):
+            self.repair_fallbacks += 1
+            paths = {}
+        solve_s = perf_counter() - t_solve
+        if self._budget is not None and solve_s > self._budget:
+            # Window budget exhausted: later events repair greedily.
+            self._relax_ok = False
+        for lf, _remaining in batch:
+            self._disrupt(
+                lf,
+                cut=max(t, lf.flow.release),
+                boundary=boundary,
+                repair_path=paths.get(lf.flow.id),
+            )
+
+    # ------------------------------------------------------------------
+    # Snapshot plumbing (sharded service; greedy tier only).
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Plain-data snapshot (the relaxation tier's warm pipeline is
+        deliberately excluded — the sharded engine repairs greedily, so
+        restored runs stay bit-identical)."""
+        return {
+            "events": list(self._events),
+            "applied_upto": self._applied_upto,
+            "down": sorted(self.down),
+            "epoch": self.epoch,
+            "live": [
+                (lf.flow, lf.path, lf.segments, lf.missed)
+                for lf in self._live.values()
+            ],
+            "pending_void": list(self._pending_void),
+            "counters": {
+                "link_downs": self.link_downs,
+                "link_ups": self.link_ups,
+                "flows_rerouted": self.flows_rerouted,
+                "repair_energy_delta": self.repair_energy_delta,
+                "time_to_recover": self.time_to_recover,
+                "misses_attributed": self.misses_attributed,
+                "extra_misses": self.extra_misses,
+                "delivered_delta": self.delivered_delta,
+                "repair_fallbacks": self.repair_fallbacks,
+            },
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._events = list(state["events"])
+        self._applied_upto = state["applied_upto"]
+        self.down = set(state["down"])
+        self.epoch = state["epoch"]
+        self._live = {}
+        self._completions = []
+        for flow, path, segments, missed in state["live"]:
+            self.register(flow, FlowSchedule(flow, path, segments), missed)
+            self._live[flow.id].missed = missed
+        self._pending_void = list(state["pending_void"])
+        counters = state["counters"]
+        self.link_downs = counters["link_downs"]
+        self.link_ups = counters["link_ups"]
+        self.flows_rerouted = counters["flows_rerouted"]
+        self.repair_energy_delta = counters["repair_energy_delta"]
+        self.time_to_recover = counters["time_to_recover"]
+        self.misses_attributed = counters["misses_attributed"]
+        self.extra_misses = counters["extra_misses"]
+        self.delivered_delta = counters["delivered_delta"]
+        self.repair_fallbacks = counters["repair_fallbacks"]

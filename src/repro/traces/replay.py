@@ -43,8 +43,10 @@ from repro.flows.flow import Flow
 from repro.power.model import PowerModel
 from repro.routing.background import BackgroundProfile
 from repro.scheduling.schedule import FlowSchedule
-from repro.topology.base import Edge, Topology
+from repro.sim.churn import FaultEvent, FaultSchedule
+from repro.topology.base import Edge, Topology, path_edges
 from repro.traces.policies import ReplayPolicy, WindowContext
+from repro.traces.repair import ChurnManager
 
 __all__ = [
     "ReplayReport",
@@ -109,6 +111,24 @@ class ReplayReport:
     #: Windows whose relaxation was skipped for the greedy fallback
     #: because the solve budget was exhausted (sharded service only).
     degraded_windows: int = 0
+    #: Disruption accounting (mid-replay fault injection; see
+    #: :mod:`repro.traces.repair`).  All zero on fault-free runs.
+    link_failures: int = 0
+    link_recoveries: int = 0
+    #: Committed flows re-routed onto the survivor fabric after a
+    #: link-down truncated their reservation.
+    flows_rerouted: int = 0
+    #: Standalone energy of repair commitments minus the truncated tails
+    #: they replace — what the churn cost in extra dynamic energy.
+    repair_energy_delta: float = 0.0
+    #: Worst failure-to-recommit latency over the run's link-down events
+    #: that affected committed flows (0.0 when none did).
+    time_to_recover: float = 0.0
+    #: Deadline misses that exist only because a link died under a
+    #: committed flow (doomed flows: no survivor path, or no time left).
+    misses_attributed_to_failure: int = 0
+    #: Shard workers respawned after a crash (sharded service only).
+    worker_restarts: int = 0
     #: Per-shard breakdown (sharded service only; None for ReplayEngine).
     shard_stats: tuple[ShardStats, ...] | None = None
     schedules: list[FlowSchedule] | None = field(default=None, repr=False)
@@ -148,6 +168,16 @@ class ReplayReport:
         if self.degraded_windows > 0:
             text += (
                 f", {self.degraded_windows} window solves degraded to greedy"
+            )
+        if self.link_failures > 0 or self.worker_restarts > 0:
+            text += (
+                f"\n  churn: {self.link_failures} link failures "
+                f"({self.link_recoveries} recovered), "
+                f"{self.flows_rerouted} flows rerouted, "
+                f"{self.misses_attributed_to_failure} misses attributed "
+                f"to failure, repair energy {self.repair_energy_delta:+.6g}, "
+                f"time-to-recover {self.time_to_recover:.4g}, "
+                f"{self.worker_restarts} worker restarts"
             )
         if self.shard_stats is not None:
             for stats in self.shard_stats:
@@ -247,10 +277,15 @@ class WindowAccountant:
     # Commitment.
     # ------------------------------------------------------------------
     def route_of(self, fs: FlowSchedule) -> tuple[tuple[Edge, int], ...]:
-        edges = self._route_edges.get(fs.path)
+        return self.route_edges(fs.path)
+
+    def route_edges(
+        self, path: tuple[str, ...]
+    ) -> tuple[tuple[Edge, int], ...]:
+        edges = self._route_edges.get(path)
         if edges is None:
-            edges = tuple((e, self._edge_id(e)) for e in fs.edges)
-            self._route_edges[fs.path] = edges
+            edges = tuple((e, self._edge_id(e)) for e in path_edges(path))
+            self._route_edges[path] = edges
         return edges
 
     def commit(self, fs: FlowSchedule) -> None:
@@ -334,6 +369,78 @@ class WindowAccountant:
     def drain(self) -> None:
         """Charge any boundary-exact trailing events (end of replay)."""
         self.sweep(np.inf)
+
+    # ------------------------------------------------------------------
+    # Committed-flow truncation (fault repair; see repro.traces.repair).
+    # ------------------------------------------------------------------
+    def truncate_commit(
+        self,
+        path: tuple[str, ...],
+        segments: Iterable,
+        cut: float,
+    ) -> tuple[float, float]:
+        """Void one committed reservation from ``cut`` onward.
+
+        For every ``(edge, segment)`` piece of the ``(path, segments)``
+        commitment whose end lies beyond ``cut``, the live piece is cut
+        back to ``cut`` (dropped entirely when it had not started yet)
+        and a compensating event pair is pushed so the energy sweep sees
+        the rate drop at ``cut`` instead of the original end.  ``cut``
+        must lie beyond the last finalized boundary — the engines only
+        truncate inside the window being settled, which guarantees the
+        compensations land ahead of the sweep.
+
+        Returns ``(removed_volume, removed_standalone_energy)``: the
+        flow volume no longer delivered and the standalone dynamic
+        energy (rate^alpha, per edge) of the voided tail — the honest
+        inputs to repair accounting.
+        """
+        route = self.route_edges(path)
+        p_start, p_end = self._piece_start, self._piece_end
+        p_rate, p_eid = self._piece_rate, self._piece_eid
+        mu, alpha = self._mu, self._alpha
+        removed_volume = 0.0
+        removed_energy = 0.0
+        n_pieces = len(p_start)
+        drop: list[int] = []
+        for seg in segments:
+            if seg.end <= cut:
+                continue
+            lost = seg.rate * (seg.end - max(cut, seg.start))
+            removed_volume += lost
+            removed_energy += (
+                mu * seg.rate**alpha * (seg.end - max(cut, seg.start))
+            ) * len(route)
+            for _edge, eid in route:
+                # Find this commitment's live piece for (edge, segment):
+                # scan from the newest pieces (commits are recent).
+                for i in range(n_pieces - 1, -1, -1):
+                    if (
+                        p_eid[i] == eid
+                        and p_start[i] == seg.start
+                        and p_end[i] == seg.end
+                        and p_rate[i] == seg.rate
+                    ):
+                        heappush(
+                            self.events, (max(cut, seg.start), eid, -seg.rate)
+                        )
+                        heappush(self.events, (seg.end, eid, seg.rate))
+                        if cut > seg.start:
+                            p_end[i] = cut
+                        else:
+                            drop.append(i)
+                        break
+                else:
+                    raise ValidationError(
+                        f"truncate_commit: no live piece matches segment "
+                        f"[{seg.start}, {seg.end}) @ {seg.rate} on edge "
+                        f"{_edge!r} (already finalized?)"
+                    )
+        for i in sorted(drop, reverse=True):
+            del p_start[i], p_end[i], p_rate[i], p_eid[i]
+        if removed_volume > 0.0:
+            self._piece_arrays = None
+        return removed_volume, removed_energy
 
     # ------------------------------------------------------------------
     # Views.
@@ -506,6 +613,20 @@ class ReplayEngine:
         bounded-memory property; leave off for large traces.
     tol:
         Relative tolerance for deadline / volume / capacity verdicts.
+    faults:
+        Optional :class:`~repro.sim.churn.FaultSchedule` of link events to
+        apply mid-replay (see :mod:`repro.traces.repair`).  Events may
+        also arrive inline in the trace stream itself
+        (``TraceReader(path, include_faults=True)``); both sources merge.
+        With no faults from either source the replay output is
+        bit-identical to a fault-free engine.
+    repair:
+        Committed-flow repair tier on link-down: ``"greedy"`` (marginal
+        envelope-cost reroute, the default) or ``"relax"`` (batched F-MCF
+        re-solve on the survivor fabric, greedy fallback).
+    repair_budget_s:
+        With ``repair="relax"``: once a single event's relaxation solve
+        exceeds this wall-clock budget, later events repair greedily.
     """
 
     def __init__(
@@ -516,15 +637,23 @@ class ReplayEngine:
         window: float,
         keep_schedules: bool = False,
         tol: float = 1e-6,
+        faults: FaultSchedule | None = None,
+        repair: str = "greedy",
+        repair_budget_s: float | None = None,
     ) -> None:
         if not window > 0:
             raise ValidationError(f"window must be > 0, got {window}")
+        if repair not in ("greedy", "relax"):
+            raise ValidationError(f"unknown repair tier {repair!r}")
         self._topology = topology
         self._power = power
         self._policy = policy
         self._window = window
         self._keep = keep_schedules
         self._tol = tol
+        self._faults = faults
+        self._repair = repair
+        self._repair_budget_s = repair_budget_s
 
     def _accountant(self) -> WindowAccountant:
         """Accountant factory — a seam the reference-pin suite overrides
@@ -556,7 +685,17 @@ class ReplayEngine:
         max_window_arrivals = 0
 
         iterator = iter(trace)
-        first = next(iterator, None)
+        # The stream may interleave FaultEvent items with flows
+        # (TraceReader(include_faults=True)); peel events off, collecting
+        # any that precede the first flow.
+        leading: list[FaultEvent] = []
+        first: Flow | None = None
+        for item in iterator:
+            if isinstance(item, FaultEvent):
+                leading.append(item)
+                continue
+            first = item
+            break
         if first is None:
             raise ValidationError("trace produced no flows")
         flows_seen = 1
@@ -565,16 +704,52 @@ class ReplayEngine:
         pending: list[Flow] = [first]
         last_release = first.release
 
+        # The churn manager exists even for fault-free runs (registry
+        # upkeep is cheap and keeps inline mid-stream events correct);
+        # with no events it never touches accounting, so fault-free
+        # output stays bit-identical to the pre-churn engine.
+        churn = ChurnManager(
+            topology,
+            power,
+            acct,
+            origin=t0,
+            window=window,
+            repair=self._repair,
+            repair_budget_s=self._repair_budget_s,
+            tol=self._tol,
+        )
+        churn.kept = kept
+        if self._faults is not None:
+            churn.add_events(self._faults.link_events())
+        churn.add_events(leading)
+        del leading
+        # Events timestamped before the first release are pure state
+        # toggles (nothing is committed yet) — pre-apply them so window 0
+        # already sees the right dead-link set.
+        churn.apply_upto(t0)
+        down_epoch = -1
+        down_view: frozenset[int] = frozenset()
+
         def window_bounds(k: int) -> tuple[float, float]:
             return (t0 + k * window, t0 + (k + 1) * window)
+
+        def settle(end: float) -> None:
+            # Fault events must truncate/recommit ahead of the energy
+            # sweep passing their timestamps.
+            churn.apply_upto(end)
+            acct.finalize(end)
 
         def schedule_window(k: int, arrivals: list[Flow]) -> None:
             nonlocal flows_served, misses, unserved, volume_offered
             nonlocal volume_delivered, max_window_arrivals
+            nonlocal down_epoch, down_view
             max_window_arrivals = max(max_window_arrivals, len(arrivals))
             if not arrivals:
                 return
             start, end = window_bounds(k)
+            if churn.epoch != down_epoch:
+                down_epoch = churn.epoch
+                down_view = churn.down_key()
             # Both background views read the live ledger lazily; the policy
             # runs before any of this window's commits, so they are
             # consistent, and a policy pays only for the view it reads.
@@ -586,6 +761,7 @@ class ReplayEngine:
                 background_fn=lambda: acct.background(start, end),
                 profile_fn=lambda: acct.background_profile(start, end),
                 carry=carry,
+                down_edge_ids=down_view,
             )
             by_id = {flow.id: flow for flow in arrivals}
             if len(by_id) != len(arrivals):
@@ -616,6 +792,7 @@ class ReplayEngine:
                 if missed:
                     misses += 1
                 acct.commit(fs)
+                churn.register(flow, fs, missed)
                 if kept is not None:
                     kept.append(fs)
             unserved += len(arrivals) - len(served_ids)
@@ -633,7 +810,11 @@ class ReplayEngine:
                 return upto
             return max(after, min(upto, int((next_t - t0) // window)))
 
-        for flow in iterator:
+        for item in iterator:
+            if isinstance(item, FaultEvent):
+                churn.add_events((item,))
+                continue
+            flow = item
             if flow.release < last_release - 1e-9:
                 raise ValidationError(
                     f"trace is not sorted by release time: flow {flow.id!r} "
@@ -644,7 +825,7 @@ class ReplayEngine:
             k = int((flow.release - t0) // window)
             while k > current:
                 schedule_window(current, pending)
-                acct.finalize(window_bounds(current)[1])
+                settle(window_bounds(current)[1])
                 pending = []
                 current += 1
                 if k > current:
@@ -652,12 +833,13 @@ class ReplayEngine:
             pending.append(flow)
 
         schedule_window(current, pending)
-        acct.finalize(window_bounds(current)[1])
+        settle(window_bounds(current)[1])
         current += 1
-        while acct.has_live:
+        while acct.has_live or churn.has_pending:
             current = next_busy_window(current, 1 << 62)
-            acct.finalize(window_bounds(current)[1])
+            settle(window_bounds(current)[1])
             current += 1
+        churn.flush()
         acct.drain()
 
         t1 = (
@@ -672,10 +854,10 @@ class ReplayEngine:
             horizon=(t0, t1),
             flows_seen=flows_seen,
             flows_served=flows_served,
-            deadline_misses=misses,
+            deadline_misses=misses + churn.extra_misses,
             unserved=unserved,
             volume_offered=volume_offered,
-            volume_delivered=volume_delivered,
+            volume_delivered=volume_delivered + churn.delivered_delta,
             idle_energy=acct.idle_energy(t0, t1),
             dynamic_energy=acct.dynamic_energy,
             active_links=len(acct.active_links),
@@ -687,5 +869,11 @@ class ReplayEngine:
             max_weight_drift=float(
                 getattr(self._policy, "max_weight_drift", 0.0)
             ),
+            link_failures=churn.link_downs,
+            link_recoveries=churn.link_ups,
+            flows_rerouted=churn.flows_rerouted,
+            repair_energy_delta=churn.repair_energy_delta,
+            time_to_recover=churn.time_to_recover,
+            misses_attributed_to_failure=churn.misses_attributed,
             schedules=kept,
         )

@@ -8,7 +8,15 @@ JSONL layout::
 
     {"kind":"trace","version":1}
     {"id":0,"src":"h0","dst":"h3","size":4.25,"release":0.31,"deadline":8.81}
+    {"event":"link_down","time":3.5,"edge":["s0","s4"]}
     ...
+
+Fault events (:class:`~repro.sim.churn.FaultEvent` records, distinguished
+by their ``"event"`` key) may be interleaved with flows in time order —
+they are first-class trace citizens.  Plain readers skip them, so every
+pre-fault consumer keeps working; pass ``include_faults=True`` (reader
+and :class:`TraceReader`) to receive them inline, or
+:func:`read_trace_faults` to collect just the schedule.
 
 CSV layout::
 
@@ -35,6 +43,7 @@ __all__ = [
     "TraceReader",
     "write_trace_jsonl",
     "read_trace_jsonl",
+    "read_trace_faults",
     "write_trace_csv",
     "read_trace_csv",
 ]
@@ -77,8 +86,17 @@ def _flow_from_record(entry: object, where: str) -> Flow:
 # ----------------------------------------------------------------------
 # JSONL.
 # ----------------------------------------------------------------------
-def write_trace_jsonl(flows: Iterable[Flow], path: str) -> int:
-    """Stream ``flows`` to ``path`` as versioned JSONL; returns the count."""
+def write_trace_jsonl(flows: Iterable[Flow], path: str, faults=None) -> int:
+    """Stream ``flows`` to ``path`` as versioned JSONL; returns the count.
+
+    ``faults`` (a :class:`~repro.sim.churn.FaultSchedule` or iterable of
+    :class:`~repro.sim.churn.FaultEvent`) interleaves fault-event records
+    with the flows in time order — an event lands before the first flow
+    released at or after its timestamp.  The returned count is flows
+    only.
+    """
+    pending = sorted(faults, key=lambda e: e.time) if faults else []
+    next_fault = 0
     count = 0
     with open(path, "w") as handle:
         handle.write(
@@ -88,20 +106,41 @@ def write_trace_jsonl(flows: Iterable[Flow], path: str) -> int:
             )
             + "\n"
         )
+
+        def emit_faults(upto: float) -> None:
+            nonlocal next_fault
+            while (
+                next_fault < len(pending)
+                and pending[next_fault].time <= upto
+            ):
+                handle.write(
+                    json.dumps(
+                        pending[next_fault].to_record(),
+                        separators=(",", ":"),
+                    )
+                    + "\n"
+                )
+                next_fault += 1
+
         for flow in flows:
+            emit_faults(flow.release)
             handle.write(
                 json.dumps(_flow_record(flow), separators=(",", ":")) + "\n"
             )
             count += 1
+        emit_faults(float("inf"))
     return count
 
 
-def read_trace_jsonl(path: str) -> Iterator[Flow]:
+def read_trace_jsonl(path: str, include_faults: bool = False) -> Iterator:
     """Lazily iterate the flows of a JSONL trace.
 
     The header is validated eagerly (before the first flow is requested),
     so an unrecognized file fails fast; each flow re-runs
-    :class:`~repro.flows.flow.Flow` validation as it is read.
+    :class:`~repro.flows.flow.Flow` validation as it is read.  Fault
+    records are skipped unless ``include_faults`` — then
+    :class:`~repro.sim.churn.FaultEvent` items are yielded inline, in
+    file order.
     """
     handle = open(path)
     try:
@@ -121,7 +160,9 @@ def read_trace_jsonl(path: str) -> Iterator[Flow]:
         handle.close()
         raise
 
-    def flows() -> Iterator[Flow]:
+    def items() -> Iterator:
+        from repro.sim.churn import FaultEvent
+
         with handle:
             for lineno, line in enumerate(handle, start=2):
                 if not line.strip():
@@ -132,9 +173,28 @@ def read_trace_jsonl(path: str) -> Iterator[Flow]:
                     raise ValidationError(
                         f"{path}:{lineno}: bad JSON ({exc})"
                     ) from exc
+                if isinstance(entry, dict) and "event" in entry:
+                    if include_faults:
+                        yield FaultEvent.from_record(
+                            entry, f"{path}:{lineno}"
+                        )
+                    continue
                 yield _flow_from_record(entry, f"{path}:{lineno}")
 
-    return flows()
+    return items()
+
+
+def read_trace_faults(path: str):
+    """Collect just the fault events of a JSONL trace, as a
+    :class:`~repro.sim.churn.FaultSchedule` (empty when the trace carries
+    none)."""
+    from repro.sim.churn import FaultEvent, FaultSchedule
+
+    return FaultSchedule(
+        item
+        for item in read_trace_jsonl(path, include_faults=True)
+        if isinstance(item, FaultEvent)
+    )
 
 
 class TraceReader:
@@ -164,10 +224,16 @@ class TraceReader:
     The header is validated eagerly, exactly like
     :func:`read_trace_jsonl`.  ``seek(0)`` (or ``seek`` to
     :attr:`start`) rewinds to the first flow.
+
+    ``include_faults=True`` yields inline
+    :class:`~repro.sim.churn.FaultEvent` records interleaved with the
+    flows (default skips them — pre-fault consumers see flows only);
+    cursors remain plain byte offsets either way.
     """
 
-    def __init__(self, path: str) -> None:
+    def __init__(self, path: str, include_faults: bool = False) -> None:
         self._path = path
+        self._include_faults = include_faults
         self._handle = open(path, "rb")
         try:
             header_line = self._handle.readline()
@@ -217,7 +283,7 @@ class TraceReader:
     def __iter__(self) -> Iterator[Flow]:
         return self
 
-    def __next__(self) -> Flow:
+    def __next__(self):
         while True:
             offset = self._handle.tell()
             line = self._handle.readline()
@@ -231,6 +297,14 @@ class TraceReader:
                 raise ValidationError(
                     f"{self._path}@{offset}: bad JSON ({exc})"
                 ) from exc
+            if isinstance(entry, dict) and "event" in entry:
+                if self._include_faults:
+                    from repro.sim.churn import FaultEvent
+
+                    return FaultEvent.from_record(
+                        entry, f"{self._path}@{offset}"
+                    )
+                continue
             return _flow_from_record(entry, f"{self._path}@{offset}")
 
     def close(self) -> None:
