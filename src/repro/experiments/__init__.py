@@ -2,6 +2,7 @@
 
 from repro.experiments.ablations import (
     churn_ablation,
+    churn_correlated_ablation,
     failure_ablation,
     lambda_ablation,
     online_ablation,
@@ -38,5 +39,6 @@ __all__ = [
     "failure_ablation",
     "online_ablation",
     "churn_ablation",
+    "churn_correlated_ablation",
     "approximation_study",
 ]

@@ -30,6 +30,7 @@ from repro.analysis.reporting import Table
 from repro.experiments.parallel import available_parallelism, worker_slots
 from repro.experiments.ablations import (
     churn_ablation,
+    churn_correlated_ablation,
     failure_ablation,
     online_ablation,
     lambda_ablation,
@@ -56,6 +57,7 @@ ABLATIONS: dict[str, Callable[..., Table]] = {
     "relax-replay": relax_replay_ablation,
     "lookahead": lookahead_ablation,
     "churn": churn_ablation,
+    "churn-correlated": churn_correlated_ablation,
 }
 
 

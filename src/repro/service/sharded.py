@@ -91,7 +91,12 @@ SNAPSHOT_KIND = "repro-sharded-replay"
 # flat piece arrays, and the config grew ``background_mode``.
 # v3: churn — link-fault/repair state, worker-crash events, per-shard
 # checkpoints, and the dead-link element in window messages.
-SNAPSHOT_VERSION = 3
+# v4: correlated failure domains — the churn snapshot carries per-link
+# outage multiplicities plus the domain registry/down-domain/down-switch
+# state bit-for-bit, in-flight entries pin their dispatch-time dead-link
+# view, and the service state grew the dark-shard (evacuation) set and
+# the ``failure_domains``/``srlg_diverse`` config.
+SNAPSHOT_VERSION = 4
 
 
 @dataclass(frozen=True)
@@ -241,6 +246,10 @@ class _InFlight:
     #: shard index -> (pairs, solve_s, degraded); populated from the
     #: workers either at collect time or by a snapshot drain.
     results: dict | None = None
+    #: Dispatch-time dead-link view — the survivor graph every route in
+    #: this window was chosen against; collect attributes unserved flows
+    #: with no path on it to failure (exactly once, never committed).
+    down: frozenset = frozenset()
 
 
 class ShardedReplayEngine:
@@ -283,12 +292,21 @@ class ShardedReplayEngine:
         Optional :class:`~repro.service.degrade.SolveBudget`; exhausted
         windows degrade to greedy and are counted on the report.
     faults:
-        Optional :class:`~repro.sim.churn.FaultSchedule`.  Link events
-        feed the same :class:`~repro.traces.repair.ChurnManager` the
-        single-owner engine uses (greedy repair tier only — it is the
-        deterministic one under snapshot/restore); ``worker_crash``
-        events kill the named shard worker at the next window dispatch,
-        exercising the recovery machinery below.
+        Optional :class:`~repro.sim.churn.FaultSchedule`.  Fabric events
+        (link, whole-switch and SRLG outages alike) feed the same
+        :class:`~repro.traces.repair.ChurnManager` the single-owner
+        engine uses (greedy repair tier only — it is the deterministic
+        one under snapshot/restore); ``worker_crash`` events kill the
+        named shard worker at the next window dispatch, exercising the
+        recovery machinery below.
+    failure_domains:
+        Optional :class:`~repro.sim.churn.FailureDomain` iterable seeding
+        the churn manager's risk-group registry up front (otherwise
+        groups are learned from observed domain events).
+    srlg_diverse:
+        Penalize repair routes sharing a risk group with a currently-down
+        domain (see :data:`~repro.traces.repair.SRLG_PENALTY`).  With no
+        domains down the replay is bit-identical either way.
     heartbeat_s:
         Bound on each worker collect; a worker silent for this long is
         declared crashed and restarted.  ``None`` waits forever (crashes
@@ -328,6 +346,8 @@ class ShardedReplayEngine:
         keep_schedules: bool = False,
         tol: float = 1e-6,
         faults: FaultSchedule | None = None,
+        failure_domains: Iterable | None = None,
+        srlg_diverse: bool = True,
         heartbeat_s: float | None = None,
         max_worker_restarts: int = 3,
         checkpoint_every: int | None = None,
@@ -390,6 +410,10 @@ class ShardedReplayEngine:
 
         # Fault injection + crash tolerance.
         self._faults = faults
+        self._failure_domains = (
+            tuple(failure_domains) if failure_domains is not None else None
+        )
+        self._srlg_diverse = srlg_diverse
         self._heartbeat_s = heartbeat_s
         self._max_worker_restarts = max_worker_restarts
         self._ckpt_every = checkpoint_every
@@ -411,6 +435,12 @@ class ShardedReplayEngine:
         self._restart_attempts = [0] * n
         self._resync_left = [0] * n
         self._worker_restarts = 0
+        #: Shards whose owning switch was down at the last dispatch —
+        #: their flows are evacuated to the parent's cross-shard router
+        #: and the worker is quiesced; a dark→lit transition triggers the
+        #: same greedy resync a restarted worker gets.
+        self._dark_prev: frozenset[int] = frozenset()
+        self._evacuated_flows = 0
         self._rev_edge_maps = [
             {int(pid): li for li, pid in enumerate(shard.edge_map)}
             for shard in shards
@@ -436,7 +466,7 @@ class ShardedReplayEngine:
         self._degraded_windows = 0
         self._per_shard = [
             {"flows": 0, "energy": 0.0, "misses": 0, "degraded": 0,
-             "solve_s": 0.0}
+             "solve_s": 0.0, "evacuated": 0}
             for _ in shards
         ]
         self._cross_stats = {"flows": 0, "energy": 0.0, "misses": 0}
@@ -519,10 +549,12 @@ class ShardedReplayEngine:
             window=self._window,
             repair="greedy",  # the snapshot-deterministic tier
             tol=self._tol,
+            domains=self._failure_domains,
+            srlg_diverse=self._srlg_diverse,
         )
         churn.kept = self._kept
         if self._faults is not None:
-            churn.add_events(self._faults.link_events())
+            churn.add_events(self._faults.fabric_events())
         if self._stash_events:
             churn.add_events(self._stash_events)
             self._stash_events = []
@@ -574,6 +606,15 @@ class ShardedReplayEngine:
         # recover immediately so the submits below reach a live worker.
         self._consume_worker_events(start)
         self._maybe_checkpoint(k)
+        # Dark shards: a shard whose switch node is down cannot solve
+        # anything meaningful locally — quiesce it (no submits) and
+        # evacuate its flows to the parent's survivor-aware cross-shard
+        # router.  A dark→lit transition re-warms like a worker restart:
+        # the shard solves its next windows greedily while resyncing.
+        dark = self._dark_shards()
+        for shard_idx in sorted(self._dark_prev - dark):
+            self._resync_left[shard_idx] = self._resync
+        self._dark_prev = dark
         self._max_window_arrivals = max(
             self._max_window_arrivals, len(arrivals)
         )
@@ -599,6 +640,10 @@ class ShardedReplayEngine:
         for flow in arrivals:
             shard = self._partition.shard_of(flow)
             if shard is None:
+                cross_flows.append(flow)
+            elif shard in dark:
+                self._evacuated_flows += 1
+                self._per_shard[shard]["evacuated"] += 1
                 cross_flows.append(flow)
             else:
                 assign[flow.id] = shard
@@ -653,7 +698,20 @@ class ShardedReplayEngine:
         # run; with the async submit above this is the window's overlap.
         cross = self._route_cross(cross_flows, background, down)
         self._inflight.append(
-            _InFlight(k, start, end, arrivals, assign, shard_ids, cross, relax)
+            _InFlight(
+                k, start, end, arrivals, assign, shard_ids, cross, relax,
+                down=down,
+            )
+        )
+
+    def _dark_shards(self) -> frozenset[int]:
+        """Shards owning a currently-down switch node."""
+        switches = self._churn.down_switches
+        if not switches:
+            return frozenset()
+        comp = self._partition.node_component
+        return frozenset(
+            comp[node][0] for node in switches if node in comp
         )
 
     def _route_cross(
@@ -893,6 +951,7 @@ class ShardedReplayEngine:
 
         served = 0
         misses = 0
+        served_ids: set = set()
         # Commit in arrival order regardless of which shard answered:
         # the exact float-accumulation order of the single-owner engine.
         for flow in entry.arrivals:
@@ -917,6 +976,7 @@ class ShardedReplayEngine:
                     "its span"
                 )
             served += 1
+            served_ids.add(flow.id)
             self._flows_served += 1
             self._volume_delivered += delivered
             if missed:
@@ -944,7 +1004,19 @@ class ShardedReplayEngine:
             self._churn.register(flow, fs, missed)
             if self._kept is not None:
                 self._kept.append(fs)
-        self._unserved += len(entry.arrivals) - served
+        n_unserved = len(entry.arrivals) - served
+        self._unserved += n_unserved
+        if n_unserved and entry.down:
+            # Attribute never-committed arrivals with no survivor route
+            # on the dispatch-time dead-link view — exactly once, and
+            # disjoint from the committed-then-doomed set the churn
+            # manager attributes itself (mirrors the single-owner
+            # engine's schedule-time attribution).
+            for flow in entry.arrivals:
+                if flow.id not in served_ids and self._churn.unreachable(
+                    flow.src, flow.dst, entry.down
+                ):
+                    self._churn.misses_attributed += 1
         self._settle(entry.end)
         if entry.shard_ids and self._mode == "relax":
             self._controller.observe(window_solve, not entry.relax)
@@ -1017,6 +1089,7 @@ class ShardedReplayEngine:
                     misses=stats["misses"],
                     degraded_windows=stats["degraded"],
                     solve_s=stats["solve_s"],
+                    evacuated=stats["evacuated"],
                 )
             )
         shard_stats.append(
@@ -1056,6 +1129,11 @@ class ShardedReplayEngine:
             repair_energy_delta=churn.repair_energy_delta,
             time_to_recover=churn.time_to_recover,
             misses_attributed_to_failure=churn.misses_attributed,
+            domain_failures=churn.domain_failures,
+            domain_recoveries=churn.domain_recoveries,
+            total_recovery_time=churn.total_recovery_time,
+            repairs_triaged=churn.repairs_triaged,
+            evacuated_flows=self._evacuated_flows,
             worker_restarts=self._worker_restarts,
             shard_stats=tuple(shard_stats),
             schedules=self._kept,
@@ -1123,6 +1201,8 @@ class ShardedReplayEngine:
                 "max_worker_restarts": self._max_worker_restarts,
                 "checkpoint_every": self._ckpt_every,
                 "resync_windows": self._resync,
+                "failure_domains": self._failure_domains,
+                "srlg_diverse": self._srlg_diverse,
                 "topology_name": self._topology.name,
                 "num_edges": self._topology.num_edges,
             },
@@ -1166,6 +1246,8 @@ class ShardedReplayEngine:
                 "resync_left": list(self._resync_left),
                 "checkpoints": list(self._checkpoints),
                 "last_ckpt": list(self._last_ckpt),
+                "dark_prev": sorted(self._dark_prev),
+                "evacuated_flows": self._evacuated_flows,
             },
         }
 
@@ -1219,6 +1301,8 @@ class ShardedReplayEngine:
             max_worker_restarts=cfg["max_worker_restarts"],
             checkpoint_every=cfg["checkpoint_every"],
             resync_windows=cfg["resync_windows"],
+            failure_domains=cfg["failure_domains"],
+            srlg_diverse=cfg["srlg_diverse"],
         )
         if engine._partition.num_shards != cfg["num_shards"]:
             raise ValidationError(
@@ -1266,6 +1350,8 @@ class ShardedReplayEngine:
         engine._resync_left = list(sc["resync_left"])
         engine._checkpoints = list(sc["checkpoints"])
         engine._last_ckpt = list(sc["last_ckpt"])
+        engine._dark_prev = frozenset(sc["dark_prev"])
+        engine._evacuated_flows = sc["evacuated_flows"]
         return engine
 
 

@@ -1,10 +1,12 @@
 """Simulators: fluid replay, packet validation, and fault injection."""
 
 from repro.sim.churn import (
+    FailureDomain,
     FaultEvent,
     FaultSchedule,
     survivor_shortest_path,
     survivor_topology,
+    switch_domains,
 )
 from repro.sim.failures import fail_links
 from repro.sim.fluid import (
@@ -23,8 +25,10 @@ __all__ = [
     "PacketReport",
     "simulate_packets",
     "fail_links",
+    "FailureDomain",
     "FaultEvent",
     "FaultSchedule",
     "survivor_shortest_path",
     "survivor_topology",
+    "switch_domains",
 ]

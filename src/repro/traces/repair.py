@@ -59,19 +59,34 @@ from repro.routing.fastpath import FastRouter
 from repro.routing.rounding import argmax_paths
 from repro.scheduling.schedule import FlowSchedule, Segment
 from repro.sim.churn import (
-    LINK_DOWN,
-    LINK_UP,
+    DOWN_KINDS,
+    SWITCH_DOWN,
+    SWITCH_UP,
+    FailureDomain,
     FaultEvent,
+    survivor_shortest_path,
     survivor_topology,
 )
 from repro.topology.base import Topology
 
-__all__ = ["ChurnManager", "DEAD_EDGE_WEIGHT"]
+__all__ = ["ChurnManager", "DEAD_EDGE_WEIGHT", "SRLG_PENALTY"]
 
 #: Marginal weight assigned to dead links: high enough that any surviving
 #: route wins, finite so Dijkstra stays well-defined — a route that still
 #: crosses a dead link after the clamp proves no survivor path exists.
 DEAD_EDGE_WEIGHT = 1e15
+
+#: Multiplier applied to surviving links that share a risk group with a
+#: currently-failed domain (SRLG-diverse repair).  Large enough that any
+#: risk-disjoint route wins, small enough that a risky route still beats
+#: a dead one — a repair placed on a risky link is legal, just last
+#: resort, because the correlated follow-on failure would re-disrupt it.
+SRLG_PENALTY = 1e6
+
+#: Relaxation-repair chunk size under a triage budget: the storm ladder
+#: re-solves this many flows at a time, most-urgent first, so a blown
+#: ``repair_budget_s`` degrades only the overflow to greedy.
+_TRIAGE_CHUNK = 32
 
 
 class _LiveFlow:
@@ -113,6 +128,8 @@ class ChurnManager:
         fw_max_iterations: int = 40,
         fw_gap_tolerance: float = 1e-3,
         tol: float = 1e-6,
+        domains: Iterable[FailureDomain] | None = None,
+        srlg_diverse: bool = True,
     ) -> None:
         if repair not in ("greedy", "relax"):
             raise ValidationError(f"unknown repair tier {repair!r}")
@@ -131,8 +148,30 @@ class ChurnManager:
         #: Pending events, time-sorted; ``_applied_upto`` guards ordering.
         self._events: list[FaultEvent] = []
         self._applied_upto = -np.inf
+        #: Per-link outage multiplicity: a link may be covered by several
+        #: concurrent outages (a down domain plus a raw link_down, or two
+        #: overlapping domains); it resurrects only on the 1 -> 0 edge.
+        self._down_count: dict[int, int] = {}
+        #: Derived view: the ids with positive multiplicity.
         self.down: set[int] = set()
         self.epoch = 0
+
+        # Risk-group registry for SRLG-diverse repair: domains supplied
+        # up front plus every domain observed in the event stream.
+        self._srlg_diverse = srlg_diverse
+        self._risk_groups: dict[str, frozenset[int]] = {}
+        if domains is not None:
+            for domain in domains:
+                self._risk_groups[domain.name] = domain.member_edge_ids(
+                    topology
+                )
+        #: Currently-failed domain names / switch nodes.
+        self._down_domains: set[str] = set()
+        self.down_switches: set[str] = set()
+        self._risky_epoch = -1
+        self._risky: np.ndarray | None = None
+        #: Survivor-reachability memo per dead-link set (pure cache).
+        self._reach_cache: dict[frozenset, dict] = {}
 
         self._live: dict = {}  # flow id -> _LiveFlow, commit order
         self._completions: list[tuple[float, object]] = []  # lazy heap
@@ -152,21 +191,25 @@ class ChurnManager:
         # Disruption counters (merged into the report by the engine).
         self.link_downs = 0
         self.link_ups = 0
+        self.domain_failures = 0
+        self.domain_recoveries = 0
         self.flows_rerouted = 0
         self.repair_energy_delta = 0.0
         self.time_to_recover = 0.0
+        self.total_recovery_time = 0.0
         self.misses_attributed = 0
         self.extra_misses = 0
         self.delivered_delta = 0.0
         self.repair_fallbacks = 0
+        self.repairs_triaged = 0
 
     # ------------------------------------------------------------------
     # Event intake.
     # ------------------------------------------------------------------
     def add_events(self, events: Iterable[FaultEvent]) -> None:
-        """Queue link events (worker crashes are not ours to apply)."""
+        """Queue fabric events (worker crashes are not ours to apply)."""
         for event in events:
-            if not event.is_link:
+            if not event.is_fabric:
                 continue
             if event.time < self._applied_upto:
                 raise ValidationError(
@@ -230,9 +273,22 @@ class ChurnManager:
         while self._events and self._events[0].time < end:
             event = self._events.pop(0)
             boundary = min(self._boundary(event.time), end)
-            if event.kind == LINK_DOWN:
-                self._apply_down(event, boundary)
-            elif event.kind == LINK_UP:
+            if event.kind in DOWN_KINDS:
+                # Atomicity: every down event at this instant (a domain's
+                # member links, or several simultaneous domains) applies
+                # as ONE outage — all links die before any repair routes,
+                # so no repair can land on a link failing the same
+                # instant.  A down and an up at equal times still apply
+                # in sequence (the documented schedule order).
+                batch = [event]
+                while (
+                    self._events
+                    and self._events[0].time == event.time
+                    and self._events[0].kind in DOWN_KINDS
+                ):
+                    batch.append(self._events.pop(0))
+                self._apply_down_batch(batch, boundary)
+            else:
                 self._apply_up(event)
         self._applied_upto = max(self._applied_upto, end)
 
@@ -249,29 +305,98 @@ class ChurnManager:
                 continue
             self._disrupt(lf, cut=lf.flow.release, boundary=boundary)
 
-    def _apply_up(self, event: FaultEvent) -> None:
-        eid = self._topology.edge_id(event.edge)
-        if eid in self.down:
-            self.down.discard(eid)
-            self.epoch += 1
-            self.link_ups += 1
+    def _member_eids(self, event: FaultEvent) -> list[int]:
+        """Dense member edge ids of one fabric event, stable order."""
+        edge_id = self._topology.edge_id
+        return [
+            edge_id(edge) for edge in event.member_edges(self._topology)
+        ]
 
-    def _apply_down(self, event: FaultEvent, boundary: float) -> None:
-        eid = self._topology.edge_id(event.edge)
-        if eid in self.down:
+    def _note_domain(self, event: FaultEvent, eids: Iterable[int]) -> None:
+        """Learn an observed domain's membership for the risk registry."""
+        key = event.domain_key()
+        if key is not None:
+            self._risk_groups[key] = frozenset(eids)
+
+    def _apply_up(self, event: FaultEvent) -> None:
+        eids = self._member_eids(event)
+        self._note_domain(event, eids)
+        changed = False
+        for eid in eids:
+            count = self._down_count.get(eid, 0)
+            if count <= 0:
+                continue  # recovery of a link that was never down here
+            if count == 1:
+                del self._down_count[eid]
+                self.down.discard(eid)
+                self.link_ups += 1
+                changed = True
+            else:
+                self._down_count[eid] = count - 1
+        key = event.domain_key()
+        if key is not None and key in self._down_domains:
+            self._down_domains.discard(key)
+            self.domain_recoveries += 1
+            changed = True
+            if event.kind == SWITCH_UP:
+                self.down_switches.discard(event.node)
+        if changed:
+            self.epoch += 1
+
+    def _apply_down_batch(
+        self, events: list[FaultEvent], boundary: float
+    ) -> None:
+        """Apply equal-time down events as one atomic multi-link outage:
+        all member links die first, then the union of affected committed
+        flows is repaired once against the full survivor fabric."""
+        t = events[0].time
+        new_eids: set[int] = set()
+        changed = False
+        for event in events:
+            eids = self._member_eids(event)
+            self._note_domain(event, eids)
+            key = event.domain_key()
+            if key is not None and key not in self._down_domains:
+                self._down_domains.add(key)
+                self.domain_failures += 1
+                changed = True
+                if event.kind == SWITCH_DOWN:
+                    self.down_switches.add(event.node)
+            for eid in eids:
+                count = self._down_count.get(eid, 0)
+                self._down_count[eid] = count + 1
+                if count == 0:
+                    new_eids.add(eid)
+                    self.down.add(eid)
+                    self.link_downs += 1
+                    changed = True
+        if changed:
+            self.epoch += 1
+        if not new_eids:
             return
-        self.down.add(eid)
-        self.epoch += 1
-        self.link_downs += 1
-        t = event.time
         self._prune(t)
         affected = [
             lf
             for lf in list(self._live.values())
-            if eid in lf.eids and lf.completion > t
+            if (lf.eids & new_eids) and lf.completion > t
         ]
         if not affected:
             return
+        # Repair-storm triage order: most urgent first, where urgency is
+        # remaining volume per unit of deadline slack — a huge flow about
+        # to miss outranks a small one with room to spare.  Stable id
+        # tie-break keeps the order deterministic under snapshot/restore.
+        def urgency(lf: _LiveFlow) -> tuple[float, str]:
+            cut = max(t, lf.flow.release)
+            remaining = sum(
+                seg.rate * (seg.end - max(cut, seg.start))
+                for seg in lf.segments
+                if seg.end > cut
+            )
+            slack = max(lf.flow.deadline - boundary, self._tol)
+            return (-remaining / slack, str(lf.flow.id))
+
+        affected.sort(key=urgency)
         if self._repair == "relax" and self._relax_ok:
             self._repair_relax(affected, t, boundary)
         else:
@@ -347,16 +472,59 @@ class ChurnManager:
         recover = boundary - cut
         if recover > self.time_to_recover:
             self.time_to_recover = recover
+        # Cumulative recovery: every repair contributes its own
+        # event-to-recommit gap, so a flow re-disrupted by a correlated
+        # follow-on failure (an SRLG-blind repair landing on a sibling
+        # risk link) pays twice — the metric SRLG-diverse repair wins on.
+        self.total_recovery_time += recover
+
+    def _risky_edges(self) -> np.ndarray | None:
+        """Surviving links that share a risk group with a failed domain.
+
+        A live link is *risky* while any registered risk group contains
+        both it and a member of a currently-down domain — the correlated
+        follow-on failure would take it too, so SRLG-diverse repair
+        penalizes (not forbids) routing repairs across it.  Memoized per
+        epoch; empty registry or no down domains means no penalty, which
+        keeps domain-free runs bit-identical.
+        """
+        if not self._srlg_diverse or not self._down_domains:
+            return None
+        if self._risky_epoch == self.epoch:
+            return self._risky
+        failed: set[int] = set()
+        for name in self._down_domains:
+            failed |= self._risk_groups.get(name, frozenset())
+        risky: set[int] = set()
+        for members in self._risk_groups.values():
+            if members & failed:
+                risky |= members
+        risky -= self.down
+        self._risky_epoch = self.epoch
+        self._risky = (
+            np.asarray(sorted(risky), dtype=np.int64) if risky else None
+        )
+        return self._risky
 
     def _greedy_route(
         self, flow: Flow, boundary: float
     ) -> tuple[str, ...] | None:
-        """Marginal-cost survivor route, or None when no survivor path."""
+        """Marginal-cost survivor route, or None when no survivor path.
+
+        SRLG-diverse mode multiplies risky links (see
+        :meth:`_risky_edges`) by :data:`SRLG_PENALTY` before the dead
+        clamp, so risk-disjoint survivor routes win whenever one exists.
+        """
         router = self._router
         if router is None:
             router = self._router = FastRouter(self._topology)
         loads = self._acct.background(boundary, flow.deadline)
         weights = np.maximum(self._cost.derivative(loads), 1e-12)
+        risky = self._risky_edges()
+        if risky is not None:
+            weights[risky] = np.minimum(
+                weights[risky] * SRLG_PENALTY, DEAD_EDGE_WEIGHT / 1e3
+            )
         if self.down:
             weights[sorted(self.down)] = DEAD_EDGE_WEIGHT
         router.set_marginal(weights, decreased=True)
@@ -369,11 +537,50 @@ class ChurnManager:
         return path
 
     # ------------------------------------------------------------------
+    # Survivor reachability (partition tolerance).
+    # ------------------------------------------------------------------
+    def unreachable(
+        self, src: str, dst: str, down: frozenset[int] | None = None
+    ) -> bool:
+        """Is ``src -> dst`` cut off by ``down`` (default: the current
+        dead set)?  The engines use this to attribute an arrival that no
+        policy could route to the failure — exactly once, since such a
+        flow is never committed.  Memoized per dead-link set."""
+        down = self.down_key() if down is None else down
+        if not down:
+            return False
+        cache = self._reach_cache.get(down)
+        if cache is None:
+            if len(self._reach_cache) >= 8:
+                self._reach_cache.clear()
+            cache = self._reach_cache[down] = {}
+        key = (src, dst)
+        verdict = cache.get(key)
+        if verdict is None:
+            try:
+                survivor_shortest_path(self._topology, down, src, dst)
+                verdict = False
+            except TopologyError:
+                verdict = True
+            cache[key] = verdict
+        return verdict
+
+    # ------------------------------------------------------------------
     # Relaxation repair tier.
     # ------------------------------------------------------------------
     def _repair_relax(self, affected, t: float, boundary: float) -> None:
         """Batch an event's repairable flows through F-MCF on the honest
-        survivor topology; greedy fallback per flow on any failure."""
+        survivor topology; greedy fallback per flow on any failure.
+
+        **Repair-storm triage ladder.**  ``affected`` arrives most-urgent
+        first (remaining volume over deadline slack).  With a
+        ``repair_budget_s``, the batch is re-solved in chunks of
+        :data:`_TRIAGE_CHUNK`; once the budget is exhausted the overflow
+        is *triaged* — degraded to the greedy repair tier, counted in
+        ``repairs_triaged`` — so a switch-down dooming hundreds of
+        committed flows still repairs the most urgent ones at relaxation
+        quality inside the budget, and nothing is silently dropped.
+        """
         from repro.core.dcfsr import RelaxationPipeline
 
         # Classify with the greedy router first: flows without a survivor
@@ -398,42 +605,56 @@ class ChurnManager:
             return
         t_solve = perf_counter()
         paths: dict = {}
-        try:
-            key = self.down_key()
-            if self._relax_key != key or self._relax_pipeline is None:
-                survivor, edge_map = survivor_topology(self._topology, key)
-                self._relax_key = key
-                self._relax_edge_map = edge_map
-                self._relax_pipeline = RelaxationPipeline(
-                    survivor,
-                    self._power,
-                    max_iterations=self._fw_iters,
-                    gap_tolerance=self._fw_gap,
+        todo = list(batch)
+        while todo:
+            chunk = (
+                todo[:_TRIAGE_CHUNK] if self._budget is not None else todo
+            )
+            todo = todo[len(chunk):]
+            try:
+                key = self.down_key()
+                if self._relax_key != key or self._relax_pipeline is None:
+                    survivor, edge_map = survivor_topology(
+                        self._topology, key
+                    )
+                    self._relax_key = key
+                    self._relax_edge_map = edge_map
+                    self._relax_pipeline = RelaxationPipeline(
+                        survivor,
+                        self._power,
+                        max_iterations=self._fw_iters,
+                        gap_tolerance=self._fw_gap,
+                    )
+                pipeline = self._relax_pipeline
+                horizon = max(lf.flow.deadline for lf, _r in chunk)
+                profile = self._acct.background_profile(boundary, horizon)
+                commodities = FlowSet(
+                    [
+                        replace(lf.flow, size=remaining, release=boundary)
+                        for lf, remaining in chunk
+                    ]
                 )
-            pipeline = self._relax_pipeline
-            horizon = max(lf.flow.deadline for lf, _r in batch)
-            profile = self._acct.background_profile(boundary, horizon)
-            commodities = FlowSet(
-                [
-                    replace(lf.flow, size=remaining, release=boundary)
-                    for lf, remaining in batch
-                ]
-            )
-            relaxation = pipeline.solve(
-                commodities,
-                background=profile.restrict(self._relax_edge_map),
-                warm=True,
-            )
-            weights = pipeline.weights(commodities, relaxation)
-            for (lf, _r), path in zip(batch, argmax_paths(weights)):
-                paths[lf.flow.id] = path
-        except (ValidationError, InfeasibleError, TopologyError):
-            self.repair_fallbacks += 1
-            paths = {}
-        solve_s = perf_counter() - t_solve
-        if self._budget is not None and solve_s > self._budget:
-            # Window budget exhausted: later events repair greedily.
-            self._relax_ok = False
+                relaxation = pipeline.solve(
+                    commodities,
+                    background=profile.restrict(self._relax_edge_map),
+                    warm=True,
+                )
+                weights = pipeline.weights(commodities, relaxation)
+                for (lf, _r), path in zip(chunk, argmax_paths(weights)):
+                    paths[lf.flow.id] = path
+            except (ValidationError, InfeasibleError, TopologyError):
+                self.repair_fallbacks += 1
+            if (
+                self._budget is not None
+                and perf_counter() - t_solve > self._budget
+            ):
+                # Budget exhausted: later events repair greedily, and
+                # this storm's overflow is triaged to the greedy tier
+                # (no repair_path below -> greedy route discovery).
+                self._relax_ok = False
+                if todo:
+                    self.repairs_triaged += len(todo)
+                    todo = []
         for lf, _remaining in batch:
             self._disrupt(
                 lf,
@@ -448,12 +669,27 @@ class ChurnManager:
     def snapshot_state(self) -> dict:
         """Plain-data snapshot (the relaxation tier's warm pipeline is
         deliberately excluded — the sharded engine repairs greedily, so
-        restored runs stay bit-identical)."""
+        restored runs stay bit-identical).
+
+        The dead-link state is carried as ``(edge id, multiplicity)``
+        pairs — a snapshot taken between a correlated failure and its
+        recovery, with many links concurrently down under overlapping
+        outages, restores the exact per-link counts, so the eventual
+        recovery events resurrect exactly the links they should.  Domain
+        state (risk-group registry, down domains, down switches) rides
+        along bit-for-bit.
+        """
         return {
             "events": list(self._events),
             "applied_upto": self._applied_upto,
-            "down": sorted(self.down),
+            "down": sorted(self._down_count.items()),
             "epoch": self.epoch,
+            "risk_groups": sorted(
+                (name, sorted(members))
+                for name, members in self._risk_groups.items()
+            ),
+            "down_domains": sorted(self._down_domains),
+            "down_switches": sorted(self.down_switches),
             "live": [
                 (lf.flow, lf.path, lf.segments, lf.missed)
                 for lf in self._live.values()
@@ -462,34 +698,55 @@ class ChurnManager:
             "counters": {
                 "link_downs": self.link_downs,
                 "link_ups": self.link_ups,
+                "domain_failures": self.domain_failures,
+                "domain_recoveries": self.domain_recoveries,
                 "flows_rerouted": self.flows_rerouted,
                 "repair_energy_delta": self.repair_energy_delta,
                 "time_to_recover": self.time_to_recover,
+                "total_recovery_time": self.total_recovery_time,
                 "misses_attributed": self.misses_attributed,
                 "extra_misses": self.extra_misses,
                 "delivered_delta": self.delivered_delta,
                 "repair_fallbacks": self.repair_fallbacks,
+                "repairs_triaged": self.repairs_triaged,
             },
         }
 
     def restore_state(self, state: dict) -> None:
         self._events = list(state["events"])
         self._applied_upto = state["applied_upto"]
-        self.down = set(state["down"])
+        self._down_count = {
+            int(eid): int(count) for eid, count in state["down"]
+        }
+        self.down = set(self._down_count)
         self.epoch = state["epoch"]
+        self._risk_groups = {
+            name: frozenset(int(e) for e in members)
+            for name, members in state["risk_groups"]
+        }
+        self._down_domains = set(state["down_domains"])
+        self.down_switches = set(state["down_switches"])
+        self._risky_epoch = -1
+        self._risky = None
+        self._reach_cache = {}
         self._live = {}
         self._completions = []
+        pending_void = list(state["pending_void"])
         for flow, path, segments, missed in state["live"]:
             self.register(flow, FlowSchedule(flow, path, segments), missed)
             self._live[flow.id].missed = missed
-        self._pending_void = list(state["pending_void"])
+        self._pending_void = pending_void
         counters = state["counters"]
         self.link_downs = counters["link_downs"]
         self.link_ups = counters["link_ups"]
+        self.domain_failures = counters["domain_failures"]
+        self.domain_recoveries = counters["domain_recoveries"]
         self.flows_rerouted = counters["flows_rerouted"]
         self.repair_energy_delta = counters["repair_energy_delta"]
         self.time_to_recover = counters["time_to_recover"]
+        self.total_recovery_time = counters["total_recovery_time"]
         self.misses_attributed = counters["misses_attributed"]
         self.extra_misses = counters["extra_misses"]
         self.delivered_delta = counters["delivered_delta"]
         self.repair_fallbacks = counters["repair_fallbacks"]
+        self.repairs_triaged = counters["repairs_triaged"]

@@ -73,13 +73,17 @@ class ShardStats:
     misses: int
     degraded_windows: int
     solve_s: float
+    #: Flows assigned here but routed by the parent because the shard's
+    #: switch was down at dispatch (dark-shard evacuation).
+    evacuated: int = 0
 
     def describe(self) -> str:
+        evac = f", {self.evacuated} evacuated" if self.evacuated else ""
         return (
             f"{self.shard}: {self.flows} flows, "
             f"standalone energy {self.energy:.6g}, {self.misses} misses, "
             f"{self.degraded_windows} degraded windows, "
-            f"solve {self.solve_s:.3g}s"
+            f"solve {self.solve_s:.3g}s{evac}"
         )
 
 
@@ -115,6 +119,11 @@ class ReplayReport:
     #: :mod:`repro.traces.repair`).  All zero on fault-free runs.
     link_failures: int = 0
     link_recoveries: int = 0
+    #: Correlated failure domains (whole-switch / SRLG outages) applied
+    #: and lifted — each expands to an atomic multi-link outage on top
+    #: of the per-link counters above.
+    domain_failures: int = 0
+    domain_recoveries: int = 0
     #: Committed flows re-routed onto the survivor fabric after a
     #: link-down truncated their reservation.
     flows_rerouted: int = 0
@@ -124,11 +133,24 @@ class ReplayReport:
     #: Worst failure-to-recommit latency over the run's link-down events
     #: that affected committed flows (0.0 when none did).
     time_to_recover: float = 0.0
-    #: Deadline misses that exist only because a link died under a
-    #: committed flow (doomed flows: no survivor path, or no time left).
+    #: Sum of every repair's failure-to-recommit gap — a flow disrupted
+    #: twice (a repair landing on a link a correlated follow-on failure
+    #: then kills) contributes twice, which is what makes this the
+    #: honest recovery metric for SRLG-diverse vs SRLG-blind repair.
+    total_recovery_time: float = 0.0
+    #: Deadline misses that exist only because the fabric failed: a
+    #: committed flow doomed by a link-down (no survivor path, or no
+    #: time left), or an arrival no policy could route because the
+    #: survivor fabric was partitioned — each attributed exactly once.
     misses_attributed_to_failure: int = 0
+    #: Repair-storm triage: repairs the relaxation tier degraded to the
+    #: greedy tier because ``repair_budget_s`` ran out mid-storm.
+    repairs_triaged: int = 0
     #: Shard workers respawned after a crash (sharded service only).
     worker_restarts: int = 0
+    #: Flows admitted to a dark (evacuated) shard and re-routed by the
+    #: parent on the global survivor view (sharded service only).
+    evacuated_flows: int = 0
     #: Per-shard breakdown (sharded service only; None for ReplayEngine).
     shard_stats: tuple[ShardStats, ...] | None = None
     schedules: list[FlowSchedule] | None = field(default=None, repr=False)
@@ -178,6 +200,14 @@ class ReplayReport:
                 f"to failure, repair energy {self.repair_energy_delta:+.6g}, "
                 f"time-to-recover {self.time_to_recover:.4g}, "
                 f"{self.worker_restarts} worker restarts"
+            )
+        if self.domain_failures > 0:
+            text += (
+                f"\n  domains: {self.domain_failures} correlated outages "
+                f"({self.domain_recoveries} recovered), total recovery "
+                f"{self.total_recovery_time:.4g}, "
+                f"{self.repairs_triaged} repairs triaged, "
+                f"{self.evacuated_flows} flows evacuated"
             )
         if self.shard_stats is not None:
             for stats in self.shard_stats:
@@ -626,7 +656,17 @@ class ReplayEngine:
         re-solve on the survivor fabric, greedy fallback).
     repair_budget_s:
         With ``repair="relax"``: once a single event's relaxation solve
-        exceeds this wall-clock budget, later events repair greedily.
+        exceeds this wall-clock budget, later events repair greedily —
+        and a single storm's overflow past the budget is triaged to the
+        greedy tier (most-urgent flows keep relaxation quality).
+    failure_domains:
+        Known :class:`~repro.sim.churn.FailureDomain` risk groups, seeded
+        into the repair tier's SRLG registry up front (domains observed
+        in the event stream are learned automatically).
+    srlg_diverse:
+        Penalize repair routes crossing links that share a risk group
+        with a currently-failed domain (on by default; turn off for the
+        SRLG-blind ablation arm).
     """
 
     def __init__(
@@ -640,6 +680,8 @@ class ReplayEngine:
         faults: FaultSchedule | None = None,
         repair: str = "greedy",
         repair_budget_s: float | None = None,
+        failure_domains: Iterable | None = None,
+        srlg_diverse: bool = True,
     ) -> None:
         if not window > 0:
             raise ValidationError(f"window must be > 0, got {window}")
@@ -654,6 +696,10 @@ class ReplayEngine:
         self._faults = faults
         self._repair = repair
         self._repair_budget_s = repair_budget_s
+        self._failure_domains = (
+            tuple(failure_domains) if failure_domains is not None else None
+        )
+        self._srlg_diverse = srlg_diverse
 
     def _accountant(self) -> WindowAccountant:
         """Accountant factory — a seam the reference-pin suite overrides
@@ -717,10 +763,12 @@ class ReplayEngine:
             repair=self._repair,
             repair_budget_s=self._repair_budget_s,
             tol=self._tol,
+            domains=self._failure_domains,
+            srlg_diverse=self._srlg_diverse,
         )
         churn.kept = kept
         if self._faults is not None:
-            churn.add_events(self._faults.link_events())
+            churn.add_events(self._faults.fabric_events())
         churn.add_events(leading)
         del leading
         # Events timestamped before the first release are pure state
@@ -795,7 +843,18 @@ class ReplayEngine:
                 churn.register(flow, fs, missed)
                 if kept is not None:
                     kept.append(fs)
-            unserved += len(arrivals) - len(served_ids)
+            n_unserved = len(arrivals) - len(served_ids)
+            unserved += n_unserved
+            if n_unserved and down_view:
+                # Partition tolerance: an arrival no policy could route
+                # because the survivor fabric is disconnected is doomed
+                # by the failure — attribute its miss exactly once (it is
+                # never committed, so no later repair can re-attribute).
+                for flow in arrivals:
+                    if flow.id not in served_ids and churn.unreachable(
+                        flow.src, flow.dst, down_view
+                    ):
+                        churn.misses_attributed += 1
 
         def next_busy_window(after: int, upto: int) -> int:
             """First window in ``[after, upto]`` with accounting work.
@@ -871,9 +930,13 @@ class ReplayEngine:
             ),
             link_failures=churn.link_downs,
             link_recoveries=churn.link_ups,
+            domain_failures=churn.domain_failures,
+            domain_recoveries=churn.domain_recoveries,
             flows_rerouted=churn.flows_rerouted,
             repair_energy_delta=churn.repair_energy_delta,
             time_to_recover=churn.time_to_recover,
+            total_recovery_time=churn.total_recovery_time,
             misses_attributed_to_failure=churn.misses_attributed,
+            repairs_triaged=churn.repairs_triaged,
             schedules=kept,
         )

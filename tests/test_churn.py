@@ -27,7 +27,12 @@ from repro.flows import Flow
 from repro.power import PowerModel
 from repro.scheduling.schedule import FlowSchedule, Segment
 from repro.service import ShardedReplayEngine
-from repro.sim import FaultEvent, FaultSchedule, survivor_shortest_path
+from repro.sim import (
+    FailureDomain,
+    FaultEvent,
+    FaultSchedule,
+    survivor_shortest_path,
+)
 from repro.sim.churn import survivor_topology
 from repro.topology import fat_tree, line
 from repro.topology.base import path_edges
@@ -93,6 +98,46 @@ class TestFaultSchedule:
     def test_up_without_down_rejected(self):
         with pytest.raises(ValidationError):
             FaultSchedule.scripted([(1.0, "up", ("a", "b"))])
+
+    def test_domain_double_down_rejected(self, ft4):
+        """Same-source overlap has no well-defined pairing: a second
+        switch_down before the matching switch_up is rejected."""
+        sw = FailureDomain.switch(ft4, ft4.switches[0])
+        with pytest.raises(ValidationError):
+            FaultSchedule.scripted(
+                [(1.0, "down", sw), (2.0, "down", sw)]
+            )
+        with pytest.raises(ValidationError):
+            FaultSchedule.scripted([(1.0, "up", sw)])
+
+    def test_srlg_up_member_mismatch_rejected(self, ft4):
+        e1, e2 = ft4.edges[5], ft4.edges[6]
+        down = FailureDomain.srlg("g", [e1, e2]).down_event(1.0)
+        up = FailureDomain.srlg("g", [e1]).up_event(2.0)
+        with pytest.raises(ValidationError):
+            FaultSchedule([down, up])
+
+    def test_cross_source_overlap_validates(self, ft4):
+        """Overlap across sources is legal: a raw link_down on an edge
+        already covered by a down switch domain is a distinct outage,
+        not a double-down."""
+        node = ft4.switches[0]
+        sw = FailureDomain.switch(ft4, node)
+        edge = sw.edges[0]
+        fs = FaultSchedule.scripted(
+            [
+                (1.0, "down", sw),
+                (2.0, "down", edge),
+                (3.0, "up", sw),
+                (4.0, "up", edge),
+            ]
+        )
+        assert len(fs.events) == 4
+        # The per-link union counts the overlapped edge once while both
+        # outages cover it: members of sw for [1,3), plus the raw edge
+        # alone for [3,4).
+        downtime = fs.link_downtime(ft4, 10.0)
+        assert downtime == pytest.approx(len(sw.edges) * 2.0 + 1.0)
 
     def test_generate_deterministic(self, ft4):
         a = FaultSchedule.generate(ft4, rate=0.5, duration=20.0, seed=3)
@@ -486,6 +531,93 @@ class TestChurnManagerSnapshot:
         assert restored.link_downs == churn.link_downs
         assert restored.flows_rerouted == churn.flows_rerouted
         assert restored.down_key() == churn.down_key()
+
+    def test_overlap_counted_multiplicity(self, ft4):
+        """A link covered by a down domain *and* a raw link_down stays
+        dead until every covering outage lifts."""
+        power = PowerModel.quadratic()
+        churn = ChurnManager(
+            ft4, power, WindowAccountant(ft4, power, tol=1e-6),
+            origin=0.0, window=1.0,
+        )
+        node = ft4.switches[0]
+        sw = FailureDomain.switch(ft4, node)
+        edge = sw.edges[0]
+        eid = ft4.edge_id(edge)
+        churn.add_events(
+            FaultSchedule.scripted(
+                [
+                    (0.5, "down", edge),
+                    (1.5, "down", sw),
+                    (2.5, "up", edge),
+                    (3.5, "up", sw),
+                ]
+            ).fabric_events()
+        )
+        churn.apply_upto(1.0)
+        assert churn.down == {eid}
+        churn.apply_upto(2.0)
+        assert churn.down == set(sw.member_edge_ids(ft4))
+        assert node in churn.down_switches
+        # The raw recovery lifts one cover; the switch outage still
+        # holds the link down.
+        churn.apply_upto(3.0)
+        assert eid in churn.down
+        churn.apply_upto(4.0)
+        assert churn.down == set()
+        assert churn.down_switches == frozenset()
+        # Counters track *physical* 0<->1 transitions, not covering
+        # events: the switch's cover of the already-down edge is not a
+        # second failure, and the raw up under the switch outage is not
+        # a recovery.
+        assert churn.link_downs == len(sw.edges)
+        assert churn.link_ups == len(sw.edges)
+        assert churn.domain_failures == 1
+        assert churn.domain_recoveries == 1
+
+    def test_multi_link_mid_outage_round_trip(self, ft4):
+        """Satellite pin: snapshot with several links concurrently down
+        under overlapping outages restores the exact per-link counts, so
+        the eventual recoveries resurrect exactly the right links."""
+        power = PowerModel.quadratic()
+        acct = WindowAccountant(ft4, power, tol=1e-6)
+        churn = ChurnManager(ft4, power, acct, origin=0.0, window=1.0)
+        node = ft4.switches[0]
+        sw = FailureDomain.switch(ft4, node)
+        edge = sw.edges[0]
+        extra = next(
+            e for e in ft4.edges
+            if e not in sw.edges and not set(e) & set(ft4.hosts)
+        )
+        events = FaultSchedule.scripted(
+            [
+                (0.5, "down", edge),
+                (1.2, "down", sw),
+                (1.7, "down", extra),
+                (2.5, "up", edge),
+                (3.5, "up", sw),
+                (4.5, "up", extra),
+            ]
+        ).fabric_events()
+        churn.add_events(events)
+        churn.apply_upto(2.0)  # mid-outage: everything is down
+        assert len(churn.down) == len(sw.edges) + 1
+
+        state = pickle.loads(pickle.dumps(churn.snapshot_state()))
+        restored = ChurnManager(
+            ft4, power, acct, origin=0.0, window=1.0
+        )
+        restored.restore_state(state)
+        assert restored.down == churn.down
+        assert restored.down_switches == churn.down_switches
+        # Drain the recoveries on both: they must agree at every step.
+        for upto in (3.0, 4.0, 5.0):
+            churn.apply_upto(upto)
+            restored.apply_upto(upto)
+            assert restored.down == churn.down
+            assert restored.down_switches == churn.down_switches
+        assert restored.down == set()
+        assert restored.domain_recoveries == churn.domain_recoveries
 
 
 # ---------------------------------------------------------------------------

@@ -39,7 +39,7 @@ class TestRunnerCli:
         assert set(ABLATIONS) == {
             "sigma", "lambda", "rounding", "rounding-mode", "topology",
             "failures", "online", "traces", "relax-replay", "lookahead",
-            "churn",
+            "churn", "churn-correlated",
         }
 
     def test_single_ablation_runs(self, capsys, monkeypatch, tmp_path):
