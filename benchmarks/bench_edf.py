@@ -12,20 +12,28 @@ Two instance shapes on one link, both feasible by construction:
   is heap-bound in both engines, so this is the honesty check that the
   array engine does not regress the easy case.
 
-Results land in ``BENCH_edf.json`` with the reference ratio per shape.
+Results land in ``BENCH_edf_<shape>.json`` with the reference ratio per
+shape and the compiled-engine time (``repro.kernels``; which backend
+actually ran is recorded in the payload's ``kernels`` blob).  When the
+compiled backend is active a third case pushes the flat-array heap
+sweep to ``BENCH_EDF_LARGE_JOBS`` jobs (default 10^6, the tentpole
+target) and records ``BENCH_edf_large.json``.
 """
 
 from __future__ import annotations
 
+import os
 import time
 
 import numpy as np
 import pytest
 
 from record import record_bench
+from repro import kernels
 from repro.scheduling.edf import (
     EdfJob,
     edf_schedule_arrays,
+    edf_schedule_compiled,
     edf_schedule_reference,
 )
 
@@ -101,6 +109,11 @@ def test_edf_event_sweep(benchmark, shape):
     for jid, segments in placed.items():
         assert len(segments) == len(reference[jid])
 
+    start = time.perf_counter()
+    compiled = edf_schedule_compiled(jobs, blocked)
+    compiled_s = time.perf_counter() - start
+    assert compiled == placed
+
     record_bench(
         f"edf_{shape}",
         wall_clock_s=arrays_s,
@@ -112,6 +125,52 @@ def test_edf_event_sweep(benchmark, shape):
             "segments_placed": sum(len(v) for v in placed.values()),
             "reference_s": reference_s,
             "speedup_vs_reference": reference_s / arrays_s,
+            "compiled_s": compiled_s,
+            "compiled_engine_backend": kernels.active_backend(),
         },
     )
     benchmark.extra_info["speedup_vs_reference"] = reference_s / arrays_s
+
+
+@pytest.mark.benchmark(group="edf")
+def test_edf_compiled_at_million_jobs(benchmark):
+    """The tentpole scale target: 10^6 jobs through the compiled sweep.
+
+    Only measured when numba actually compiled the kernels — the
+    interpreted/python tiers would take minutes here, which is exactly
+    the point of the compiled backend.
+    """
+    if kernels.active_backend() != "compiled":
+        pytest.skip("compiled kernel backend not active")
+    num_jobs = int(os.environ.get("BENCH_EDF_LARGE_JOBS", "1000000"))
+    rng = np.random.default_rng(1)
+    starts = np.cumsum(rng.uniform(0.2, 0.5, num_jobs))
+    durations = rng.uniform(0.05, 0.15, num_jobs)
+    releases = np.maximum(0.0, starts - rng.uniform(0.0, 1.0, num_jobs))
+    deadlines = starts + durations + rng.uniform(5.0, 20.0, num_jobs)
+    jobs = [
+        EdfJob(id=i, release=float(releases[i]),
+               deadline=float(deadlines[i]), duration=float(durations[i]))
+        for i in range(num_jobs)
+    ]
+
+    def run():
+        return edf_schedule_compiled(jobs)
+
+    placed = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(placed) == num_jobs
+
+    start = time.perf_counter()
+    edf_schedule_compiled(jobs)
+    compiled_s = time.perf_counter() - start
+    record_bench(
+        "edf_large",
+        wall_clock_s=compiled_s,
+        flows_per_sec=num_jobs / compiled_s,
+        seed=1,
+        topology=f"single link x {num_jobs} jobs",
+        extra={
+            "jobs": num_jobs,
+            "segments_placed": sum(len(v) for v in placed.values()),
+        },
+    )

@@ -13,6 +13,14 @@ conservative floor so loaded CI machines stay green).
 ``BENCH_RELAXATION_FLOWS`` overrides the workload size (default 200,
 Figure 2's largest sweep point; the array engine's advantage widens with
 scale, ~4.4x at 120 flows vs ~7x at 200 on an idle machine).
+
+The sweep honours the active ``repro.kernels`` backend: under
+``REPRO_KERNELS=compiled`` the session run uses the numba Dijkstra
+batch with incremental shortest-path trees and the fused pairwise
+kernel, and the record's ``kernels`` blob says which backend actually
+ran, so the trend table separates the tiers.  The floor assert stays
+on the pure-Python comparison target (compiled numbers are recorded,
+not gated — JIT-equipped CI legs vary too much for a hard ratio).
 """
 
 from __future__ import annotations

@@ -2,9 +2,11 @@
 
 Every benchmark that wants its numbers tracked across PRs calls
 :func:`record_bench` with whatever it measured.  The helper adds the
-environment fingerprint (python, platform, peak RSS) and writes one JSON
-file per benchmark into ``$BENCH_RESULTS_DIR`` (default: the current
-working directory), where CI uploads them as workflow artifacts.
+environment fingerprint (python, platform, peak RSS, kernel backend)
+and writes one JSON file per benchmark into ``$BENCH_RESULTS_DIR``
+(default: this ``benchmarks/`` directory — one canonical location
+regardless of the pytest invocation's working directory), where CI
+uploads them as workflow artifacts.
 
 The schema is deliberately flat and additive — downstream tooling should
 tolerate unknown keys:
@@ -16,6 +18,7 @@ tolerate unknown keys:
 ``topology``        topology label, when topology-bound
 ``peak_rss_mb``     process peak resident set size when recording
 ``python`` / ``platform`` / ``recorded_unix``  environment fingerprint
+``kernels``         active repro.kernels backend + numba version
 ``extra``           benchmark-specific measurements (speedups, sizes, ...)
 """
 
@@ -44,6 +47,22 @@ def peak_rss_mb() -> float | None:
     return rss / 1024.0
 
 
+#: Canonical record location: next to this module, so records land in
+#: ``benchmarks/`` no matter which directory pytest ran from (the old
+#: cwd default scattered records — BENCH_churn_correlated.json ended up
+#: in the repo root).
+_CANONICAL_DIR = os.path.dirname(os.path.abspath(__file__))
+
+
+def _kernel_info() -> dict | None:
+    """Active repro.kernels backend, when the package is importable."""
+    try:
+        from repro.kernels import kernel_info
+        return kernel_info()
+    except Exception:  # pragma: no cover - src not on path
+        return None
+
+
 def record_bench(
     name: str,
     *,
@@ -64,9 +83,10 @@ def record_bench(
         "python": platform.python_version(),
         "platform": platform.platform(),
         "recorded_unix": time.time(),
+        "kernels": _kernel_info(),
         "extra": dict(extra or {}),
     }
-    directory = os.environ.get("BENCH_RESULTS_DIR", ".")
+    directory = os.environ.get("BENCH_RESULTS_DIR") or _CANONICAL_DIR
     os.makedirs(directory, exist_ok=True)
     path = os.path.join(directory, f"BENCH_{name}.json")
     with open(path, "w", encoding="utf-8") as fh:

@@ -43,10 +43,31 @@ __all__ = [
 ]
 
 
-def load_records(directories: Sequence[str]) -> list[dict[str, Any]]:
-    """Read every ``BENCH_*.json`` under the given directories."""
-    records: list[dict[str, Any]] = []
+def _scan_dirs(directories: Sequence[str]) -> list[str]:
+    """Each directory plus its ``benchmarks/`` subdirectory, deduplicated.
+
+    Transition shim for the record-location fix: records used to land in
+    the invoking working directory (usually the repo root), now they
+    default to ``benchmarks/`` — scanning both keeps old and new layouts
+    readable from the same ``--dir``.
+    """
+    seen: set[str] = set()
+    scan: list[str] = []
     for directory in directories:
+        for candidate in (directory, os.path.join(directory, "benchmarks")):
+            real = os.path.realpath(candidate)
+            if real in seen:
+                continue
+            seen.add(real)
+            scan.append(candidate)
+    return scan
+
+
+def load_records(directories: Sequence[str]) -> list[dict[str, Any]]:
+    """Read every ``BENCH_*.json`` under the given directories (and their
+    ``benchmarks/`` subdirectories — see :func:`_scan_dirs`)."""
+    records: list[dict[str, Any]] = []
+    for directory in _scan_dirs(directories):
         for path in sorted(glob.glob(os.path.join(directory, "BENCH_*.json"))):
             try:
                 with open(path, "r", encoding="utf-8") as handle:

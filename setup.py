@@ -25,6 +25,13 @@ setup(
     packages=find_packages("src"),
     python_requires=">=3.10",
     install_requires=["numpy", "scipy", "networkx"],
+    extras_require={
+        # Compiled kernel tier (repro.kernels): numba JIT backends for
+        # the Dijkstra batch, the EDF event sweep and the relaxation
+        # pricing loop.  Everything runs without it (pure-Python
+        # fallback); install with `pip install .[kernels]`.
+        "kernels": ["numba"],
+    },
     entry_points={
         "console_scripts": [
             "repro-experiments=repro.experiments.runner:main",

@@ -26,6 +26,7 @@ import os
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Sequence
 
+from repro import kernels
 from repro.analysis.reporting import Table
 from repro.experiments.parallel import available_parallelism, worker_slots
 from repro.experiments.ablations import (
@@ -102,7 +103,16 @@ def main(argv: Sequence[str] | None = None) -> int:
         default=1,
         help="shared worker slots (0 = all cores, 1 = serial)",
     )
+    parser.add_argument(
+        "--kernels",
+        choices=("auto", "compiled", "python"),
+        default=None,
+        help="kernel backend (repro.kernels): auto picks numba when "
+        "importable; overrides REPRO_KERNELS",
+    )
     args = parser.parse_args(argv)
+    if args.kernels is not None:
+        kernels.set_backend(args.kernels)
     if args.jobs < 0:
         parser.error(f"--jobs must be >= 0, got {args.jobs}")
     jobs = args.jobs if args.jobs > 0 else available_parallelism()

@@ -40,6 +40,7 @@ from weakref import WeakKeyDictionary
 
 import numpy as np
 
+from repro import kernels
 from repro.errors import TopologyError, ValidationError
 from repro.routing.background import BackgroundProfile
 from repro.topology.base import Topology
@@ -83,6 +84,36 @@ def _scratch_for(topology: Topology) -> _DijkstraScratch:
     return scratch
 
 
+class _KernelScratch:
+    """ndarray twin of :class:`_DijkstraScratch` for the compiled tier."""
+
+    __slots__ = ("dist", "parent", "stamp", "epoch", "leaf",
+                 "heap_key", "heap_node")
+
+    def __init__(self, topology: Topology) -> None:
+        n = len(topology.nodes)
+        num_arcs = int(topology.csr_adjacency[0][-1])
+        self.dist = np.zeros(n)
+        self.parent = np.full(n, -1, dtype=np.int64)
+        self.stamp = np.zeros(n, dtype=np.int64)
+        self.epoch = 0
+        self.leaf = np.array(topology.leaf_mask, dtype=np.bool_)
+        # Each arc pushes at most once (strict-improvement relaxations).
+        self.heap_key = np.empty(num_arcs + 2)
+        self.heap_node = np.empty(num_arcs + 2, dtype=np.int64)
+
+
+_KSCRATCH: "WeakKeyDictionary[Topology, _KernelScratch]" = WeakKeyDictionary()
+
+
+def _kernel_scratch_for(topology: Topology) -> _KernelScratch:
+    scratch = _KSCRATCH.get(topology)
+    if scratch is None:
+        scratch = _KernelScratch(topology)
+        _KSCRATCH[topology] = scratch
+    return scratch
+
+
 def _check_endpoints(topology: Topology, src: str, dst: str) -> tuple[int, int]:
     if src == dst:
         raise TopologyError("endpoints must differ")
@@ -114,9 +145,19 @@ def csr_dijkstra(
 
     Raises :class:`TopologyError` for unknown or equal endpoints and for
     disconnected pairs.
+
+    When the compiled kernel tier is active (:mod:`repro.kernels`) the
+    heap loop runs as the :func:`repro.kernels._impl.csr_dijkstra_fill`
+    kernel over the ndarray CSR adjacency — bit-identical settle order
+    and tie-breaks, so the returned path matches this Python loop
+    exactly (pinned in ``tests/test_kernels.py``).
     """
     src_id, dst_id = _check_endpoints(topology, src, dst)
     _check_marginal(topology, marginal)
+    kn = kernels.active()
+    if kn is not None:
+        return _csr_dijkstra_kernel(topology, src, dst, src_id, dst_id,
+                                    marginal, kn)
     weights = (
         marginal.tolist()
         if isinstance(marginal, np.ndarray)
@@ -172,6 +213,39 @@ def csr_dijkstra(
     v = dst_id
     while v != src_id:
         v = parent[v]
+        path.append(nodes[v])
+    return tuple(reversed(path))
+
+
+def _csr_dijkstra_kernel(
+    topology: Topology,
+    src: str,
+    dst: str,
+    src_id: int,
+    dst_id: int,
+    marginal: np.ndarray,
+    kn,
+) -> Path:
+    """Compiled-tier body of :func:`csr_dijkstra` (same contract)."""
+    weights = np.ascontiguousarray(marginal, dtype=float)
+    if weights.size and weights.min() < 0.0:
+        raise ValidationError("marginal weights must be nonnegative")
+    scratch = _kernel_scratch_for(topology)
+    indptr, neighbors, edge_ids = topology.csr_adjacency
+    scratch.epoch += 1
+    found = kn.csr_dijkstra_fill(
+        indptr, neighbors, edge_ids, weights, src_id, dst_id,
+        scratch.leaf, scratch.dist, scratch.parent, scratch.stamp,
+        scratch.epoch, scratch.heap_key, scratch.heap_node,
+    )
+    if not found:
+        raise TopologyError(f"no path between {src!r} and {dst!r}")
+    parent = scratch.parent
+    nodes = topology.nodes
+    path = [nodes[dst_id]]
+    v = dst_id
+    while v != src_id:
+        v = int(parent[v])
         path.append(nodes[v])
     return tuple(reversed(path))
 

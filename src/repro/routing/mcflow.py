@@ -61,6 +61,7 @@ import numpy as np
 from scipy.sparse import csr_matrix
 from scipy.sparse.csgraph import dijkstra
 
+from repro import kernels
 from repro.errors import SolverError, ValidationError
 from repro.routing.background import BackgroundProfile
 from repro.routing.costs import EdgeCost
@@ -563,6 +564,14 @@ class _FlowState:
         """Per-row sum of ``weights`` over the row's edges."""
         if self.n == 0:
             return np.empty(0)
+        kn = kernels.active()
+        if kn is not None:
+            out = np.empty(self.n)
+            kn.row_costs(
+                self.eids[: self.m], self.starts[: self.n],
+                self.lens[: self.n], weights, out,
+            )
+            return out
         return np.add.reduceat(
             weights[self.eids[: self.m]], self.starts[: self.n]
         )
@@ -721,6 +730,18 @@ class FrankWolfeSolver:
         self._attach_of = {
             int(l): int(a) for l, a in zip(leaf_ids.tolist(), attach.tolist())
         }
+        # --- Compiled-tier state (repro.kernels): the core CSR arrays
+        # shared with the kernels, plus per-source shortest-path trees
+        # kept alive across _aon_pids calls.  Weights move smoothly
+        # between Frank-Wolfe iterations (and between the interval
+        # sweep's consecutive solves), so each batch re-roots the
+        # previous tree and repairs only the affected cone instead of
+        # running a cold Dijkstra per source. ---
+        self._k_indptr = core_indptr
+        self._k_indices = cv
+        #: source core id -> (dist, pred, parc) of its last tree.
+        self._spt_cache: dict[int, tuple[np.ndarray, ...]] = {}
+        self._k_scratch: tuple[np.ndarray, ...] | None = None
 
     @property
     def registry(self) -> PathRegistry:
@@ -822,14 +843,23 @@ class FrankWolfeSolver:
         target hold still), walk arcs decode to edge ids in one bulk
         ``searchsorted``, and each ``(src, dst, padded walk)`` row keys
         the path-id cache by its raw bytes.
+
+        With the kernel tier active the scipy batch is replaced by
+        per-source incremental shortest-path trees
+        (:meth:`_spt_predecessors`): exact distances, but equal-cost
+        ties may resolve differently than scipy's — always at equal
+        cost, which is the level the solver suite pins.
         """
-        self._graph.data = np.maximum(weights, _WEIGHT_FLOOR)[
-            self._search_arc_edge
-        ]
-        _dist, predecessors = dijkstra(
-            self._graph, directed=True, indices=prep.source_ids,
-            return_predecessors=True,
-        )
+        warc = np.maximum(weights, _WEIGHT_FLOOR)[self._search_arc_edge]
+        kn = kernels.active()
+        if kn is not None:
+            predecessors = self._spt_predecessors(prep.source_ids, warc, kn)
+        else:
+            self._graph.data = warc
+            _dist, predecessors = dijkstra(
+                self._graph, directed=True, indices=prep.source_ids,
+                return_predecessors=True,
+            )
         src_rows = prep.src_rows
         targets = prep.target_core
         cur = prep.start_core.copy()
@@ -913,6 +943,56 @@ class FrankWolfeSolver:
         self._last_walks = (prep, walk_matrix, out)
         return out
 
+    def _spt_predecessors(
+        self, source_ids: np.ndarray, warc: np.ndarray, kn
+    ) -> np.ndarray:
+        """Per-source predecessor rows via incremental shortest-path trees.
+
+        Drop-in replacement for the scipy ``dijkstra`` batch of
+        :meth:`_aon_pids` when the kernel tier is active.  Each distinct
+        source keeps its last tree ``(dist, pred, parc)`` in
+        ``self._spt_cache`` — across Frank-Wolfe iterations *and* across
+        the consecutive solves of a :class:`RelaxationSession` sweep —
+        so all but the first batch per source run
+        :func:`repro.kernels._impl.spt_repair` (re-weigh the old tree,
+        seed a heap from one arc scan, label-correct the affected cone)
+        instead of a cold Dijkstra.  Distances are exact for any weight
+        change; only equal-cost tie parents may differ from a cold run.
+        """
+        nc = self._num_core
+        if self._k_scratch is None:
+            cap = 2 * self._k_indices.size + 4
+            self._k_scratch = (
+                np.empty(cap),
+                np.empty(cap, dtype=np.int64),
+                np.empty(nc, dtype=np.int64),
+                np.empty(nc, dtype=np.int64),
+                np.empty(nc, dtype=np.int64),
+            )
+        heap_key, heap_node, child_head, child_next, stack = self._k_scratch
+        cache = self._spt_cache
+        predecessors = np.empty((source_ids.size, nc), dtype=np.int64)
+        for row, src in enumerate(source_ids.tolist()):
+            tree = cache.get(src)
+            if tree is None:
+                dist = np.empty(nc)
+                pred = np.empty(nc, dtype=np.int64)
+                parc = np.empty(nc, dtype=np.int64)
+                kn.spt_tree(
+                    self._k_indptr, self._k_indices, warc, src,
+                    dist, pred, parc, heap_key, heap_node,
+                )
+                cache[src] = (dist, pred, parc)
+            else:
+                dist, pred, parc = tree
+                kn.spt_repair(
+                    self._k_indptr, self._k_indices, warc, src,
+                    dist, pred, parc, heap_key, heap_node,
+                    child_head, child_next, stack,
+                )
+            predecessors[row] = pred
+        return predecessors
+
     # ------------------------------------------------------------------
     # Exact line search: bisection on the convex directional derivative,
     # restricted to the direction's nonzero support.
@@ -973,55 +1053,86 @@ class FrankWolfeSolver:
         k = prep.demands.size
         point = self._point(loads)
         weights = self._cost.derivative(point)
-        costs = state.path_costs(weights)
-        flow = state.flow[:n]
-        owner = state.owner[:n]
         quadratic = self._poly_degree == 2
-        if quadratic:
-            # Constant curvature 2 mu: the row Hessian is just the hop
-            # count, no per-edge gather needed.
-            inv_h = 1.0 / (
-                (2.0 * self._cost.power.mu) * state.lens[:n]
+        kn = kernels.active()
+        if kn is not None:
+            # Fused kernel path: gathers, lambda, clipped Newton move,
+            # rebalance and direction scatter in one pass — same
+            # arithmetic as the numpy expressions below up to reduceat's
+            # blocked summation order (pinned bit for bit against a
+            # sequential replica in tests/test_kernels; solver-level
+            # agreement is certified by the dual bound).
+            if quadratic:
+                inv_h = 1.0 / (
+                    (2.0 * self._cost.power.mu) * state.lens[:n]
+                )
+            else:
+                curvature = self._cost.curvature(point)
+                row_curv = np.empty(n)
+                kn.row_costs(
+                    state.eids[: state.m], state.starts[:n],
+                    state.lens[:n], curvature, row_curv,
+                )
+                inv_h = 1.0 / np.maximum(row_curv, 1e-30)
+            delta = np.empty(n)
+            direction = np.empty(loads.size)
+            moved = kn.pairwise_delta(
+                state.eids[: state.m], state.lens[:n], state.starts[:n],
+                state.owner[:n], state.flow[:n], weights, inv_h,
+                prep.demands, not quadratic, delta, direction,
             )
+            if not moved:
+                return loads, False
         else:
-            curvature = self._cost.curvature(point)
-            inv_h = 1.0 / np.maximum(
-                np.add.reduceat(curvature[state.eids[: state.m]],
-                                state.starts[:n]),
-                1e-30,
+            costs = state.path_costs(weights)
+            flow = state.flow[:n]
+            owner = state.owner[:n]
+            if quadratic:
+                # Constant curvature 2 mu: the row Hessian is just the hop
+                # count, no per-edge gather needed.
+                inv_h = 1.0 / (
+                    (2.0 * self._cost.power.mu) * state.lens[:n]
+                )
+            else:
+                curvature = self._cost.curvature(point)
+                inv_h = 1.0 / np.maximum(
+                    np.add.reduceat(curvature[state.eids[: state.m]],
+                                    state.starts[:n]),
+                    1e-30,
+                )
+            lam_den = np.bincount(owner, weights=inv_h, minlength=k)
+            lam = np.bincount(owner, weights=costs * inv_h, minlength=k)
+            lam /= np.maximum(lam_den, 1e-30)
+            # Newton move per row, kept feasible (>= -flow).
+            delta = np.maximum((lam[owner] - costs) * inv_h, -flow)
+            if not quadratic:
+                # On the envelope's zero-curvature segments the Newton
+                # step is unbounded; cap it at the demand and let the
+                # line search decide (the cap would only distort
+                # well-conditioned cases).
+                delta = np.minimum(delta, prep.demands[owner])
+            negative = np.minimum(delta, 0.0)
+            positive = delta - negative
+            pos_sum = np.bincount(owner, weights=positive, minlength=k)
+            neg_sum = np.bincount(owner, weights=-negative, minlength=k)
+            # Demand conservation: scale the receiving rows to absorb
+            # exactly the clipped outflow.  A commodity with no receiving
+            # row cannot rebalance — dropping only its negatives would
+            # *lose* mass, so it must not move at all.
+            can_move = pos_sum > 0.0
+            factor = np.where(
+                can_move, neg_sum / np.maximum(pos_sum, 1e-30), 0.0
             )
-        lam_den = np.bincount(owner, weights=inv_h, minlength=k)
-        lam = np.bincount(owner, weights=costs * inv_h, minlength=k)
-        lam /= np.maximum(lam_den, 1e-30)
-        # Newton move per row, kept feasible (>= -flow).
-        delta = np.maximum((lam[owner] - costs) * inv_h, -flow)
-        if not quadratic:
-            # On the envelope's zero-curvature segments the Newton step is
-            # unbounded; cap it at the demand and let the line search
-            # decide (the cap would only distort well-conditioned cases).
-            delta = np.minimum(delta, prep.demands[owner])
-        negative = np.minimum(delta, 0.0)
-        positive = delta - negative
-        pos_sum = np.bincount(owner, weights=positive, minlength=k)
-        neg_sum = np.bincount(owner, weights=-negative, minlength=k)
-        # Demand conservation: scale the receiving rows to absorb exactly
-        # the clipped outflow.  A commodity with no receiving row cannot
-        # rebalance — dropping only its negatives would *lose* mass, so
-        # it must not move at all.
-        can_move = pos_sum > 0.0
-        factor = np.where(
-            can_move, neg_sum / np.maximum(pos_sum, 1e-30), 0.0
-        )
-        delta = np.where(
-            can_move[owner], negative + positive * factor[owner], 0.0
-        )
-        if not np.any(delta):
-            return loads, False
-        direction = np.bincount(
-            state.eids[: state.m],
-            weights=np.repeat(delta, state.lens[:n]),
-            minlength=loads.size,
-        )
+            delta = np.where(
+                can_move[owner], negative + positive * factor[owner], 0.0
+            )
+            if not np.any(delta):
+                return loads, False
+            direction = np.bincount(
+                state.eids[: state.m],
+                weights=np.repeat(delta, state.lens[:n]),
+                minlength=loads.size,
+            )
         gamma = self._line_search(point, direction, tol=1e-4)
         if gamma <= _STALL_STEP:
             return loads, False
@@ -1471,7 +1582,12 @@ class RelaxationSession:
             return
         pid_arr = np.array(cand_pids, dtype=np.int64)
         flat, lens, starts = state.registry.gather(pid_arr)
-        costs = np.add.reduceat(weights[flat], starts)
+        kn = kernels.active()
+        if kn is not None:
+            costs = np.empty(pid_arr.size)
+            kn.row_costs(flat, starts, lens, weights, costs)
+        else:
+            costs = np.add.reduceat(weights[flat], starts)
         counts_arr = np.array(counts, dtype=np.int64)
         gstarts = np.concatenate(([0], np.cumsum(counts_arr)[:-1]))
         seg_min = np.minimum.reduceat(costs, gstarts)

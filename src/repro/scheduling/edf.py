@@ -13,21 +13,26 @@ EDF with preemption is optimal for feasibility on one resource, so if EDF
 misses a deadline the job set is genuinely infeasible and
 :class:`~repro.errors.InfeasibleError` is raised.
 
-Two engines live here.  :func:`edf_schedule_arrays` is the array-backed
+Three engines live here.  :func:`edf_schedule_arrays` is the array-backed
 event sweep: the merged blocked segments compile once into sorted
 start/end/cumulative-measure arrays, every release and deadline maps into
 *available-time* coordinates in one vectorized pass (inside those
 coordinates the blocked segments vanish, so the sweep's only event axis
 is the sorted release array), and the executed runs map back to real
 time — splitting at the blocks they straddle — in one batched
-``searchsorted`` pass at the end.  :func:`edf_schedule_reference` is the
-retained scalar predecessor, which advances slice by slice through every
-block boundary; the dispatcher :func:`edf_schedule` keeps it for the
-small per-link queues that dominate Most-Critical-First rounds (NumPy
-call overhead would swamp them) and switches to the array engine above
-``_SCALAR_CUTOFF`` jobs.  ``tests/test_edf.py`` pins the pair on a
-dyadic-rational grid where both arithmetics are exact, so the engines
-must agree bit for bit.
+``searchsorted`` pass at the end.  :func:`edf_schedule_compiled` shares
+that transform and back-map but runs the sweep itself as the
+:func:`repro.kernels._impl.edf_sweep` flat-array heap kernel (numba when
+available, interpreted otherwise) — the engine that takes single-link
+instances to 10^6 jobs.  :func:`edf_schedule_reference` is the retained
+scalar predecessor, which advances slice by slice through every block
+boundary; the dispatcher :func:`edf_schedule` keeps it for the small
+per-link queues that dominate Most-Critical-First rounds (NumPy call
+overhead would swamp them), switches to the array engine above
+``_SCALAR_CUTOFF`` jobs, and to the compiled engine when the kernel tier
+(:mod:`repro.kernels`) is active.  ``tests/test_edf.py`` and
+``tests/test_kernels.py`` pin the engines on a dyadic-rational grid
+where the arithmetics are exact, so all of them must agree bit for bit.
 """
 
 from __future__ import annotations
@@ -40,6 +45,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro import kernels
 from repro.errors import InfeasibleError, ValidationError
 from repro.scheduling.timeline import merge_segments
 
@@ -47,6 +53,7 @@ __all__ = [
     "EdfJob",
     "edf_schedule",
     "edf_schedule_arrays",
+    "edf_schedule_compiled",
     "edf_schedule_reference",
 ]
 
@@ -111,6 +118,8 @@ def edf_schedule(
     job_list = list(jobs)
     if len(job_list) <= _SCALAR_CUTOFF:
         return edf_schedule_reference(job_list, blocked, tol)
+    if kernels.active() is not None:
+        return edf_schedule_compiled(job_list, blocked, tol)
     return edf_schedule_arrays(job_list, blocked, tol)
 
 
@@ -153,31 +162,11 @@ def edf_schedule_arrays(
     if not job_list:
         return {}
 
-    blocked_merged = merge_segments(blocked)
-    nb = len(blocked_merged)
-    bs = np.array([s for s, _ in blocked_merged])
-    be = np.array([e for _, e in blocked_merged])
-    # cum[i]: blocked measure strictly before block i; ab[i]: block i's
-    # start in available coordinates.
-    cum = np.zeros(nb + 1)
-    np.cumsum(be - bs, out=cum[1:])
-    ab = bs - cum[:-1]
-
-    # Reference admission order: (release, deadline, str(id)).  A() is
-    # monotone, so this order is also nondecreasing in transformed
-    # release, and heap ties resolve identically to the reference.
-    order = sorted(
-        range(len(job_list)),
-        key=lambda i: (
-            job_list[i].release,
-            job_list[i].deadline,
-            str(job_list[i].id),
-        ),
+    bs, be, cum, ab, nb, order, deadlines, rel_a_arr, dl_a_arr = (
+        _edf_transform(job_list, blocked)
     )
-    releases = np.array([job_list[i].release for i in order])
-    deadlines = np.array([job_list[i].deadline for i in order])
-    rel_a = _to_available(releases, bs, be, cum).tolist()
-    dl_a = _to_available(deadlines, bs, be, cum).tolist()
+    rel_a = rel_a_arr.tolist()
+    dl_a = dl_a_arr.tolist()
     deadline_list = deadlines.tolist()
     remaining = [job_list[i].duration for i in order]
 
@@ -259,12 +248,67 @@ def edf_schedule_arrays(
                         f"{deadline_list[pos]:g}"
                     )
 
-    # Back-map every run to real time in one batched pass, splitting runs
-    # that straddle blocks (each straddled block cuts one piece boundary:
-    # piece ends at the block start, the next piece resumes at its end).
     run_jobs, run_starts, run_ends = zip(*runs)
-    a0 = np.array(run_starts)
-    a1 = np.array(run_ends)
+    return _edf_backmap(
+        job_list, order, run_jobs,
+        np.array(run_starts), np.array(run_ends), bs, be, cum, ab, nb,
+    )
+
+
+# ----------------------------------------------------------------------
+# Shared transform / back-map of the array and compiled engines.
+# ----------------------------------------------------------------------
+def _edf_transform(
+    job_list: list[EdfJob], blocked: Iterable[tuple[float, float]]
+) -> tuple:
+    """Compile blocks + admission order into the sweep's input arrays.
+
+    Returns ``(bs, be, cum, ab, nb, order, deadlines, rel_a, dl_a)``:
+    the merged block start/end arrays, ``cum[i]`` the blocked measure
+    strictly before block i, ``ab[i]`` block i's start in available
+    coordinates, the reference admission order (release, deadline,
+    str(id)) — A() is monotone, so this order is also nondecreasing in
+    transformed release and heap ties resolve identically to the
+    reference — plus the admission-ordered real deadlines and the
+    available-coordinate release/deadline arrays.
+    """
+    blocked_merged = merge_segments(blocked)
+    nb = len(blocked_merged)
+    bs = np.array([s for s, _ in blocked_merged])
+    be = np.array([e for _, e in blocked_merged])
+    cum = np.zeros(nb + 1)
+    np.cumsum(be - bs, out=cum[1:])
+    ab = bs - cum[:-1]
+    order = sorted(
+        range(len(job_list)),
+        key=lambda i: (
+            job_list[i].release,
+            job_list[i].deadline,
+            str(job_list[i].id),
+        ),
+    )
+    releases = np.array([job_list[i].release for i in order])
+    deadlines = np.array([job_list[i].deadline for i in order])
+    rel_a = _to_available(releases, bs, be, cum)
+    dl_a = _to_available(deadlines, bs, be, cum)
+    return bs, be, cum, ab, nb, order, deadlines, rel_a, dl_a
+
+
+def _edf_backmap(
+    job_list: list[EdfJob],
+    order: list[int],
+    run_jobs: Sequence[int],
+    a0: np.ndarray,
+    a1: np.ndarray,
+    bs: np.ndarray,
+    be: np.ndarray,
+    cum: np.ndarray,
+    ab: np.ndarray,
+    nb: int,
+) -> dict[int | str, list[tuple[float, float]]]:
+    """Back-map every run to real time in one batched pass, splitting runs
+    that straddle blocks (each straddled block cuts one piece boundary:
+    piece ends at the block start, the next piece resumes at its end)."""
     if nb:
         j0 = np.searchsorted(ab, a0, side="right")
         j1 = np.searchsorted(ab, a1, side="left")
@@ -312,6 +356,80 @@ def edf_schedule_arrays(
                 merged.append(piece)
         out[jid] = merged
     return out
+
+
+# ----------------------------------------------------------------------
+# Compiled engine: the sweep runs as a flat-array heap kernel.
+# ----------------------------------------------------------------------
+def edf_schedule_compiled(
+    jobs: Iterable[EdfJob],
+    blocked: Iterable[tuple[float, float]] = (),
+    tol: float = 1e-7,
+) -> dict[int | str, list[tuple[float, float]]]:
+    """The compiled-tier sweep behind :func:`edf_schedule`.
+
+    Shares :func:`_edf_transform` and :func:`_edf_backmap` with
+    :func:`edf_schedule_arrays`; the event sweep in between runs as the
+    :func:`repro.kernels._impl.edf_sweep` kernel — numba-compiled when
+    the tier resolved ``compiled``, the interpreted kernel body
+    otherwise, bit-identical results either way.  The ready heap keys on
+    ``(real deadline, admission position)``, which reproduces the Python
+    engine's ``(deadline, seq, pos)`` tuples exactly (admissions happen
+    in position order, so ``seq == pos``); infeasibility raises the same
+    :class:`InfeasibleError` messages as the array engine.
+    """
+    job_list = list(jobs)
+    ids = [j.id for j in job_list]
+    if len(set(ids)) != len(ids):
+        raise ValidationError("EDF job ids must be unique")
+    if not job_list:
+        return {}
+    kn = kernels.active()
+    if kn is None:
+        kn = kernels.interpreted()
+    bs, be, cum, ab, nb, order, deadlines, rel_a, dl_a = _edf_transform(
+        job_list, blocked
+    )
+    durations = np.array([job_list[i].duration for i in order])
+    n = len(job_list)
+    heap_key = np.empty(n)
+    heap_pos = np.empty(n, dtype=np.int64)
+    err = np.zeros(4)
+    cap = 2 * n + 4  # runs <= completions + admission truncations
+    while True:
+        run_pos = np.empty(cap, dtype=np.int64)
+        run_a0 = np.empty(cap)
+        run_a1 = np.empty(cap)
+        nruns = kn.edf_sweep(
+            np.ascontiguousarray(rel_a), np.ascontiguousarray(dl_a),
+            deadlines, durations, bs, be, cum, ab, tol, _EPS,
+            heap_key, heap_pos, run_pos, run_a0, run_a1, err,
+        )
+        status = int(err[0])
+        if status != 4:
+            break
+        cap *= 2  # float dust split runs past the nominal bound
+    if status:
+        pos = int(err[1])
+        jid = job_list[order[pos]].id
+        if status == 1:
+            raise InfeasibleError(
+                f"EDF: job {jid!r} missed deadline "
+                f"{deadlines[pos]:g} (time {err[2]:g}, "
+                f"{err[3]:g} work left)"
+            )
+        if status == 2:
+            raise InfeasibleError(
+                f"EDF: job {jid!r} finished at {err[2]:g} "
+                f"after its deadline {deadlines[pos]:g}"
+            )
+        raise AssertionError(
+            "EDF ran out of work with unfinished jobs"
+        )  # pragma: no cover
+    return _edf_backmap(
+        job_list, order, run_pos[:nruns].tolist(),
+        run_a0[:nruns], run_a1[:nruns], bs, be, cum, ab, nb,
+    )
 
 
 # ----------------------------------------------------------------------
